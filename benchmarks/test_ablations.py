@@ -1,0 +1,166 @@
+"""Ablations of the design choices DESIGN.md §5 calls out.
+
+A1  per-loop vs app-wide CATT decisions (the CATT-vs-BFTT delta);
+A2  conservative irregular handling (C_tid = 1) vs aggressive (C_tid = 32);
+A4  scheduler policy (GTO vs LRR) robustness;
+D   DynCTA-style dynamic throttling vs compile-time CATT.
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import run_app
+from repro.sim.arch import TITAN_V_SIM
+from repro.transform import catt_compile
+from repro.workloads import get_workload, run_workload
+
+
+def test_a1_per_loop_beats_app_wide(benchmark, scale, emit_report):
+    """Force CATT's *most aggressive* loop decision app-wide (BFTT-style):
+    the multi-phase app must not get faster than per-loop CATT."""
+    def run():
+        catt = run_app("ATAX", "catt", "max", scale)
+        bftt = run_app("ATAX", "bftt", "max", scale)
+        base = run_app("ATAX", "baseline", "max", scale)
+        return base, bftt, catt
+
+    base, bftt, catt = run_once(benchmark, run)
+    text = (
+        "A1 — per-loop vs fixed (ATAX)\n"
+        f"baseline {base.total_cycles:,} / BFTT {bftt.total_cycles:,} "
+        f"(factors {bftt.factors}) / CATT {catt.total_cycles:,}"
+    )
+    emit_report("ablation_a1", text)
+    if scale == "bench":
+        assert catt.total_cycles <= bftt.total_cycles * 1.02
+
+
+def test_a2_conservative_irregular(benchmark, scale, emit_report):
+    """§4.2's conservatism, ablated: with C_tid=1 CATT leaves BFS alone
+    (identical cycles); with worst-case C_tid=32 it over-throttles and
+    "can unnecessarily reduce TLP" — the slowdown the paper warns about."""
+    from repro.transform import catt_compile
+    from repro.workloads import get_workload, run_workload
+
+    def run():
+        base = run_app("BFS", "baseline", "max", scale)
+        catt = run_app("BFS", "catt", "max", scale)
+        wl = get_workload("BFS", scale)
+        aggressive_comp = catt_compile(
+            wl.unit(), dict(wl.launch_configs()), TITAN_V_SIM,
+            irregular_req=32,
+        )
+        aggressive = run_workload(get_workload("BFS", scale), TITAN_V_SIM,
+                                  unit=aggressive_comp.unit, verify=False)
+        return base, catt, aggressive, aggressive_comp
+
+    base, catt, aggressive, comp = run_once(benchmark, run)
+    throttled = any(t.transformed for t in comp.transforms.values())
+    emit_report(
+        "ablation_a2",
+        f"A2 — irregular handling (BFS)\n"
+        f"baseline {base.total_cycles:,} / CATT conservative "
+        f"{catt.total_cycles:,} / CATT aggressive (C_tid=32) "
+        f"{aggressive.total_cycles:,} (throttled: {throttled})",
+    )
+    assert catt.total_cycles == base.total_cycles
+    if scale == "bench":
+        assert throttled                       # aggressive mode does throttle
+        assert aggressive.total_cycles >= base.total_cycles
+
+
+def test_a4_scheduler_policy(benchmark, scale, emit_report):
+    """CATT's win must not be an artifact of the GTO scheduler."""
+    def run():
+        out = {}
+        for policy in ("gto", "lrr"):
+            wl = get_workload("GSMV", scale)
+            base = run_workload(wl, TITAN_V_SIM, scheduler=policy)
+            comp = catt_compile(wl.unit(), dict(wl.launch_configs()),
+                                TITAN_V_SIM)
+            catt = run_workload(get_workload("GSMV", scale), TITAN_V_SIM,
+                                unit=comp.unit, scheduler=policy)
+            out[policy] = base.total_cycles / catt.total_cycles
+        return out
+
+    speedups = run_once(benchmark, run)
+    emit_report(
+        "ablation_a4",
+        "A4 — scheduler policy (GSMV speedup)\n"
+        + "\n".join(f"{p}: {s:.2f}x" for p, s in speedups.items()),
+    )
+    if scale == "bench":
+        for policy, s in speedups.items():
+            assert s > 1.2, policy
+
+
+def test_dyncta_lags_catt(benchmark, scale, emit_report):
+    """§2.2's argument: reactive throttling adjusts after the damage; CATT's
+    compile-time decision should beat (or match) it on a contended app."""
+    def run():
+        dyn = run_app("GSMV", "dyncta", "max", scale)
+        catt = run_app("GSMV", "catt", "max", scale)
+        base = run_app("GSMV", "baseline", "max", scale)
+        return base, dyn, catt
+
+    base, dyn, catt = run_once(benchmark, run)
+    emit_report(
+        "ablation_dyncta",
+        f"DynCTA comparison (GSMV)\n"
+        f"baseline {base.total_cycles:,} / DynCTA {dyn.total_cycles:,} / "
+        f"CATT {catt.total_cycles:,}",
+    )
+    if scale == "bench":
+        assert catt.total_cycles <= dyn.total_cycles
+
+
+def test_bypass_loses_locality(benchmark, scale, emit_report):
+    """§2.2: "cache bypassing cannot prevent loss of locality" — blanket L1
+    bypass must lose to CATT on a contended app with intra-thread reuse."""
+    from repro.baselines import run_with_bypass
+    from repro.workloads import get_workload
+
+    def run():
+        base = run_app("GSMV", "baseline", "max", scale)
+        catt = run_app("GSMV", "catt", "max", scale)
+        byp = run_with_bypass(get_workload("GSMV", scale), TITAN_V_SIM,
+                              verify=False)
+        return base, byp, catt
+
+    base, byp, catt = run_once(benchmark, run)
+    emit_report(
+        "ablation_bypass",
+        f"L1-bypass comparison (GSMV)\n"
+        f"baseline {base.total_cycles:,} / bypass {byp.total_cycles:,} / "
+        f"CATT {catt.total_cycles:,}",
+    )
+    assert catt.total_cycles < byp.total_cycles
+
+
+def test_tiling_rescues_corr(benchmark, scale, emit_report):
+    """Future work implemented: reduction tiling makes CORR's unresolvable
+    contention resolvable ("kernels and loops need to be split into smaller
+    pieces", §5.1)."""
+    from repro.sim.arch import TITAN_V_SIM_32K
+    from repro.transform import catt_compile
+    from repro.workloads import get_workload, run_workload
+
+    def run():
+        wl = get_workload("CORR", scale)
+        base = run_workload(get_workload("CORR", scale), TITAN_V_SIM_32K)
+        comp = catt_compile(wl.unit(), dict(wl.launch_configs()),
+                            TITAN_V_SIM_32K, enable_tiling=True)
+        tiled = run_workload(get_workload("CORR", scale), TITAN_V_SIM_32K,
+                             unit=comp.unit)
+        return base, tiled, comp
+
+    base, tiled, comp = run_once(benchmark, run)
+    tiles = comp.transforms["corr_kernel"].tiles
+    emit_report(
+        "ablation_tiling",
+        f"CATT+tiling on CORR (32 KB L1D)\n"
+        f"baseline {base.total_cycles:,} / CATT+tiling {tiled.total_cycles:,} "
+        f"(tiles {tiles})",
+    )
+    if scale == "bench":
+        assert tiles, "CORR's kernel should be tiled at 32 KB"
+        assert tiled.total_cycles < base.total_cycles * 0.8

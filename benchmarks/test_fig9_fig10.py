@@ -1,0 +1,46 @@
+"""Figure 9 (factor sensitivity) and Figure 10 (32 KB L1D) regenerators."""
+
+from conftest import run_once
+
+from repro.experiments.fig7 import build_fig7
+from repro.experiments.fig9 import build_fig9, format_fig9
+from repro.experiments.fig10 import build_fig10, format_fig10
+
+
+def test_fig9(benchmark, scale, emit_report):
+    curves = run_once(benchmark, build_fig9, scale=scale)
+    emit_report("fig9", format_fig9(curves))
+    if scale != "bench":
+        return
+
+    assert curves
+    # §5.1.2: "CATT selects the optimal degrees of thread throttling for
+    # applications with regular patterns" — near-optimality is asserted for
+    # those; PF/BFS/CFD may sit off the optimum (the paper's own PF#1 note:
+    # "the best performance is achieved when selecting a slightly larger
+    # thread throttling factor than CATT").
+    regular = {"GSMV", "SYR2K", "ATAX", "BICG", "MVT", "CORR", "KM"}
+    for c in curves:
+        values = dict(c.points)
+        best_val = values[c.best]
+        if c.catt_choice is not None:
+            catt_val = values[c.catt_choice]
+            assert catt_val <= 1.05, c.app  # never worse than baseline
+            if c.app in regular:
+                assert catt_val <= max(1.35 * best_val, best_val + 0.15), c.app
+
+
+def test_fig10(benchmark, scale, emit_report):
+    data32 = run_once(benchmark, build_fig10, scale=scale)
+    emit_report("fig10", format_fig10(data32))
+    if scale != "bench":
+        return
+
+    data_max = build_fig7(scale=scale)  # cached from fig7's run
+    geo32 = data32["geomean_speedup"]
+    geomax = data_max["geomean_speedup"]
+    # Paper: gains grow on the small cache (89.23% vs 42.96% for CATT).
+    assert geo32["catt"] > geomax["catt"]
+    assert geo32["catt"] > 1.3
+    for app, norms in data32["normalized_time"].items():
+        assert norms["catt"] <= 1.05, app

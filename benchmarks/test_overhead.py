@@ -1,0 +1,20 @@
+"""§5.1.4 — CATT compile-time overhead benchmark."""
+
+from conftest import run_once
+
+from repro.experiments.overhead import build_overhead, format_overhead
+
+
+def test_overhead(benchmark, scale, emit_report):
+    rows = run_once(benchmark, build_overhead, scale=scale)
+    emit_report("overhead", format_overhead(rows))
+
+    # Paper: "completed within 1-2 seconds" per application on 2013-era
+    # hardware with ANTLR; our analysis is comfortably inside that.
+    for r in rows:
+        assert r.seconds < 2.0, r.app
+
+    # "linear to the length of the source code": milliseconds per line are
+    # bounded (no quadratic blowup on the biggest sources).
+    per_line = [r.seconds / max(r.source_lines, 1) for r in rows]
+    assert max(per_line) < 0.05

@@ -1,0 +1,56 @@
+"""The production path: analyze the compiler's PTX output, not the source.
+
+Deployed behind nvcc, CATT would see PTX.  This example lowers the Fig.-1
+kernel to the PTX-like ISA, prints it, and shows the IR-level analysis
+recovering exactly the paper's coefficients — C_tid = {1, NY, 0} for
+tmp/A/B — from nothing but the instruction stream plus the launch config.
+
+Run:  python examples/ptx_pipeline.py
+"""
+
+from repro import parse
+from repro.ptx import analyze_ptx_kernel, lower_kernel, parse_ptx
+
+SOURCE = """
+#define NX 1024
+#define NY 192
+
+__global__ void atax_kernel1(float *A, float *x, float *tmp) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NX) {
+        for (int j = 0; j < NY; j++) {
+            tmp[i] += A[i * NY + j] * x[j];
+        }
+    }
+}
+"""
+
+
+def main():
+    unit = parse(SOURCE)
+    ptx = lower_kernel(unit, "atax_kernel1")
+    text = ptx.render()
+    print("=== lowered PTX ===")
+    print(text)
+
+    # Round-trip through the textual form, as if reading an nvcc artifact.
+    module = parse_ptx(text)
+    kernel = module.kernel("atax_kernel1")
+
+    print("=== IR-level analysis (block = 256 threads) ===")
+    for acc in analyze_ptx_kernel(kernel, block_dim=(256, 1, 1)):
+        kind = "store" if acc.is_store else "load"
+        if acc.address.irregular:
+            print(f"  {kind:5s} @{acc.index:3d}: irregular -> REQ_warp = 1 "
+                  f"(conservative)")
+        else:
+            print(f"  {kind:5s} @{acc.index:3d}: C_tid = {acc.c_tid_elems} "
+                  f"elems, C_i = {acc.c_iter_bytes()} B/iter "
+                  f"-> REQ_warp = {acc.req_warp}")
+    print("\nCompare with §3.1: tmp (1, 0), A (NY, 1), x (0, 1); A needs 32 "
+          "transactions per warp — the footprint Eq. 8 charges against the "
+          "L1D.")
+
+
+if __name__ == "__main__":
+    main()

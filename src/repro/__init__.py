@@ -1,0 +1,51 @@
+"""repro — reproduction of "Compiler-Assisted GPU Thread Throttling for
+Reduced Cache Contention" (Kim et al., ICPP 2019).
+
+Layers
+------
+* :mod:`repro.frontend` — CUDA-C subset parser / emitter;
+* :mod:`repro.analysis` — CATT static analysis (Eqs. 1-9);
+* :mod:`repro.transform` — warp-level (Fig. 4) and TB-level (Fig. 5)
+  throttling transforms and the :func:`catt_compile` pipeline;
+* :mod:`repro.sim` — the GPU simulator substrate (single-SM, event-driven);
+* :mod:`repro.runtime` — PyCUDA-style host API (`Device`, `DeviceArray`);
+* :mod:`repro.workloads` — the Table-2 benchmark suite, scaled for simulation;
+* :mod:`repro.baselines` — BFTT / Best-SWL / DynCTA-style comparators;
+* :mod:`repro.experiments` — regenerators for every table and figure.
+
+Quickstart::
+
+    from repro import Device, catt_compile, TITAN_V_SIM
+    dev = Device(TITAN_V_SIM)
+    unit = dev.compile(CUDA_SOURCE)
+    comp = catt_compile(unit, {"my_kernel": (grid, block)}, TITAN_V_SIM)
+    result = dev.launch(comp.unit, "my_kernel", grid, block, args=[...])
+"""
+
+from .analysis import KernelAnalysis, analyze_kernel, format_analysis
+from .frontend import emit, parse, parse_kernel
+from .runtime import Device, DeviceArray
+from .sim import TITAN_V, TITAN_V_32K, TITAN_V_SIM, TITAN_V_SIM_32K, GPUSpec
+from .transform import CattCompilation, catt_compile, force_throttle
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KernelAnalysis",
+    "analyze_kernel",
+    "format_analysis",
+    "emit",
+    "parse",
+    "parse_kernel",
+    "Device",
+    "DeviceArray",
+    "TITAN_V",
+    "TITAN_V_32K",
+    "TITAN_V_SIM",
+    "TITAN_V_SIM_32K",
+    "GPUSpec",
+    "CattCompilation",
+    "catt_compile",
+    "force_throttle",
+    "__version__",
+]

@@ -1,0 +1,87 @@
+"""Compile-time coalescing model (Eq. 7).
+
+``REQ_warp`` — the number of cache-line transactions one warp generates for
+one memory instruction:
+
+* ``C_tid == 0``: every lane reads the same address → 1 line;
+* regular stride: the exact number of distinct lines covered by
+  ``lane * C_tid * element_size`` for the 32 lanes (for 4-byte elements this
+  reduces to the paper's ``min(C_tid, 32)``);
+* irregular: conservatively 1 (the paper's §4.2 choice — never throttle more
+  than the evidence supports).
+
+For multidimensional TBs the closed form can be wrong (a warp may span
+``threadIdx.y`` rows), so §4.2 "examines every address accessed by each
+thread in a warp": :func:`requests_per_warp_enumerated` does exactly that.
+"""
+
+from __future__ import annotations
+
+from ..sim.interp import WARP_SIZE
+from .affine import TIDX, TIDY, TIDZ, AffineForm
+
+CACHE_LINE = 128
+
+
+def requests_per_warp(inter_thread_elems: int | None, element_size: int,
+                      cache_line: int = CACHE_LINE,
+                      warp_size: int = WARP_SIZE) -> int:
+    """Eq. 7, generalized to any element size.
+
+    ``inter_thread_elems`` is the element-distance between adjacent lanes
+    (``C_tid``); ``None`` means irregular → conservative 1.
+    """
+    if inter_thread_elems is None:
+        return 1  # §4.2: conservative C_tid = 1 for irregular accesses
+    c = abs(inter_thread_elems)
+    if c == 0:
+        return 1
+    stride = c * element_size
+    lines = {(lane * stride) // cache_line for lane in range(warp_size)}
+    return min(len(lines), warp_size)
+
+
+def requests_per_warp_enumerated(
+    form: AffineForm,
+    element_size: int,
+    block_dim: tuple[int, int, int],
+    cache_line: int = CACHE_LINE,
+    warp_size: int = WARP_SIZE,
+    warp_id: int = 0,
+) -> int | None:
+    """Exact per-warp request count by enumerating lane addresses.
+
+    Evaluates the affine form for each lane of ``warp_id``, with loop
+    iterators and block indexes fixed at zero (they are warp-uniform, so they
+    only shift all addresses together — line-boundary effects from the shift
+    are second-order).  Returns None when the form is irregular.
+    """
+    if form.irregular:
+        return None
+    bx, by, _bz = block_dim
+    lines = set()
+    for lane in range(warp_size):
+        flat = warp_id * warp_size + lane
+        tx = flat % bx
+        ty = (flat // bx) % by
+        tz = flat // (bx * by)
+        index = form.const
+        for sym, coeff in form.coeffs:
+            if sym == TIDX:
+                index += coeff * tx
+            elif sym == TIDY:
+                index += coeff * ty
+            elif sym == TIDZ:
+                index += coeff * tz
+            # iterators / blockIdx / params: warp-uniform → contribute 0
+        lines.add((index * element_size) // cache_line)
+    return min(len(lines), warp_size)
+
+
+def paper_req_warp(c_tid: int | None, warp_size: int = WARP_SIZE) -> int:
+    """The literal Eq. 7 (4-byte elements): ``1 if C_tid==0 else min(C_tid, 32)``."""
+    if c_tid is None:
+        return 1
+    if c_tid == 0:
+        return 1
+    return min(abs(c_tid), warp_size)

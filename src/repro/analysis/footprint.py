@@ -1,0 +1,159 @@
+"""L1D footprint estimation (Eq. 8).
+
+``SIZE_req`` for a loop is the number of cache lines all concurrently
+resident warps request per iteration sweep:
+
+    SIZE_req = Σ_{mem insts} REQ_warp × (#Warps_TB × #TB_SM)    [lines]
+
+The per-reference ``REQ_warp`` comes from :mod:`repro.analysis.coalescing`;
+multidimensional TBs use the enumerated exact count (§4.2's SYR2K note).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .coalescing import requests_per_warp, requests_per_warp_enumerated
+from .locality import AccessLocality
+from .loops import LoopRecord
+
+
+@dataclass(frozen=True)
+class AccessFootprint:
+    locality: AccessLocality
+    req_warp: int             # cache lines requested by one warp (Eq. 7)
+    # Iterations of loops nested strictly between this access and the loop
+    # under analysis ("reuse distance across iterations", §1): an access in a
+    # nested inner loop touches req_warp lines *per inner sweep*.  None means
+    # an unknown inner trip count — the footprint is then unbounded and the
+    # outer loop is left untouched (conservative, like the CORR case).
+    iteration_multiplier: int | None = 1
+
+    @property
+    def array(self) -> str:
+        return self.locality.access.array
+
+    @property
+    def lines_per_warp(self) -> int | None:
+        if self.iteration_multiplier is None:
+            return None
+        return self.req_warp * self.iteration_multiplier
+
+
+@dataclass(frozen=True)
+class LoopFootprint:
+    """Eq. 8 evaluated for one loop under a given occupancy."""
+
+    loop_id: int
+    per_access: tuple[AccessFootprint, ...]
+    warps_per_tb: int
+    tb_sm: int
+    cache_line: int
+
+    @property
+    def unbounded(self) -> bool:
+        """True when some nested trip count is unknown at compile time."""
+        return any(a.lines_per_warp is None for a in self.per_access)
+
+    @property
+    def req_per_warp(self) -> int | None:
+        """Σ REQ_warp × iteration multiplier over references (lines/warp)."""
+        if self.unbounded:
+            return None
+        return sum(a.lines_per_warp for a in self.per_access)
+
+    @property
+    def size_req_lines(self) -> int | None:
+        """Eq. 8 in cache lines (None = unbounded)."""
+        if self.unbounded:
+            return None
+        return self.req_per_warp * self.warps_per_tb * self.tb_sm
+
+    @property
+    def size_req_bytes(self) -> int | None:
+        lines = self.size_req_lines
+        return None if lines is None else lines * self.cache_line
+
+    def throttled_lines(self, n: int, m: int) -> int | None:
+        """Eq. 9: footprint with warps/TB divided by ``n``, TBs reduced by ``m``."""
+        if self.unbounded:
+            return None
+        active_warps = max(self.warps_per_tb // n, 1)
+        active_tbs = max(self.tb_sm - m, 1)
+        return self.req_per_warp * active_warps * active_tbs
+
+    @property
+    def has_irregular(self) -> bool:
+        return any(a.locality.irregular for a in self.per_access)
+
+
+def loop_footprint(
+    loop: LoopRecord,
+    localities: list[AccessLocality],
+    warps_per_tb: int,
+    tb_sm: int,
+    block_dim: tuple[int, int, int],
+    cache_line: int = 128,
+    loops_by_id: dict[int, LoopRecord] | None = None,
+    irregular_req: int = 1,
+) -> LoopFootprint:
+    """Evaluate Eq. 8 for ``loop`` under the given occupancy.
+
+    ``loops_by_id`` (all loops of the kernel, keyed by id) enables the
+    nested-trip-count multiplier; without it every access is assumed to sit
+    directly in ``loop``'s body (the paper's innermost-loop case).
+
+    ``irregular_req`` is the request count charged to data-dependent
+    accesses.  The paper's §4.2 choice is 1 (conservative — never throttle
+    more than the evidence supports); the A2 ablation sets it to 32
+    (assume worst-case divergence) to show why conservatism matters.
+    """
+    multidim = block_dim[1] * block_dim[2] > 1
+    per_access = []
+    for loc in localities:
+        if loc.access.index.irregular:
+            req = irregular_req
+        elif multidim:
+            req = requests_per_warp_enumerated(
+                loc.access.index, loc.element_size, block_dim, cache_line
+            )
+            if req is None:
+                req = irregular_req
+        else:
+            req = requests_per_warp(
+                loc.inter_thread_elems, loc.element_size, cache_line
+            )
+        mult = _nest_multiplier(loc.access.loop_id, loop, loops_by_id)
+        per_access.append(AccessFootprint(loc, req, mult))
+    return LoopFootprint(
+        loop_id=loop.loop_id,
+        per_access=tuple(per_access),
+        warps_per_tb=warps_per_tb,
+        tb_sm=tb_sm,
+        cache_line=cache_line,
+    )
+
+
+def _nest_multiplier(
+    access_loop_id: int,
+    loop: LoopRecord,
+    loops_by_id: dict[int, LoopRecord] | None,
+) -> int | None:
+    """Product of trip counts of loops strictly between ``loop`` and the
+    access's innermost loop; None when any trip count is unknown."""
+    if access_loop_id == loop.loop_id or loops_by_id is None:
+        return 1
+    mult = 1
+    current = access_loop_id
+    while current is not None and current != loop.loop_id:
+        inner = loops_by_id.get(current)
+        if inner is None:
+            return None
+        trips = inner.trip_count()
+        if trips is None:
+            return None
+        mult *= max(trips, 1)
+        current = inner.parent_id
+    if current is None:
+        return None  # access not actually nested under this loop
+    return mult

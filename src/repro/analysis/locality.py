@@ -1,0 +1,96 @@
+"""Locality classification (§3.1 and Eq. 6).
+
+For every memory reference in a loop, derive the paper's two distances:
+
+* **intra-thread distance** — ``C_i``, the element distance between the
+  addresses a single thread touches on consecutive iterations.  Cache
+  locality exists iff the byte distance fits inside a cache line (Eq. 6).
+* **inter-thread distance** — ``C_tid``, the element distance between
+  adjacent lanes of a warp; it governs coalescing (Eq. 7).
+
+``None`` distances mean "unknown at compile time" (irregular index), which
+§4.2 treats conservatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .affine import TIDX
+from .loops import LoopRecord, MemAccess
+
+
+@dataclass(frozen=True)
+class AccessLocality:
+    """Classified locality of one static memory reference."""
+
+    access: MemAccess
+    inter_thread_elems: int | None   # C_tid (elements); None = irregular
+    intra_thread_elems: int | None   # C_i   (elements); None = irregular
+    cache_line: int
+
+    @property
+    def element_size(self) -> int:
+        return self.access.element_size
+
+    @property
+    def inter_thread_bytes(self) -> int | None:
+        c = self.inter_thread_elems
+        return None if c is None else abs(c) * self.element_size
+
+    @property
+    def intra_thread_bytes(self) -> int | None:
+        c = self.intra_thread_elems
+        return None if c is None else abs(c) * self.element_size
+
+    @property
+    def irregular(self) -> bool:
+        return self.inter_thread_elems is None
+
+    @property
+    def has_intra_thread_locality(self) -> bool:
+        """Eq. 6: the fetched line is re-accessed on the next iteration."""
+        d = self.intra_thread_bytes
+        return d is not None and d <= self.cache_line
+
+    @property
+    def has_inter_thread_locality(self) -> bool:
+        """Adjacent lanes land in the same cache line (coalescable)."""
+        d = self.inter_thread_bytes
+        return d is not None and d < self.cache_line
+
+
+def classify_access(access: MemAccess, loop: LoopRecord,
+                    cache_line: int = 128) -> AccessLocality:
+    """Distances of ``access`` relative to ``loop``'s iterator."""
+    form = access.index
+    if form.irregular:
+        inter = intra = None
+    else:
+        inter = form.coeff(TIDX)
+        if loop.iterator is None:
+            intra = None
+        else:
+            intra = form.coeff(loop.iterator)
+    return AccessLocality(access, inter, intra, cache_line)
+
+
+def classify_loop(loop: LoopRecord, cache_line: int = 128) -> list[AccessLocality]:
+    """Classify the loop's de-duplicated references."""
+    return [classify_access(a, loop, cache_line) for a in loop.unique_accesses()]
+
+
+def loop_has_reuse(localities: list[AccessLocality]) -> bool:
+    """§4.2: footprints matter only 'for loops where cache locality presents'.
+
+    A loop qualifies when at least one reference re-touches a fetched line —
+    either across iterations (intra-thread, Eq. 6) or across lanes
+    (inter-thread coalescing locality).  Irregular references qualify too:
+    the paper still throttles BFS/CFD loops, just conservatively.
+    """
+    for loc in localities:
+        if loc.irregular:
+            return True
+        if loc.has_intra_thread_locality or loc.has_inter_thread_locality:
+            return True
+    return False

@@ -1,0 +1,477 @@
+"""Loop discovery and memory-access collection.
+
+Walks a kernel body with a :class:`~repro.analysis.affine.SymbolicEnv`,
+recording every loop and the off-chip memory references executed inside it.
+This is the front half of §4.2: the back half (coalescing, footprints,
+throttling factors) consumes the :class:`LoopRecord` list produced here.
+
+Only *global-pointer* dereferences count as off-chip accesses; ``__shared__``
+and per-thread local arrays stay on chip.  References are de-duplicated per
+loop by (array, index form, width) — the paper counts the three references in
+``tmp[i] += A[i*NX+j] * B[j]`` as three memory instructions, with the
+read-modify-write of ``tmp[i]`` counted once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Cast,
+    DeclStmt,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FunctionDef,
+    Ident,
+    IfStmt,
+    IntLit,
+    PostIncDec,
+    ReturnStmt,
+    Stmt,
+    SyncthreadsStmt,
+    UnaryOp,
+    WhileStmt,
+    walk_expr,
+)
+from .affine import AffineForm, SymbolicEnv, analyze_expr
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """One static off-chip memory reference inside a loop."""
+
+    array: str                # root pointer name
+    index: AffineForm         # element index form at the reference point
+    element_size: int         # bytes per element
+    is_read: bool
+    is_write: bool
+    loop_id: int              # innermost enclosing loop
+
+    def key(self) -> tuple:
+        return (self.array, self.index.coeffs, self.index.const,
+                self.index.irregular, self.element_size)
+
+
+@dataclass
+class LoopRecord:
+    """One loop of the kernel, with its iterator and enclosed accesses."""
+
+    loop_id: int
+    depth: int                       # 0 = outermost
+    parent_id: int | None
+    iterator: str | None             # None when the iterator is unrecognized
+    step: int | None                 # elements per iteration; None if unknown
+    start: AffineForm | None
+    bound: AffineForm | None
+    stmt: Stmt = field(repr=False, default=None)
+    accesses: list[MemAccess] = field(default_factory=list)
+    contains_sync: bool = False
+
+    def unique_accesses(self) -> list[MemAccess]:
+        seen: dict[tuple, MemAccess] = {}
+        for acc in self.accesses:
+            k = acc.key()
+            if k in seen:
+                prev = seen[k]
+                seen[k] = MemAccess(
+                    prev.array, prev.index, prev.element_size,
+                    prev.is_read or acc.is_read, prev.is_write or acc.is_write,
+                    prev.loop_id,
+                )
+            else:
+                seen[k] = acc
+        return list(seen.values())
+
+    def trip_count(self) -> int | None:
+        """Constant trip-count estimate when start/bound/step all fold."""
+        if (self.start is None or self.bound is None or self.step in (None, 0)
+                or not self.start.is_constant or not self.bound.is_constant):
+            return None
+        span = self.bound.const - self.start.const
+        trips = -(-span // self.step) if self.step > 0 else -(-(-span) // -self.step)
+        return max(trips, 0)
+
+
+@dataclass
+class KernelLoops:
+    """All loops of one kernel plus name classification."""
+
+    kernel: FunctionDef
+    loops: list[LoopRecord]
+    global_pointers: dict[str, int]   # name -> element size
+    shared_arrays: set[str]
+    local_arrays: set[str]
+
+    def top_level(self) -> list[LoopRecord]:
+        return [l for l in self.loops if l.depth == 0]
+
+    def loop(self, loop_id: int) -> LoopRecord:
+        for l in self.loops:
+            if l.loop_id == loop_id:
+                return l
+        raise KeyError(f"no loop {loop_id}")
+
+
+# ---------------------------------------------------------------------------
+
+
+class _Walker:
+    def __init__(self, kernel: FunctionDef, env: SymbolicEnv):
+        self.kernel = kernel
+        self.env = env
+        self.loops: list[LoopRecord] = []
+        self.stack: list[LoopRecord] = []
+        self.global_pointers: dict[str, int] = {
+            p.name: p.type.element_size
+            for p in kernel.params if p.type.is_pointer
+        }
+        self.shared_arrays: set[str] = set()
+        self.local_arrays: set[str] = set()
+
+    # -- statements ------------------------------------------------------
+    def walk_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            for s in stmt.statements:
+                self.walk_stmt(s)
+        elif isinstance(stmt, DeclStmt):
+            self._walk_decl(stmt)
+        elif isinstance(stmt, ExprStmt):
+            self._collect(stmt.expr, store_target=None)
+            self._apply_assignment(stmt.expr)
+        elif isinstance(stmt, IfStmt):
+            self._collect(stmt.cond, store_target=None)
+            assigned = _assigned_names(stmt.then)
+            if stmt.otherwise is not None:
+                assigned |= _assigned_names(stmt.otherwise)
+            self.walk_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                self.walk_stmt(stmt.otherwise)
+            for name in assigned:
+                self.env.poison(name)
+        elif isinstance(stmt, (ForStmt, WhileStmt, DoWhileStmt)):
+            self._walk_loop(stmt)
+        elif isinstance(stmt, SyncthreadsStmt):
+            for rec in self.stack:
+                rec.contains_sync = True
+        elif isinstance(stmt, ReturnStmt):
+            if stmt.value is not None:
+                self._collect(stmt.value, store_target=None)
+        # Break/Continue/Empty: nothing to track.
+
+    def _walk_decl(self, stmt: DeclStmt) -> None:
+        for d in stmt.declarators:
+            if stmt.is_shared:
+                self.shared_arrays.add(d.name)
+                continue
+            if d.array_sizes:
+                self.local_arrays.add(d.name)
+                continue
+            if stmt.type.is_pointer:
+                # Pointer locals: treat as an alias of the root array when
+                # initialized from one; otherwise unknown.
+                if d.init is not None:
+                    self._collect(d.init, store_target=None)
+                    root = _root_pointer(d.init)
+                    if root is not None and root in self.global_pointers:
+                        self.global_pointers[d.name] = self.global_pointers[root]
+                self.env.poison(d.name)
+                continue
+            if d.init is not None:
+                self._collect(d.init, store_target=None)
+                self.env.bind(d.name, analyze_expr(d.init, self.env))
+            else:
+                self.env.poison(d.name)
+
+    def _apply_assignment(self, expr: Expr) -> None:
+        """Update the symbolic env for scalar assignments."""
+        if isinstance(expr, Assign) and isinstance(expr.target, Ident):
+            name = expr.target.name
+            if expr.op == "=":
+                self.env.bind(name, analyze_expr(expr.value, self.env))
+            else:
+                old = self.env.lookup(name)
+                delta = analyze_expr(expr.value, self.env)
+                op = expr.op[:-1]
+                if op == "+":
+                    self.env.bind(name, old + delta)
+                elif op == "-":
+                    self.env.bind(name, old - delta)
+                elif op == "*":
+                    self.env.bind(name, old * delta)
+                else:
+                    self.env.poison(name)
+        elif isinstance(expr, PostIncDec) and isinstance(expr.operand, Ident):
+            name = expr.operand.name
+            one = AffineForm.constant(1 if expr.op == "++" else -1)
+            self.env.bind(name, self.env.lookup(name) + one)
+        elif isinstance(expr, UnaryOp) and expr.op in ("++", "--") and \
+                isinstance(expr.operand, Ident):
+            name = expr.operand.name
+            one = AffineForm.constant(1 if expr.op == "++" else -1)
+            self.env.bind(name, self.env.lookup(name) + one)
+
+    # -- loops --------------------------------------------------------------
+    def _walk_loop(self, stmt: ForStmt | WhileStmt | DoWhileStmt) -> None:
+        iterator = None
+        step = None
+        start = None
+        bound = None
+        body = stmt.body
+        if isinstance(stmt, ForStmt):
+            if stmt.init is not None:
+                self.walk_stmt(stmt.init)
+            iterator, step, start, bound = self._for_header(stmt)
+
+        loop_id = len(self.loops)
+        rec = LoopRecord(
+            loop_id=loop_id,
+            depth=len(self.stack),
+            parent_id=self.stack[-1].loop_id if self.stack else None,
+            iterator=iterator,
+            step=step,
+            start=start,
+            bound=bound,
+            stmt=stmt,
+        )
+        self.loops.append(rec)
+
+        assigned = _assigned_names(body)
+        inductions = _induction_steps(body) if iterator is not None else {}
+        saved = {}
+        if iterator is not None:
+            saved[iterator] = self.env.bindings.get(iterator)
+            base = start if start is not None else AffineForm.unknown()
+            self.env.bind(
+                iterator,
+                base + AffineForm.symbol(iterator, 1) * AffineForm.constant(step or 1)
+                if step is not None else AffineForm.symbol(iterator),
+            )
+        # Secondary induction variables: x += c once per iteration means
+        # x = x0 + iter * c inside the body.
+        for name, inc in inductions.items():
+            if name == iterator or name not in assigned:
+                continue
+            saved.setdefault(name, self.env.bindings.get(name))
+            base = self.env.lookup(name)
+            self.env.bind(
+                name, base + AffineForm.symbol(iterator or "?iter") * inc
+            )
+        # Everything else assigned in the body is loop-variant: poison.
+        for name in assigned:
+            if name == iterator or name in inductions:
+                continue
+            saved.setdefault(name, self.env.bindings.get(name))
+            self.env.poison(name)
+
+        self.stack.append(rec)
+        # Loop conditions and steps re-execute every iteration: their memory
+        # accesses belong to the loop (e.g. BFS's `e < starts[tid+1]`).
+        if stmt.cond is not None:
+            self._collect(stmt.cond, store_target=None)
+        self.walk_stmt(body)
+        if isinstance(stmt, ForStmt) and stmt.step is not None:
+            self._collect(stmt.step, store_target=None)
+        self.stack.pop()
+
+        # After the loop every assigned variable has an unknown final value.
+        for name in set(saved) | assigned:
+            self.env.poison(name)
+
+    def _for_header(self, stmt: ForStmt):
+        iterator = None
+        start = None
+        if isinstance(stmt.init, DeclStmt) and len(stmt.init.declarators) == 1:
+            d = stmt.init.declarators[0]
+            if not d.array_sizes:
+                iterator = d.name
+                if d.init is not None:
+                    start = analyze_expr(d.init, self.env)
+        elif isinstance(stmt.init, ExprStmt) and isinstance(stmt.init.expr, Assign):
+            a = stmt.init.expr
+            if a.op == "=" and isinstance(a.target, Ident):
+                iterator = a.target.name
+                start = analyze_expr(a.value, self.env)
+        step = _step_of(stmt.step, iterator) if iterator else None
+        bound = None
+        if iterator and isinstance(stmt.cond, BinOp) and \
+                stmt.cond.op in ("<", "<=", ">", ">=", "!="):
+            if isinstance(stmt.cond.left, Ident) and stmt.cond.left.name == iterator:
+                bound = analyze_expr(stmt.cond.right, self.env)
+            elif isinstance(stmt.cond.right, Ident) and stmt.cond.right.name == iterator:
+                bound = analyze_expr(stmt.cond.left, self.env)
+            if bound is not None and stmt.cond.op == "<=":
+                bound = bound + AffineForm.constant(1)
+        return iterator, step, start, bound
+
+    # -- expression scanning -------------------------------------------------
+    def _collect(self, expr: Expr, store_target: Expr | None = None) -> None:
+        """Record every off-chip array reference in ``expr``."""
+        store_targets: dict[int, bool] = {}
+        for node in walk_expr(expr):
+            if isinstance(node, Assign) and isinstance(node.target, ArrayRef):
+                store_targets[id(node.target)] = node.op != "="  # compound = RMW
+        for node in walk_expr(expr):
+            if isinstance(node, ArrayRef):
+                if id(node) in store_targets:
+                    self._record(node, is_read=store_targets[id(node)],
+                                 is_write=True)
+                else:
+                    self._record(node, is_read=True, is_write=False)
+
+    def _record(self, ref: ArrayRef, is_read: bool, is_write: bool) -> None:
+        root, index_expr = _flatten_ref(ref)
+        if root is None or root not in self.global_pointers:
+            return
+        if not self.stack:
+            return  # paper: only loop bodies are optimization targets
+        form = analyze_expr(index_expr, self.env) if index_expr is not None \
+            else AffineForm.unknown()
+        access = MemAccess(
+            array=root,
+            index=form,
+            element_size=self.global_pointers[root],
+            is_read=is_read,
+            is_write=is_write,
+            loop_id=self.stack[-1].loop_id,
+        )
+        for rec in self.stack:
+            rec.accesses.append(access)
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _flatten_ref(ref: ArrayRef) -> tuple[str | None, Expr | None]:
+    """Root pointer name and (single-level) index expression of a reference."""
+    if isinstance(ref.base, Ident):
+        return ref.base.name, ref.index
+    if isinstance(ref.base, BinOp) or isinstance(ref.base, Cast):
+        root = _root_pointer(ref.base)
+        return root, ref.index  # pointer-arithmetic base: keep index only
+    if isinstance(ref.base, ArrayRef):
+        # multi-level subscripts (shared arrays) — root only, no flat index
+        root, _ = _flatten_ref(ref.base)
+        return root, None
+    return None, None
+
+
+def _root_pointer(expr: Expr) -> str | None:
+    for node in walk_expr(expr):
+        if isinstance(node, Ident):
+            return node.name
+    return None
+
+
+def _step_of(step_expr: Expr | None, iterator: str) -> int | None:
+    if step_expr is None:
+        return None
+    if isinstance(step_expr, PostIncDec):
+        if isinstance(step_expr.operand, Ident) and step_expr.operand.name == iterator:
+            return 1 if step_expr.op == "++" else -1
+    if isinstance(step_expr, UnaryOp) and step_expr.op in ("++", "--"):
+        if isinstance(step_expr.operand, Ident) and step_expr.operand.name == iterator:
+            return 1 if step_expr.op == "++" else -1
+    if isinstance(step_expr, Assign) and isinstance(step_expr.target, Ident) \
+            and step_expr.target.name == iterator:
+        if step_expr.op in ("+=", "-=") and isinstance(step_expr.value, IntLit):
+            sign = 1 if step_expr.op == "+=" else -1
+            return sign * step_expr.value.value
+        if step_expr.op == "=" and isinstance(step_expr.value, BinOp):
+            b = step_expr.value
+            if b.op in ("+", "-") and isinstance(b.left, Ident) and \
+                    b.left.name == iterator and isinstance(b.right, IntLit):
+                return b.right.value if b.op == "+" else -b.right.value
+    return None
+
+
+def _assigned_names(stmt: Stmt) -> set[str]:
+    """Scalar names assigned anywhere inside ``stmt``."""
+    from ..frontend.ast_nodes import expressions_in, statements_in
+
+    names: set[str] = set()
+    for s in statements_in(stmt):
+        if isinstance(s, DeclStmt):
+            for d in s.declarators:
+                names.add(d.name)
+    for e in _exprs_in(stmt):
+        if isinstance(e, Assign) and isinstance(e.target, Ident):
+            names.add(e.target.name)
+        elif isinstance(e, PostIncDec) and isinstance(e.operand, Ident):
+            names.add(e.operand.name)
+        elif isinstance(e, UnaryOp) and e.op in ("++", "--") and \
+                isinstance(e.operand, Ident):
+            names.add(e.operand.name)
+    return names
+
+
+def _exprs_in(stmt: Stmt):
+    from ..frontend.ast_nodes import expressions_in
+
+    yield from expressions_in(stmt)
+
+
+def _induction_steps(body: Stmt) -> dict[str, AffineForm]:
+    """Names updated exactly once per iteration by a constant step.
+
+    Recognizes ``x += c``, ``x -= c``, ``x++``, ``x--`` at any nesting depth,
+    requiring exactly one update and no other assignment; the constant may be
+    any loop-invariant affine form.
+    """
+    updates: dict[str, list[AffineForm | None]] = {}
+    for e in _exprs_in(body):
+        if isinstance(e, Assign) and isinstance(e.target, Ident):
+            name = e.target.name
+            entry = updates.setdefault(name, [])
+            if e.op == "+=":
+                entry.append(_const_form(e.value))
+            elif e.op == "-=":
+                f = _const_form(e.value)
+                entry.append(-f if f is not None else None)
+            else:
+                entry.append(None)
+        elif isinstance(e, PostIncDec) and isinstance(e.operand, Ident):
+            entry = updates.setdefault(e.operand.name, [])
+            entry.append(AffineForm.constant(1 if e.op == "++" else -1))
+        elif isinstance(e, UnaryOp) and e.op in ("++", "--") and \
+                isinstance(e.operand, Ident):
+            entry = updates.setdefault(e.operand.name, [])
+            entry.append(AffineForm.constant(1 if e.op == "++" else -1))
+    out: dict[str, AffineForm] = {}
+    for name, entries in updates.items():
+        if len(entries) == 1 and entries[0] is not None:
+            out[name] = entries[0]
+    return out
+
+
+def _const_form(expr: Expr) -> AffineForm | None:
+    if isinstance(expr, IntLit):
+        return AffineForm.constant(expr.value)
+    if isinstance(expr, UnaryOp) and expr.op == "-" and isinstance(expr.operand, IntLit):
+        return AffineForm.constant(-expr.operand.value)
+    return None
+
+
+def find_loops(
+    kernel: FunctionDef,
+    block_dim: tuple[int, int, int] | None = None,
+    grid_dim: tuple[int, int, int] | None = None,
+) -> KernelLoops:
+    """Walk ``kernel`` and return its loops with collected accesses."""
+    env = SymbolicEnv(block_dim=block_dim, grid_dim=grid_dim)
+    walker = _Walker(kernel, env)
+    walker.walk_stmt(kernel.body)
+    return KernelLoops(
+        kernel=kernel,
+        loops=walker.loops,
+        global_pointers=walker.global_pointers,
+        shared_arrays=walker.shared_arrays,
+        local_arrays=walker.local_arrays,
+    )

@@ -1,0 +1,162 @@
+"""Occupancy model — Equations 1–4 of the paper.
+
+Computes the number of thread blocks concurrently resident on an SM from the
+three limiting factors (shared memory, register file, hardware warp slots),
+and chooses the shared-memory carveout that maximizes the L1D (Eq. 4 and
+§4.1).  The simulator uses the same functions, so the compile-time model and
+the simulated hardware agree by construction — as they do on a real GPU,
+where both derive from the CUDA occupancy rules.
+
+The paper reads register usage from ``nvcc -v``; our substrate estimates it
+from the AST (see :func:`estimate_registers`), documented as a substitution
+in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..frontend.ast_nodes import (
+    ArrayRef,
+    Call,
+    DeclStmt,
+    FunctionDef,
+    expressions_in,
+    statements_in,
+)
+from ..sim.arch import KB, GPUSpec
+
+
+def shared_usage_bytes(kernel: FunctionDef) -> int:
+    """Static ``__shared__`` declarations of one TB, in bytes (8-B aligned)."""
+    total = 0
+    for stmt in statements_in(kernel.body):
+        if isinstance(stmt, DeclStmt) and stmt.is_shared:
+            elem = stmt.type.element_size
+            for d in stmt.declarators:
+                if d.dynamic:
+                    continue  # launch-sized: accounted via extra_shared_bytes
+                count = 1
+                for n in d.array_sizes:
+                    count *= n
+                total = _align(total, 8) + count * elem
+    return total
+
+
+def estimate_registers(kernel: FunctionDef) -> int:
+    """Per-thread register estimate (substitute for ``nvcc -v``).
+
+    Counts parameters (pointers take 2 32-bit registers), local scalar
+    declarations, and a temporary-pressure term proportional to the number of
+    distinct array references (each needs an address register pair), plus the
+    fixed overhead nvcc always allocates.  This is a monotone proxy — exact
+    counts only shift Eq. 2's divide.
+    """
+    regs = 10  # fixed overhead (SP, kernel params base, etc.)
+    for p in kernel.params:
+        regs += 2 if p.type.is_pointer else 1
+    array_refs = 0
+    for stmt in statements_in(kernel.body):
+        if isinstance(stmt, DeclStmt) and not stmt.is_shared:
+            elem_regs = 2 if stmt.type.base in ("double", "long") or stmt.type.is_pointer else 1
+            for d in stmt.declarators:
+                if d.array_sizes:
+                    count = 1
+                    for n in d.array_sizes:
+                        count *= n
+                    # Small local arrays are register-promoted by nvcc.
+                    regs += min(count, 16) * elem_regs
+                else:
+                    regs += elem_regs
+    for expr in expressions_in(kernel.body):
+        if isinstance(expr, ArrayRef):
+            array_refs += 1
+        elif isinstance(expr, Call):
+            regs += 1
+    regs += 2 * min(array_refs, 8)
+    return min(regs, 255)
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Resolved per-launch occupancy, one row of the paper's Eq. 1–4."""
+
+    tb_shm: int          # Eq. 1 (HW cap if no shared memory is used)
+    tb_reg: int          # Eq. 2
+    tb_hw: int           # warp-slot / TB-slot hardware limit
+    tb_sm: int           # Eq. 3: min of the above
+    warps_per_tb: int
+    shared_usage_tb: int     # bytes
+    shared_carveout_kb: int  # Eq. 4 / §4.1 choice
+    l1d_bytes: int
+    registers_per_thread: int
+
+    @property
+    def warps_per_sm(self) -> int:
+        return self.tb_sm * self.warps_per_tb
+
+
+def compute_occupancy(
+    spec: GPUSpec,
+    threads_per_tb: int,
+    shared_bytes_tb: int,
+    registers_per_thread: int,
+    extra_shared_bytes_tb: int = 0,
+) -> OccupancyResult:
+    """Resolve Eqs. 1–4 for one kernel launch.
+
+    ``extra_shared_bytes_tb`` accounts for dynamic shared memory requested at
+    launch (the third ``<<<>>>`` parameter).
+    """
+    if threads_per_tb <= 0 or threads_per_tb > spec.max_threads_per_tb:
+        raise ValueError(f"invalid threads per TB: {threads_per_tb}")
+    warps_per_tb = -(-threads_per_tb // spec.warp_size)
+    shared_tb = shared_bytes_tb + extra_shared_bytes_tb
+
+    # Eq. 2 — register file constraint (allocation granularity: whole warps).
+    regs_tb = registers_per_thread * warps_per_tb * spec.warp_size
+    tb_reg = spec.registers_per_sm // max(regs_tb, 1)
+
+    # Hardware constraint: warp slots and TB slots.
+    tb_hw = min(spec.max_warps_per_sm // warps_per_tb, spec.max_tbs_per_sm)
+
+    # Eq. 1 — shared memory constraint at the *largest* carveout.
+    max_carveout = spec.shared_carveouts_kb[-1] * KB
+    tb_shm = (max_carveout // shared_tb) if shared_tb > 0 else tb_hw
+
+    tb_sm = max(min(tb_shm, tb_reg, tb_hw), 1)
+
+    # Eq. 4 — smallest carveout covering the resident TBs' shared memory.
+    required = shared_tb * tb_sm
+    carveout_kb = spec.min_carveout_for(required)
+    return OccupancyResult(
+        tb_shm=tb_shm,
+        tb_reg=tb_reg,
+        tb_hw=tb_hw,
+        tb_sm=tb_sm,
+        warps_per_tb=warps_per_tb,
+        shared_usage_tb=shared_tb,
+        shared_carveout_kb=carveout_kb,
+        l1d_bytes=spec.l1d_bytes_for_carveout(carveout_kb),
+        registers_per_thread=registers_per_thread,
+    )
+
+
+def occupancy_for_kernel(
+    spec: GPUSpec,
+    kernel: FunctionDef,
+    threads_per_tb: int,
+    extra_shared_bytes_tb: int = 0,
+) -> OccupancyResult:
+    """Occupancy straight from a kernel AST (shared usage + register estimate)."""
+    return compute_occupancy(
+        spec,
+        threads_per_tb,
+        shared_usage_bytes(kernel),
+        estimate_registers(kernel),
+        extra_shared_bytes_tb,
+    )
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)

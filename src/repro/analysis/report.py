@@ -1,0 +1,42 @@
+"""Human-readable rendering of a :class:`KernelAnalysis` (debugging aid and
+the ``catt analyze`` CLI output)."""
+
+from __future__ import annotations
+
+from .kernel_info import KernelAnalysis
+
+
+def format_analysis(analysis: KernelAnalysis) -> str:
+    occ = analysis.occupancy
+    lines = [
+        f"kernel {analysis.kernel.name}  block={analysis.block_dim}",
+        f"  occupancy: {occ.warps_per_tb} warps/TB x {occ.tb_sm} TBs/SM "
+        f"(shm={occ.tb_shm}, reg={occ.tb_reg}, hw={occ.tb_hw})",
+        f"  carveout: {occ.shared_carveout_kb} KB shared, "
+        f"L1D {occ.l1d_bytes // 1024} KB, "
+        f"regs/thread ~{occ.registers_per_thread}",
+    ]
+    for la in analysis.loops:
+        rec, dec, fp = la.record, la.decision, la.footprint
+        lines.append(
+            f"  loop #{rec.loop_id} depth={rec.depth} iter={rec.iterator!r} "
+            f"step={rec.step} reuse={la.has_reuse}"
+        )
+        for af in fp.per_access:
+            loc = af.locality
+            rw = ("R" if loc.access.is_read else "") + ("W" if loc.access.is_write else "")
+            c_tid = "irregular" if loc.inter_thread_elems is None else loc.inter_thread_elems
+            c_i = "irregular" if loc.intra_thread_elems is None else loc.intra_thread_elems
+            lines.append(
+                f"    {loc.access.array}[{rw}] C_tid={c_tid} C_i={c_i} "
+                f"REQ_warp={af.req_warp}"
+            )
+        status = "fits" if not dec.needed else (
+            f"throttle N={dec.n} M={dec.m} -> TLP{dec.tlp}" if dec.fits
+            else "unresolvable (left untouched)"
+        )
+        lines.append(
+            f"    SIZE_req={fp.size_req_lines} lines vs L1D={dec.l1d_lines} "
+            f"lines: {status}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Comparison schemes: BFTT (the paper's §5 baseline), Best-SWL, DynCTA."""
+
+from .bftt import BfttResult, apply_fixed_throttle, bftt_search, candidate_factors
+from .bypass import run_with_bypass
+from .dyncta import DynCtaGovernor, run_with_dyncta
+from .swl import best_swl_search
+
+__all__ = [
+    "BfttResult",
+    "apply_fixed_throttle",
+    "bftt_search",
+    "candidate_factors",
+    "run_with_bypass",
+    "DynCtaGovernor",
+    "run_with_dyncta",
+    "best_swl_search",
+]

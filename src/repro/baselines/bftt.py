@@ -1,0 +1,116 @@
+"""BFTT — best-fixed thread throttling (the paper's §5 baseline).
+
+"BFTT attempts to find the best performing case of all possible combinations
+of concurrent warp counts per TB and TB counts per SM.  To throttle threads,
+BFTT uses warp-level throttling and TB-level throttling methods."
+
+One fixed ``(N, M)`` is applied to *every* kernel of the application (that is
+exactly why CATT's per-loop decisions beat it on multi-phase apps), realized
+with the same Fig. 4 / Fig. 5 transformations via
+:func:`repro.transform.force_throttle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.kernel_info import analyze_kernel
+from ..analysis.throttle import candidate_ns
+from ..frontend import TranslationUnit
+from ..sim.arch import GPUSpec
+from ..transform import force_throttle
+from ..workloads.base import Workload, WorkloadRun, run_workload
+
+
+@dataclass
+class BfttResult:
+    """Outcome of the exhaustive fixed-TLP search for one application."""
+
+    workload: str
+    best_factors: tuple[int, int]        # (N, M)
+    best_run: WorkloadRun
+    runs: dict[tuple[int, int], WorkloadRun]
+
+    @property
+    def best_cycles(self) -> int:
+        return self.best_run.total_cycles
+
+    def tlp_for(self, kernel_name: str, baseline_tlp: tuple[int, int]) -> tuple[int, int]:
+        """Table-3 style TLP realized on ``kernel_name`` by the best factors."""
+        warps, tbs = baseline_tlp
+        n, m = self.best_factors
+        return (max(warps // n, 1), max(tbs - m, 1))
+
+
+def candidate_factors(
+    workload: Workload,
+    spec: GPUSpec,
+    max_tb_reductions: int | None = None,
+) -> list[tuple[int, int]]:
+    """The fixed-TLP search space valid for every kernel of the app.
+
+    Warp factors are the common divisors-of-2 of all kernels' warp counts;
+    TB reductions go from 0 to (min resident TBs − 1), optionally capped.
+    """
+    unit = workload.unit()
+    ns: set[int] | None = None
+    min_tbs = None
+    for kernel, (grid, block) in workload.launch_configs().items():
+        analysis = analyze_kernel(unit, kernel, block, spec, grid=grid)
+        k_ns = set(candidate_ns(analysis.occupancy.warps_per_tb))
+        ns = k_ns if ns is None else (ns & k_ns)
+        tbs = analysis.occupancy.tb_sm
+        min_tbs = tbs if min_tbs is None else min(min_tbs, tbs)
+    ns = sorted(ns or {1})
+    max_m = (min_tbs or 1) - 1
+    if max_tb_reductions is not None:
+        max_m = min(max_m, max_tb_reductions)
+    factors = [(n, 0) for n in ns]
+    factors += [(max(ns), m) for m in range(1, max_m + 1)]
+    return factors
+
+
+def apply_fixed_throttle(
+    workload: Workload,
+    spec: GPUSpec,
+    n: int,
+    m: int,
+) -> TranslationUnit:
+    """Force (N, M) on every kernel of the app (skipping impossible combos)."""
+    unit = workload.unit()
+    for kernel, (grid, block) in workload.launch_configs().items():
+        unit = force_throttle(unit, kernel, block, spec, n, m, grid=grid)
+    return unit
+
+
+def bftt_search(
+    workload_factory,
+    spec: GPUSpec,
+    factors: list[tuple[int, int]] | None = None,
+    max_tb_reductions: int | None = 2,
+    verify: bool = False,
+) -> BfttResult:
+    """Exhaustively simulate fixed TLPs and keep the fastest.
+
+    ``workload_factory`` is a zero-arg callable returning a *fresh* workload
+    (runs mutate device state).  ``max_tb_reductions`` caps the M search to
+    keep the sweep tractable; pass None for the paper's full search.
+    """
+    probe = workload_factory()
+    if factors is None:
+        factors = candidate_factors(probe, spec, max_tb_reductions)
+    runs: dict[tuple[int, int], WorkloadRun] = {}
+    best: tuple[int, int] | None = None
+    for n, m in factors:
+        wl = workload_factory()
+        try:
+            unit = apply_fixed_throttle(wl, spec, n, m)
+        except ValueError:
+            continue  # combo not expressible for some kernel
+        run = run_workload(wl, spec, unit=unit, verify=verify)
+        runs[(n, m)] = run
+        if best is None or run.total_cycles < runs[best].total_cycles:
+            best = (n, m)
+    if best is None:
+        raise RuntimeError(f"no valid BFTT configuration for {probe.name}")
+    return BfttResult(probe.name, best, runs[best], runs)

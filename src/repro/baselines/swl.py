@@ -1,0 +1,19 @@
+"""Best-SWL — static warp limiting (Rogers et al., discussed in §2.2).
+
+Like BFTT but restricted to warp-level limiting only (``M = 0``): "Best-SWL
+... provides a fixed number of concurrent warps throughout the execution of
+an application".  Included as an additional comparison point / ablation.
+"""
+
+from __future__ import annotations
+
+from ..sim.arch import GPUSpec
+from .bftt import BfttResult, bftt_search, candidate_factors
+
+
+def best_swl_search(workload_factory, spec: GPUSpec,
+                    verify: bool = False) -> BfttResult:
+    """Exhaustive fixed warp-limit search (no TB-level throttling)."""
+    probe = workload_factory()
+    factors = [(n, m) for n, m in candidate_factors(probe, spec) if m == 0]
+    return bftt_search(workload_factory, spec, factors=factors, verify=verify)

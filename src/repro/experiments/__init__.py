@@ -1,0 +1,18 @@
+"""Experiment regenerators — one module per table/figure of the paper.
+
+See DESIGN.md §4 for the per-experiment index.  All of them go through
+:func:`repro.experiments.common.run_app`, which caches simulation results in
+``.bench_cache/results.json`` so figures share sweeps.
+"""
+
+from .common import SCHEMES, SPECS, AppResult, ResultCache, default_cache, geomean, run_app
+
+__all__ = [
+    "SCHEMES",
+    "SPECS",
+    "AppResult",
+    "ResultCache",
+    "default_cache",
+    "geomean",
+    "run_app",
+]

@@ -1,0 +1,258 @@
+"""Shared experiment machinery: schemes, result records, and a run cache.
+
+Every figure/table regenerator goes through :func:`run_app`, which memoizes
+simulation results both in-process and (optionally) in a JSON file, so e.g.
+Fig. 7, Fig. 9 and Table 3 share one BFTT sweep instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..baselines.bftt import bftt_search
+from ..baselines.dyncta import run_with_dyncta
+from ..sim.arch import TITAN_V_SIM, TITAN_V_SIM_32K, GPUSpec
+from ..transform import catt_compile
+from ..workloads import get_workload
+from ..workloads.base import WorkloadRun, run_workload
+
+SPECS: dict[str, GPUSpec] = {
+    "max": TITAN_V_SIM,       # maximum L1D (Eq.-4 carveout, up to 128 KB)
+    "32k": TITAN_V_SIM_32K,   # the §5.1.3 32 KB L1D configuration
+}
+
+SCHEMES = ("baseline", "catt", "bftt", "dyncta")
+
+
+@dataclass
+class KernelStats:
+    cycles: int
+    l1_hit_rate: float
+    tlp: tuple[int, int] | None = None   # (#warps_TB, #TBs) realized
+
+
+@dataclass
+class AppResult:
+    """One (app, scheme, spec) simulation outcome."""
+
+    app: str
+    scheme: str
+    spec: str
+    scale: str
+    total_cycles: int
+    kernels: dict[str, KernelStats]
+    # CATT extras
+    loop_tlps: dict[str, list[tuple[int, tuple[int, int]]]] = field(
+        default_factory=dict)   # kernel -> [(loop_id, tlp)]
+    # BFTT extras
+    factors: tuple[int, int] | None = None
+    sweep: dict[str, dict] | None = None   # "n,m" -> {total, kernels:{k:cycles}}
+    # Fig.-2 trace (baseline scheme only)
+    mem_trace: list[tuple[int, int]] | None = None
+
+    def speedup_vs(self, other: "AppResult") -> float:
+        return other.total_cycles / self.total_cycles if self.total_cycles else 0.0
+
+
+def geomean(values: list[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+class ResultCache:
+    """In-process + JSON-file memo of :class:`AppResult` records."""
+
+    VERSION = 4  # bump to invalidate stale caches after model changes
+
+    def __init__(self, path: str | Path | None = None):
+        if path is None:
+            path = os.environ.get(
+                "REPRO_CACHE", str(Path.cwd() / ".bench_cache" / "results.json")
+            )
+        self.path = Path(path) if path else None
+        self._mem: dict[str, AppResult] = {}
+        self._disk: dict[str, dict] = {}
+        if self.path and self.path.exists():
+            try:
+                payload = json.loads(self.path.read_text())
+                if payload.get("version") == self.VERSION:
+                    self._disk = payload.get("results", {})
+            except (json.JSONDecodeError, OSError):
+                pass
+
+    @staticmethod
+    def key(app: str, scheme: str, spec: str, scale: str) -> str:
+        return f"{app}|{scheme}|{spec}|{scale}"
+
+    def get(self, key: str) -> AppResult | None:
+        if key in self._mem:
+            return self._mem[key]
+        raw = self._disk.get(key)
+        if raw is None:
+            return None
+        result = _from_json(raw)
+        self._mem[key] = result
+        return result
+
+    def put(self, key: str, result: AppResult) -> None:
+        self._mem[key] = result
+        self._disk[key] = _to_json(result)
+        if self.path:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(json.dumps(
+                {"version": self.VERSION, "results": self._disk}, indent=0
+            ))
+
+
+def _to_json(result: AppResult) -> dict:
+    d = asdict(result)
+    d["kernels"] = {k: asdict(v) for k, v in result.kernels.items()}
+    return d
+
+
+def _from_json(raw: dict) -> AppResult:
+    kernels = {
+        k: KernelStats(v["cycles"], v["l1_hit_rate"],
+                       tuple(v["tlp"]) if v.get("tlp") else None)
+        for k, v in raw["kernels"].items()
+    }
+    loop_tlps = {
+        k: [(lid, tuple(tlp)) for lid, tlp in v]
+        for k, v in raw.get("loop_tlps", {}).items()
+    }
+    return AppResult(
+        app=raw["app"], scheme=raw["scheme"], spec=raw["spec"],
+        scale=raw["scale"], total_cycles=raw["total_cycles"], kernels=kernels,
+        loop_tlps=loop_tlps,
+        factors=tuple(raw["factors"]) if raw.get("factors") else None,
+        sweep=raw.get("sweep"),
+        mem_trace=[tuple(p) for p in raw["mem_trace"]] if raw.get("mem_trace") else None,
+    )
+
+
+_DEFAULT_CACHE: ResultCache | None = None
+
+
+def default_cache() -> ResultCache:
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = ResultCache()
+    return _DEFAULT_CACHE
+
+
+# ---------------------------------------------------------------------------
+# Scheme execution
+# ---------------------------------------------------------------------------
+
+
+def _kernel_stats(run: WorkloadRun, tlps: dict[str, tuple[int, int]] | None = None
+                  ) -> dict[str, KernelStats]:
+    cycles = run.cycles_by_kernel()
+    hits = run.hit_rate_by_kernel()
+    return {
+        k: KernelStats(cycles[k], round(hits.get(k, 0.0), 4),
+                       (tlps or {}).get(k))
+        for k in cycles
+    }
+
+
+def run_app(
+    app: str,
+    scheme: str,
+    spec_name: str = "max",
+    scale: str = "bench",
+    cache: ResultCache | None = None,
+    verify: bool = False,
+) -> AppResult:
+    """Simulate ``app`` under ``scheme`` and return (cached) results."""
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}; options: {SCHEMES}")
+    spec = SPECS[spec_name]
+    cache = cache or default_cache()
+    key = ResultCache.key(app, scheme, spec_name, scale)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+
+    if scheme == "baseline":
+        wl = get_workload(app, scale)
+        run = run_workload(wl, spec, verify=verify)
+        trace: list[tuple[int, int]] = []
+        offset = 0
+        for r in run.results:
+            xs, ys = r.metrics.mem_trace.series()
+            trace.extend((offset + x, y) for x, y in zip(xs, ys))
+            offset += r.metrics.mem_trace.seq
+        baseline_tlps = {
+            r.kernel_name: (r.occupancy.warps_per_tb,
+                            min(r.occupancy.tb_sm, r.tbs_simulated))
+            for r in run.results
+        }
+        if len(trace) > 2048:
+            # Decimate uniformly — keep the whole execution span so phase
+            # changes (Fig. 2's point) stay visible.
+            step = -(-len(trace) // 2048)
+            trace = trace[::step]
+        result = AppResult(
+            app, scheme, spec_name, scale, run.total_cycles,
+            _kernel_stats(run, baseline_tlps), mem_trace=trace,
+        )
+    elif scheme == "catt":
+        wl = get_workload(app, scale)
+        comp = catt_compile(wl.unit(), dict(wl.launch_configs()), spec)
+        run = run_workload(get_workload(app, scale), spec, unit=comp.unit,
+                           verify=verify)
+        loop_tlps = {
+            name: [(la.loop_id, la.decision.tlp) for la in t.analysis.loops]
+            for name, t in comp.transforms.items()
+        }
+        kernel_tlps = {}
+        for name, t in comp.transforms.items():
+            occ = t.analysis.occupancy
+            # Kernel-level TLP: the most throttled loop's choice (Table 3
+            # lists per-loop rows; this is the per-kernel summary).
+            tlps = [la.decision.tlp for la in t.analysis.loops
+                    if la.decision.throttles]
+            kernel_tlps[name] = min(
+                tlps, default=(occ.warps_per_tb, occ.tb_sm),
+                key=lambda t_: t_[0] * t_[1],
+            )
+        result = AppResult(
+            app, scheme, spec_name, scale, run.total_cycles,
+            _kernel_stats(run, kernel_tlps), loop_tlps=loop_tlps,
+        )
+    elif scheme == "bftt":
+        res = bftt_search(lambda: get_workload(app, scale), spec,
+                          verify=verify)
+        sweep = {
+            f"{n},{m}": {
+                "total": r.total_cycles,
+                "kernels": r.cycles_by_kernel(),
+            }
+            for (n, m), r in res.runs.items()
+        }
+        run = res.best_run
+        n, m = res.best_factors
+        tlps = {}
+        for r in run.results:
+            occ = r.occupancy
+            tlps[r.kernel_name] = (max(occ.warps_per_tb // n, 1),
+                                   max(min(occ.tb_sm, r.tbs_simulated), 1))
+        result = AppResult(
+            app, scheme, spec_name, scale, run.total_cycles,
+            _kernel_stats(run, tlps), factors=res.best_factors, sweep=sweep,
+        )
+    else:  # dyncta
+        run = run_with_dyncta(get_workload(app, scale), spec, verify=verify)
+        result = AppResult(
+            app, scheme, spec_name, scale, run.total_cycles,
+            _kernel_stats(run),
+        )
+    cache.put(key, result)
+    return result

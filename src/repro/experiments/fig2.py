@@ -1,0 +1,52 @@
+"""Figure 2 — off-chip memory requests (after coalescing) over time, CS apps.
+
+For each CS application, the baseline run's per-instruction transaction
+trace.  The paper reads execution phases off these series (e.g. ATAX's
+divergent first kernel vs. coalesced second kernel).
+"""
+
+from __future__ import annotations
+
+from ..workloads import CS_GROUP
+from .common import ResultCache, default_cache, run_app
+
+
+def build_fig2(
+    apps: list[str] | None = None,
+    scale: str = "bench",
+    spec_name: str = "max",
+    cache: ResultCache | None = None,
+) -> dict[str, list[tuple[int, int]]]:
+    """app -> [(instruction sequence number, transactions)]."""
+    apps = apps or CS_GROUP
+    out = {}
+    for app in apps:
+        res = run_app(app, "baseline", spec_name, scale, cache or default_cache())
+        out[app] = res.mem_trace or []
+    return out
+
+
+def phase_summary(trace: list[tuple[int, int]], buckets: int = 8) -> list[float]:
+    """Mean transactions per instruction over ``buckets`` execution phases."""
+    if not trace:
+        return [0.0] * buckets
+    end = trace[-1][0] + 1
+    sums = [0.0] * buckets
+    counts = [0] * buckets
+    for x, y in trace:
+        b = min(x * buckets // end, buckets - 1)
+        sums[b] += y
+        counts[b] += 1
+    return [s / c if c else 0.0 for s, c in zip(sums, counts)]
+
+
+def format_fig2(data: dict[str, list[tuple[int, int]]]) -> str:
+    lines = [
+        "Fig. 2 — mean off-chip requests per mem instruction, by execution phase",
+        f"{'App':6s} " + " ".join(f"P{i:<5d}" for i in range(8)),
+        "-" * 60,
+    ]
+    for app, trace in data.items():
+        phases = phase_summary(trace)
+        lines.append(f"{app:6s} " + " ".join(f"{p:6.1f}" for p in phases))
+    return "\n".join(lines)

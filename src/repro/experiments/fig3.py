@@ -1,0 +1,51 @@
+"""Figure 3 — performance impact of TLP vs. cache footprints.
+
+Three microbenchmark curves (``L1D-full-with-{4,8,16}-warps``) over TLPs
+1..32 warps; each curve should bottom out at its fill point: below it TLP is
+wasted, above it the L1D thrashes (§3.3).
+"""
+
+from __future__ import annotations
+
+from ..sim.arch import TITAN_V_SIM
+from ..workloads.microbench import run_microbench
+
+FILL_POINTS = (4, 8, 16)
+TLPS = (1, 2, 4, 8, 16, 32)
+
+
+def build_fig3(
+    fill_points: tuple[int, ...] = FILL_POINTS,
+    tlps: tuple[int, ...] = TLPS,
+    iters: int = 4,
+    spec=TITAN_V_SIM,
+    l1d_lines: int | None = None,
+) -> dict[int, dict[int, int]]:
+    """fill_warps -> {tlp_warps: cycles}."""
+    out: dict[int, dict[int, int]] = {}
+    for fill in fill_points:
+        out[fill] = {}
+        for tlp in tlps:
+            out[fill][tlp] = run_microbench(fill, tlp, spec=spec, iters=iters,
+                                            l1d_lines=l1d_lines)
+    return out
+
+
+def best_tlp(curve: dict[int, int]) -> int:
+    return min(curve, key=curve.get)
+
+
+def format_fig3(data: dict[int, dict[int, int]]) -> str:
+    tlps = sorted(next(iter(data.values())))
+    lines = [
+        "Fig. 3 — microbenchmark execution time (cycles) vs TLP",
+        f"{'curve':24s} " + " ".join(f"{t:>9d}" for t in tlps) + "   best",
+        "-" * (28 + 10 * len(tlps)),
+    ]
+    for fill, curve in data.items():
+        lines.append(
+            f"L1D-full-with-{fill:<2d}-warps   "
+            + " ".join(f"{curve[t]:9d}" for t in tlps)
+            + f"   {best_tlp(curve)}"
+        )
+    return "\n".join(lines)

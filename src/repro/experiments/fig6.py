@@ -1,0 +1,46 @@
+"""Figure 6 — L1D hit rates per kernel: baseline vs BFTT vs CATT (max L1D)."""
+
+from __future__ import annotations
+
+from ..workloads import CS_GROUP
+from .common import ResultCache, default_cache, run_app
+
+
+def build_fig6(
+    apps: list[str] | None = None,
+    scale: str = "bench",
+    spec_name: str = "max",
+    cache: ResultCache | None = None,
+) -> dict[str, dict[str, float]]:
+    """'APP#k' -> {scheme: L1D load hit rate}."""
+    apps = apps or CS_GROUP
+    cache = cache or default_cache()
+    out: dict[str, dict[str, float]] = {}
+    for app in apps:
+        per_scheme = {
+            scheme: run_app(app, scheme, spec_name, scale, cache)
+            for scheme in ("baseline", "bftt", "catt")
+        }
+        kernels = list(per_scheme["baseline"].kernels)
+        for idx, kernel in enumerate(kernels, start=1):
+            label = f"{app}#{idx}"
+            out[label] = {
+                scheme: res.kernels[kernel].l1_hit_rate
+                if kernel in res.kernels else 0.0
+                for scheme, res in per_scheme.items()
+            }
+    return out
+
+
+def format_fig6(data: dict[str, dict[str, float]]) -> str:
+    lines = [
+        "Fig. 6 — L1D hit rate per kernel (max L1D)",
+        f"{'Kernel':12s} {'baseline':>9s} {'BFTT':>9s} {'CATT':>9s}",
+        "-" * 44,
+    ]
+    for label, rates in data.items():
+        lines.append(
+            f"{label:12s} {rates['baseline']:9.3f} {rates['bftt']:9.3f} "
+            f"{rates['catt']:9.3f}"
+        )
+    return "\n".join(lines)

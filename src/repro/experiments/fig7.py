@@ -1,0 +1,76 @@
+"""Figure 7 — normalized execution time of the CS group at maximum L1D.
+
+Paper headline: CATT improves the baseline by 42.96% geomean, BFTT by
+31.19%.  The reproduction checks the *shape*: CATT ≥ BFTT ≥ baseline on
+average, with CATT's per-loop decisions winning on multi-phase apps.
+"""
+
+from __future__ import annotations
+
+from ..workloads import CS_GROUP
+from .common import ResultCache, default_cache, geomean, run_app
+
+
+def build_fig7(
+    apps: list[str] | None = None,
+    scale: str = "bench",
+    spec_name: str = "max",
+    schemes: tuple[str, ...] = ("bftt", "catt"),
+    include_swl: bool = False,
+    cache: ResultCache | None = None,
+) -> dict:
+    """Normalized execution times (baseline = 1.0) plus geomean speedups.
+
+    ``include_swl`` adds a Best-SWL column (§2.2: fixed warp limiting, no
+    TB-level throttling) derived *for free* from the BFTT sweep — its search
+    space is BFTT's restricted to M = 0.
+    """
+    apps = apps or CS_GROUP
+    cache = cache or default_cache()
+    normalized: dict[str, dict[str, float]] = {}
+    all_schemes = tuple(schemes) + (("swl",) if include_swl else ())
+    speedups: dict[str, list[float]] = {s: [] for s in all_schemes}
+    for app in apps:
+        base = run_app(app, "baseline", spec_name, scale, cache)
+        normalized[app] = {}
+        for scheme in schemes:
+            res = run_app(app, scheme, spec_name, scale, cache)
+            norm = res.total_cycles / base.total_cycles if base.total_cycles else 1.0
+            normalized[app][scheme] = round(norm, 4)
+            speedups[scheme].append(base.total_cycles / res.total_cycles
+                                    if res.total_cycles else 1.0)
+        if include_swl:
+            bftt = run_app(app, "bftt", spec_name, scale, cache)
+            swl_cycles = min(
+                (entry["total"] for key, entry in (bftt.sweep or {}).items()
+                 if key.endswith(",0")),
+                default=base.total_cycles,
+            )
+            normalized[app]["swl"] = round(
+                swl_cycles / base.total_cycles if base.total_cycles else 1.0, 4)
+            speedups["swl"].append(
+                base.total_cycles / swl_cycles if swl_cycles else 1.0)
+    return {
+        "normalized_time": normalized,
+        "geomean_speedup": {s: round(geomean(v), 4) for s, v in speedups.items()},
+        "improvement_pct": {
+            s: round((geomean(v) - 1.0) * 100, 2) for s, v in speedups.items()
+        },
+    }
+
+
+def format_fig7(data: dict, title: str = "Fig. 7 — CS group, max L1D") -> str:
+    schemes = list(next(iter(data["normalized_time"].values())).keys())
+    lines = [
+        f"{title} (execution time normalized to baseline; lower is better)",
+        f"{'App':6s} " + " ".join(f"{s:>8s}" for s in schemes),
+        "-" * (8 + 9 * len(schemes)),
+    ]
+    for app, norms in data["normalized_time"].items():
+        lines.append(f"{app:6s} " + " ".join(f"{norms[s]:8.3f}" for s in schemes))
+    lines.append("-" * (8 + 9 * len(schemes)))
+    lines.append("geomean speedup: " + ", ".join(
+        f"{s}={data['geomean_speedup'][s]:.3f}x (+{data['improvement_pct'][s]:.1f}%)"
+        for s in schemes
+    ))
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Figure 8 — normalized execution time of the CI group at maximum L1D.
+
+The point is *no degradation*: CATT's analysis must find no contention in
+cache-insensitive apps and keep the baseline TLP, so every bar ≈ 1.0.
+"""
+
+from __future__ import annotations
+
+from ..workloads import CI_GROUP
+from .common import ResultCache, default_cache
+from .fig7 import build_fig7, format_fig7
+
+
+def build_fig8(
+    apps: list[str] | None = None,
+    scale: str = "bench",
+    spec_name: str = "max",
+    cache: ResultCache | None = None,
+) -> dict:
+    return build_fig7(
+        apps=apps or CI_GROUP,
+        scale=scale,
+        spec_name=spec_name,
+        cache=cache or default_cache(),
+    )
+
+
+def format_fig8(data: dict) -> str:
+    return format_fig7(data, title="Fig. 8 — CI group, max L1D")

@@ -1,0 +1,79 @@
+"""Figure 9 — sensitivity to thread-throttling factors (CS group).
+
+For every CS app: normalized execution time at each fixed throttling factor
+(the BFTT sweep), with the factor CATT selected marked.  Evaluates the
+accuracy of the static analysis: for regular apps the star should sit at (or
+next to) the sweep minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads import CS_GROUP
+from .common import ResultCache, default_cache, run_app
+
+
+@dataclass
+class Fig9Curve:
+    app: str
+    # ordered (label, normalized time) from max TLP to min TLP
+    points: list[tuple[str, float]]
+    catt_choice: str | None         # label of the factor CATT's TLP matches
+    best: str                       # label of the sweep minimum
+
+
+def build_fig9(
+    apps: list[str] | None = None,
+    scale: str = "bench",
+    spec_name: str = "max",
+    cache: ResultCache | None = None,
+) -> list[Fig9Curve]:
+    apps = apps or CS_GROUP
+    cache = cache or default_cache()
+    curves = []
+    for app in apps:
+        base = run_app(app, "baseline", spec_name, scale, cache)
+        bftt = run_app(app, "bftt", spec_name, scale, cache)
+        catt = run_app(app, "catt", spec_name, scale, cache)
+        if not bftt.sweep:
+            continue
+        points = []
+        for label, entry in sorted(
+            bftt.sweep.items(),
+            key=lambda kv: tuple(int(x) for x in kv[0].split(",")),
+        ):
+            points.append((label, round(entry["total"] / base.total_cycles, 4)))
+        # CATT's whole-app factor: approximate by its most-throttled loop.
+        catt_label = None
+        n_catt, m_catt = 1, 0
+        for kernel, loops in catt.loop_tlps.items():
+            base_tlp = base.kernels[kernel].tlp if kernel in base.kernels else None
+            if base_tlp is None:
+                continue
+            for _loop_id, tlp in loops:
+                if tlp[0] and base_tlp[0] % tlp[0] == 0:
+                    n_catt = max(n_catt, base_tlp[0] // tlp[0])
+                m_catt = max(m_catt, max(base_tlp[1] - tlp[1], 0))
+        candidate = f"{n_catt},{m_catt}"
+        if any(lbl == candidate for lbl, _ in points):
+            catt_label = candidate
+        best = min(points, key=lambda p: p[1])[0]
+        curves.append(Fig9Curve(app, points, catt_label, best))
+    return curves
+
+
+def format_fig9(curves: list[Fig9Curve]) -> str:
+    lines = ["Fig. 9 — normalized time vs throttling factor "
+             "(label 'N,M'; * = CATT's choice, ! = sweep best)"]
+    for c in curves:
+        parts = []
+        for label, value in c.points:
+            mark = ""
+            if label == c.catt_choice:
+                mark += "*"
+            if label == c.best:
+                mark += "!"
+            parts.append(f"{label}{mark}:{value:.3f}")
+        lines.append(f"{c.app:6s} " + "  ".join(parts))
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""``catt`` CLI — regenerate any table/figure from the paper, inspect the
+analysis, or compile a kernel file.
+
+Examples::
+
+    catt table2
+    catt table3 --scale test --no-bftt
+    catt fig7 --scale bench
+    catt analyze ATAX
+    catt compile my_kernel.cu --kernel k --grid 4 --block 256 -o out.cu
+    catt all --scale test
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..analysis import analyze_kernel, format_analysis
+from ..sim.arch import TITAN_V_SIM, TITAN_V_SIM_32K
+from ..workloads import WORKLOADS, get_workload, table2_rows
+
+
+def _print_table2() -> str:
+    rows = table2_rows()
+    lines = [
+        f"{'Abbr':6s} {'Grp':4s} {'Application':34s} {'SMEM(KB)':>8s}  Paper input",
+        "-" * 80,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['abbr']:6s} {r['group']:4s} {r['application']:34s} "
+            f"{r['smem_kb']:8.2f}  {r['paper_input']}"
+        )
+    return "\n".join(lines)
+
+
+def _analyze(app: str, scale: str) -> str:
+    wl = get_workload(app, scale)
+    unit = wl.unit()
+    parts = []
+    for kernel, (grid, block) in wl.launch_configs().items():
+        analysis = analyze_kernel(unit, kernel, block, TITAN_V_SIM, grid=grid)
+        parts.append(format_analysis(analysis))
+    return "\n\n".join(parts)
+
+
+def _compile_file(args) -> str:
+    """``catt compile``: run the CATT pipeline on a kernel source file."""
+    from ..frontend import emit, parse
+    from ..transform import catt_compile
+
+    source = open(args.app).read()
+    unit = parse(source)
+    spec = TITAN_V_SIM_32K if args.l1d == "32k" else TITAN_V_SIM
+    kernels = [args.kernel] if args.kernel else [k.name for k in unit.kernels()]
+    launches = {k: (args.grid, args.block) for k in kernels}
+    comp = catt_compile(unit, launches, spec)
+    report = []
+    for name, t in comp.transforms.items():
+        report.append(f"// CATT report for {name}:")
+        for line in format_analysis(t.analysis).splitlines():
+            report.append(f"//   {line}")
+    transformed = emit(comp.unit)
+    out_text = "\n".join(report) + "\n\n" + transformed
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(out_text)
+    if args.emit_ptx:
+        from ..ptx import lower_module
+
+        ptx_text = lower_module(comp.unit).render()
+        with open(args.emit_ptx, "w") as fh:
+            fh.write(ptx_text)
+    return out_text
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="catt",
+        description="Regenerate tables/figures from the CATT paper (ICPP'19)",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table2", "table3", "fig2", "fig3", "fig6", "fig7", "fig8",
+                 "fig9", "fig10", "overhead", "analyze", "compile", "all"],
+    )
+    parser.add_argument("app", nargs="?",
+                        help="workload for 'analyze' / source file for 'compile'")
+    parser.add_argument("--scale", default="bench", choices=["bench", "test"])
+    parser.add_argument("--no-bftt", action="store_true",
+                        help="skip the BFTT sweep (table3)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also dump raw data as JSON")
+    parser.add_argument("--kernel", help="compile: kernel name (default: all)")
+    parser.add_argument("--grid", type=int, default=4, help="compile: grid size")
+    parser.add_argument("--block", type=int, default=256, help="compile: block size")
+    parser.add_argument("--l1d", choices=["max", "32k"], default="max",
+                        help="compile: L1D configuration")
+    parser.add_argument("-o", "--output", help="compile: output file")
+    parser.add_argument("--emit-ptx", metavar="PATH",
+                        help="compile: also write PTX-like lowering")
+    args = parser.parse_args(argv)
+
+    data = None
+    if args.experiment == "compile":
+        if not args.app:
+            parser.error("compile requires a source file")
+        text = _compile_file(args)
+    elif args.experiment == "table2":
+        text, data = _print_table2(), table2_rows()
+    elif args.experiment == "analyze":
+        if not args.app or args.app not in WORKLOADS:
+            parser.error(f"analyze requires a workload name from {sorted(WORKLOADS)}")
+        text = _analyze(args.app, args.scale)
+    elif args.experiment == "table3":
+        from .table3 import build_table3, format_table3
+
+        rows = build_table3(scale=args.scale, include_bftt=not args.no_bftt)
+        text, data = format_table3(rows), [r.__dict__ for r in rows]
+    elif args.experiment == "fig2":
+        from .fig2 import build_fig2, format_fig2
+
+        data = build_fig2(scale=args.scale)
+        text = format_fig2(data)
+    elif args.experiment == "fig3":
+        from .fig3 import build_fig3, format_fig3
+
+        data = build_fig3()
+        text = format_fig3(data)
+    elif args.experiment == "fig6":
+        from .fig6 import build_fig6, format_fig6
+
+        data = build_fig6(scale=args.scale)
+        text = format_fig6(data)
+    elif args.experiment == "fig7":
+        from .fig7 import build_fig7, format_fig7
+
+        data = build_fig7(scale=args.scale)
+        text = format_fig7(data)
+    elif args.experiment == "fig8":
+        from .fig8 import build_fig8, format_fig8
+
+        data = build_fig8(scale=args.scale)
+        text = format_fig8(data)
+    elif args.experiment == "fig9":
+        from .fig9 import build_fig9, format_fig9
+
+        curves = build_fig9(scale=args.scale)
+        text, data = format_fig9(curves), [c.__dict__ for c in curves]
+    elif args.experiment == "fig10":
+        from .fig10 import build_fig10, format_fig10
+
+        data = build_fig10(scale=args.scale)
+        text = format_fig10(data)
+    elif args.experiment == "overhead":
+        from .overhead import build_overhead, format_overhead
+
+        rows = build_overhead(scale=args.scale)
+        text, data = format_overhead(rows), [r.__dict__ for r in rows]
+    else:  # all
+        chunks = []
+        for exp in ("table2", "table3", "fig2", "fig3", "fig6", "fig7",
+                    "fig8", "fig9", "fig10", "overhead"):
+            chunks.append(main([exp, "--scale", args.scale]) or "")
+            chunks.append("")
+        return 0
+
+    print(text)
+    if args.json and data is not None:
+        with open(args.json, "w") as fh:
+            json.dump(data, fh, indent=2, default=str)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Table 3 — TLP per SM selected by BFTT and CATT at 32 KB and max L1D.
+
+Regenerates the paper's per-loop ``(#warps_TB, #TBs)`` table for the CS
+group.  CATT columns come from the static analysis alone (no simulation);
+BFTT columns need its exhaustive sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import analyze_kernel
+from ..workloads import CS_GROUP, get_workload
+from .common import SPECS, ResultCache, default_cache, run_app
+
+
+@dataclass
+class Table3Row:
+    app: str
+    kernel: str
+    loop: int | None          # None = kernel has no loop
+    baseline: tuple[int, int]
+    bftt_32k: tuple[int, int] | None
+    catt_32k: tuple[int, int]
+    bftt_max: tuple[int, int] | None
+    catt_max: tuple[int, int]
+
+
+def catt_loop_tlps(app: str, spec_name: str, scale: str = "bench"
+                   ) -> dict[str, list[tuple[int | None, tuple[int, int], tuple[int, int]]]]:
+    """kernel -> [(loop_id|None, baseline TLP, CATT TLP)], from analysis only."""
+    spec = SPECS[spec_name]
+    wl = get_workload(app, scale)
+    unit = wl.unit()
+    out: dict[str, list] = {}
+    for kernel, (grid, block) in wl.launch_configs().items():
+        analysis = analyze_kernel(unit, kernel, block, spec, grid=grid)
+        base = analysis.baseline_tlp()
+        rows = []
+        if analysis.loops:
+            for la in analysis.loops:
+                rows.append((la.loop_id, base, la.decision.tlp))
+        else:
+            rows.append((None, base, base))
+        out[kernel] = rows
+    return out
+
+
+def build_table3(
+    apps: list[str] | None = None,
+    scale: str = "bench",
+    include_bftt: bool = True,
+    cache: ResultCache | None = None,
+) -> list[Table3Row]:
+    apps = apps or CS_GROUP
+    cache = cache or default_cache()
+    rows: list[Table3Row] = []
+    for app in apps:
+        per_spec = {s: catt_loop_tlps(app, s, scale) for s in ("32k", "max")}
+        bftt = {}
+        if include_bftt:
+            for s in ("32k", "max"):
+                res = run_app(app, "bftt", s, scale, cache)
+                bftt[s] = {
+                    k: v.tlp for k, v in res.kernels.items()
+                }
+        for kernel in per_spec["max"]:
+            for (loop_id, base, tlp_max), (_, _, tlp_32k) in zip(
+                per_spec["max"][kernel], per_spec["32k"][kernel]
+            ):
+                rows.append(Table3Row(
+                    app=app,
+                    kernel=kernel,
+                    loop=loop_id,
+                    baseline=base,
+                    bftt_32k=bftt.get("32k", {}).get(kernel),
+                    catt_32k=tlp_32k,
+                    bftt_max=bftt.get("max", {}).get(kernel),
+                    catt_max=tlp_max,
+                ))
+    return rows
+
+
+def format_table3(rows: list[Table3Row]) -> str:
+    def tlp(t):
+        return f"({t[0]},{t[1]})" if t else "  -  "
+
+    lines = [
+        f"{'App':6s} {'Kernel':18s} {'Loop':4s} {'Base':8s} "
+        f"{'BFTT32K':8s} {'CATT32K':8s} {'BFTTmax':8s} {'CATTmax':8s}",
+        "-" * 74,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.app:6s} {r.kernel:18s} {str(r.loop) if r.loop is not None else '-':4s} "
+            f"{tlp(r.baseline):8s} {tlp(r.bftt_32k):8s} {tlp(r.catt_32k):8s} "
+            f"{tlp(r.bftt_max):8s} {tlp(r.catt_max):8s}"
+        )
+    return "\n".join(lines)

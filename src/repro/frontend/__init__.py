@@ -1,0 +1,34 @@
+"""CUDA-C subset frontend: preprocessor, lexer, parser, AST, source emitter.
+
+Public entry points:
+
+* :func:`parse` — source string -> :class:`TranslationUnit`
+* :func:`parse_kernel` — source string -> single kernel :class:`FunctionDef`
+* :func:`emit` — AST node -> CUDA-C source text
+"""
+
+from . import ast_nodes
+from .ast_nodes import CType, FunctionDef, TranslationUnit
+from .codegen import emit
+from .errors import FrontendError, LexError, ParseError, UnsupportedFeatureError
+from .lexer import Token, TokenKind, tokenize
+from .parser import parse, parse_kernel
+from .preprocessor import preprocess
+
+__all__ = [
+    "ast_nodes",
+    "CType",
+    "FunctionDef",
+    "TranslationUnit",
+    "emit",
+    "FrontendError",
+    "LexError",
+    "ParseError",
+    "UnsupportedFeatureError",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse",
+    "parse_kernel",
+    "preprocess",
+]

@@ -1,0 +1,225 @@
+"""Source emitter: AST -> CUDA-C text.
+
+Used by the CATT pipeline to emit transformed kernels, and by tests to check
+that ``parse(emit(parse(src)))`` is a fixed point (parse/emit round-trip).
+Output is precedence-aware: parentheses are inserted only where required.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    BreakStmt,
+    Call,
+    Cast,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    DoWhileStmt,
+    EmptyStmt,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    ForStmt,
+    FunctionDef,
+    Ident,
+    IfStmt,
+    IntLit,
+    MemberRef,
+    PostIncDec,
+    ReturnStmt,
+    Stmt,
+    SyncthreadsStmt,
+    Ternary,
+    TranslationUnit,
+    UnaryOp,
+    WhileStmt,
+)
+
+_PRECEDENCE = {
+    ",": 0,
+    "=": 1, "+=": 1, "-=": 1, "*=": 1, "/=": 1, "%=": 1,
+    "&=": 1, "|=": 1, "^=": 1, "<<=": 1, ">>=": 1,
+    "?:": 2,
+    "||": 3,
+    "&&": 4,
+    "|": 5,
+    "^": 6,
+    "&": 7,
+    "==": 8, "!=": 8,
+    "<": 9, ">": 9, "<=": 9, ">=": 9,
+    "<<": 10, ">>": 10,
+    "+": 11, "-": 11,
+    "*": 12, "/": 12, "%": 12,
+    "unary": 13,
+    "postfix": 14,
+    "primary": 15,
+}
+
+
+def _type_str(ctype: CType) -> str:
+    const = "const " if ctype.is_const else ""
+    stars = " " + "*" * ctype.pointer_depth if ctype.pointer_depth else ""
+    return f"{const}{ctype.base}{stars}"
+
+
+class Emitter:
+    def __init__(self, indent: str = "    "):
+        self.indent_unit = indent
+
+    # -- expressions -----------------------------------------------------
+    def emit_expr(self, expr: Expr, parent_prec: int = 0) -> str:
+        text, prec = self._expr(expr)
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+
+    def _expr(self, expr: Expr) -> tuple[str, int]:
+        if isinstance(expr, IntLit):
+            return str(expr.value), _PRECEDENCE["primary"]
+        if isinstance(expr, FloatLit):
+            if expr.text:
+                return expr.text, _PRECEDENCE["primary"]
+            return repr(expr.value) + "f", _PRECEDENCE["primary"]
+        if isinstance(expr, BoolLit):
+            return ("true" if expr.value else "false"), _PRECEDENCE["primary"]
+        if isinstance(expr, Ident):
+            return expr.name, _PRECEDENCE["primary"]
+        if isinstance(expr, MemberRef):
+            base = self.emit_expr(expr.base, _PRECEDENCE["postfix"])
+            return f"{base}.{expr.member}", _PRECEDENCE["postfix"]
+        if isinstance(expr, ArrayRef):
+            base = self.emit_expr(expr.base, _PRECEDENCE["postfix"])
+            index = self.emit_expr(expr.index, 0)
+            return f"{base}[{index}]", _PRECEDENCE["postfix"]
+        if isinstance(expr, Call):
+            args = ", ".join(self.emit_expr(a, _PRECEDENCE["?:"]) for a in expr.args)
+            return f"{expr.func}({args})", _PRECEDENCE["postfix"]
+        if isinstance(expr, PostIncDec):
+            operand = self.emit_expr(expr.operand, _PRECEDENCE["postfix"])
+            return f"{operand}{expr.op}", _PRECEDENCE["postfix"]
+        if isinstance(expr, UnaryOp):
+            operand = self.emit_expr(expr.operand, _PRECEDENCE["unary"])
+            return f"{expr.op}{operand}", _PRECEDENCE["unary"]
+        if isinstance(expr, Cast):
+            operand = self.emit_expr(expr.operand, _PRECEDENCE["unary"])
+            return f"({_type_str(expr.type)}){operand}", _PRECEDENCE["unary"]
+        if isinstance(expr, BinOp):
+            prec = _PRECEDENCE[expr.op]
+            left = self.emit_expr(expr.left, prec)
+            right = self.emit_expr(expr.right, prec + 1)
+            return f"{left} {expr.op} {right}", prec
+        if isinstance(expr, Ternary):
+            prec = _PRECEDENCE["?:"]
+            cond = self.emit_expr(expr.cond, prec + 1)
+            then = self.emit_expr(expr.then, prec)
+            other = self.emit_expr(expr.otherwise, prec)
+            return f"{cond} ? {then} : {other}", prec
+        if isinstance(expr, Assign):
+            prec = _PRECEDENCE[expr.op]
+            target = self.emit_expr(expr.target, prec + 1)
+            value = self.emit_expr(expr.value, prec)
+            return f"{target} {expr.op} {value}", prec
+        raise TypeError(f"cannot emit expression node {type(expr).__name__}")
+
+    # -- statements --------------------------------------------------------
+    def emit_stmt(self, stmt: Stmt, level: int = 0) -> str:
+        pad = self.indent_unit * level
+        if isinstance(stmt, Block):
+            inner = "\n".join(self.emit_stmt(s, level + 1) for s in stmt.statements)
+            return f"{pad}{{\n{inner}\n{pad}}}" if stmt.statements else f"{pad}{{\n{pad}}}"
+        if isinstance(stmt, EmptyStmt):
+            return f"{pad};"
+        if isinstance(stmt, ExprStmt):
+            return f"{pad}{self.emit_expr(stmt.expr)};"
+        if isinstance(stmt, DeclStmt):
+            return f"{pad}{self._decl_text(stmt)}"
+        if isinstance(stmt, IfStmt):
+            cond = self.emit_expr(stmt.cond)
+            text = f"{pad}if ({cond})\n{self._substmt(stmt.then, level)}"
+            if stmt.otherwise is not None:
+                text += f"\n{pad}else\n{self._substmt(stmt.otherwise, level)}"
+            return text
+        if isinstance(stmt, ForStmt):
+            init = self._inline_stmt(stmt.init)
+            cond = self.emit_expr(stmt.cond) if stmt.cond is not None else ""
+            step = self.emit_expr(stmt.step) if stmt.step is not None else ""
+            return f"{pad}for ({init} {cond}; {step})\n{self._substmt(stmt.body, level)}"
+        if isinstance(stmt, WhileStmt):
+            return f"{pad}while ({self.emit_expr(stmt.cond)})\n{self._substmt(stmt.body, level)}"
+        if isinstance(stmt, DoWhileStmt):
+            body = self._substmt(stmt.body, level)
+            return f"{pad}do\n{body}\n{pad}while ({self.emit_expr(stmt.cond)});"
+        if isinstance(stmt, ReturnStmt):
+            if stmt.value is None:
+                return f"{pad}return;"
+            return f"{pad}return {self.emit_expr(stmt.value)};"
+        if isinstance(stmt, BreakStmt):
+            return f"{pad}break;"
+        if isinstance(stmt, ContinueStmt):
+            return f"{pad}continue;"
+        if isinstance(stmt, SyncthreadsStmt):
+            return f"{pad}__syncthreads();"
+        raise TypeError(f"cannot emit statement node {type(stmt).__name__}")
+
+    def _substmt(self, stmt: Stmt, level: int) -> str:
+        if isinstance(stmt, Block):
+            return self.emit_stmt(stmt, level)
+        return self.emit_stmt(stmt, level + 1)
+
+    def _inline_stmt(self, stmt: Stmt | None) -> str:
+        if stmt is None:
+            return ";"
+        if isinstance(stmt, ExprStmt):
+            return f"{self.emit_expr(stmt.expr)};"
+        if isinstance(stmt, DeclStmt):
+            return self._decl_text(stmt)
+        if isinstance(stmt, EmptyStmt):
+            return ";"
+        raise TypeError(f"cannot inline statement {type(stmt).__name__} in for-init")
+
+    def _decl_text(self, stmt: DeclStmt) -> str:
+        dynamic = any(d.dynamic for d in stmt.declarators)
+        shared = ""
+        if stmt.is_shared:
+            shared = "extern __shared__ " if dynamic else "__shared__ "
+        parts = []
+        for d in stmt.declarators:
+            text = d.name + ("[]" if d.dynamic
+                             else "".join(f"[{n}]" for n in d.array_sizes))
+            if d.init is not None:
+                text += f" = {self.emit_expr(d.init, _PRECEDENCE['?:'])}"
+            parts.append(text)
+        return f"{shared}{_type_str(stmt.type)} {', '.join(parts)};"
+
+    # -- top level ---------------------------------------------------------
+    def emit_function(self, func: FunctionDef) -> str:
+        quals = ""
+        if func.is_kernel:
+            quals = "__global__ "
+        elif func.is_device:
+            quals = "__device__ "
+        params = ", ".join(f"{_type_str(p.type)} {p.name}" for p in func.params)
+        header = f"{quals}{_type_str(func.return_type)} {func.name}({params})"
+        return f"{header}\n{self.emit_stmt(func.body, 0)}"
+
+    def emit_unit(self, unit: TranslationUnit) -> str:
+        return "\n\n".join(self.emit_function(f) for f in unit.functions) + "\n"
+
+
+def emit(node: TranslationUnit | FunctionDef | Stmt | Expr) -> str:
+    """Emit any AST node back to CUDA-C source text."""
+    emitter = Emitter()
+    if isinstance(node, TranslationUnit):
+        return emitter.emit_unit(node)
+    if isinstance(node, FunctionDef):
+        return emitter.emit_function(node)
+    if isinstance(node, Stmt):
+        return emitter.emit_stmt(node)
+    if isinstance(node, Expr):
+        return emitter.emit_expr(node)
+    raise TypeError(f"cannot emit {type(node).__name__}")

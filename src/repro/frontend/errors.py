@@ -1,0 +1,42 @@
+"""Diagnostics for the CUDA-subset frontend.
+
+Every frontend error carries a source location so that workload authors can
+fix kernels quickly; the analysis and transform layers re-raise these when a
+kernel falls outside the supported subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A (line, column) position in a kernel source string (1-based)."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.line}:{self.column}"
+
+
+class FrontendError(Exception):
+    """Base class for all frontend diagnostics."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location
+        prefix = f"{location}: " if location is not None else ""
+        super().__init__(prefix + message)
+
+
+class LexError(FrontendError):
+    """Raised for characters or literals the lexer cannot tokenize."""
+
+
+class ParseError(FrontendError):
+    """Raised when the token stream does not match the CUDA-C subset grammar."""
+
+
+class UnsupportedFeatureError(FrontendError):
+    """Raised for valid CUDA constructs that are outside the supported subset."""

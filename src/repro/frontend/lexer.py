@@ -1,0 +1,200 @@
+"""Tokenizer for the CUDA-C kernel subset.
+
+The lexer is a single-pass scanner producing a flat list of :class:`Token`.
+Comments are stripped here; preprocessor directives (``#define``) are handled
+by :mod:`repro.frontend.preprocessor` *before* lexing, so a ``#`` reaching the
+lexer is an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from .errors import LexError, SourceLocation
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    INT_LIT = auto()
+    FLOAT_LIT = auto()
+    KEYWORD = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+KEYWORDS = frozenset(
+    {
+        "void", "int", "unsigned", "float", "double", "char", "long", "short",
+        "bool", "const", "if", "else", "for", "while", "do", "return",
+        "break", "continue", "struct", "sizeof", "true", "false",
+        "__global__", "__device__", "__shared__", "__restrict__",
+        "__host__", "__forceinline__", "inline", "static", "extern", "volatile",
+    }
+)
+
+# Multi-character punctuators, longest first so maximal munch works.
+_PUNCTS = [
+    "<<<", ">>>", "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~", "?",
+    ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    loc: SourceLocation
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.loc})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+class Lexer:
+    """Scans a source string into tokens.
+
+    Usage::
+
+        tokens = Lexer(source).tokenize()
+    """
+
+    def __init__(self, source: str):
+        self.src = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- low-level cursor ------------------------------------------------
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.line, self.col)
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.src[idx] if idx < len(self.src) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.src):
+                if self.src[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    # -- scanning --------------------------------------------------------
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.src):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.src) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                loc = self._loc()
+                self._advance(2)
+                while self.pos < len(self.src) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.src):
+                    raise LexError("unterminated block comment", loc)
+                self._advance(2)
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        is_float = False
+        # NOTE: ``"" in "xyz"`` is True, so every membership test on _peek()
+        # must first check the character is non-empty (EOF returns "").
+        if self._peek() == "0" and self._peek(1) and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            return Token(TokenKind.INT_LIT, self.src[start : self.pos], loc)
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        elif self._peek() == ".":
+            is_float = True
+            self._advance()
+        if self._peek() and self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() and self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        # suffixes
+        while self._peek() and self._peek() in "fFlLuU":
+            if self._peek() in "fF":
+                is_float = True
+            self._advance()
+        text = self.src[start : self.pos]
+        kind = TokenKind.FLOAT_LIT if is_float else TokenKind.INT_LIT
+        return Token(kind, text, loc)
+
+    def _lex_ident(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        while self._peek() and _is_ident_char(self._peek()):
+            self._advance()
+        text = self.src[start : self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, loc)
+
+    def _lex_punct(self) -> Token:
+        loc = self._loc()
+        rest = self.src[self.pos :]
+        for p in _PUNCTS:
+            if rest.startswith(p):
+                self._advance(len(p))
+                return Token(TokenKind.PUNCT, p, loc)
+        raise LexError(f"unexpected character {self._peek()!r}", loc)
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.src):
+                tokens.append(Token(TokenKind.EOF, "", self._loc()))
+                return tokens
+            ch = self._peek()
+            if ch == "#":
+                raise LexError(
+                    "preprocessor directive reached the lexer; "
+                    "run repro.frontend.preprocessor first",
+                    self._loc(),
+                )
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                tokens.append(self._lex_number())
+            elif _is_ident_start(ch):
+                tokens.append(self._lex_ident())
+            else:
+                tokens.append(self._lex_punct())
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` (post-preprocessing)."""
+    return Lexer(source).tokenize()

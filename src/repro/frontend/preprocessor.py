@@ -1,0 +1,107 @@
+"""A tiny preprocessor for the CUDA-C kernel subset.
+
+Supports only what the evaluated benchmarks need:
+
+* ``#define NAME <integer-or-float-constant-expression>`` (object-like macros);
+* ``#include`` lines are dropped (our kernels are self-contained);
+* ``//`` and ``/* */`` comments inside directive lines;
+* textual substitution of defined names into the body, with rescanning so a
+  macro may reference earlier macros.
+
+Function-like macros are rejected with a clear diagnostic — the benchmark
+sources in :mod:`repro.workloads` do not use them.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import SourceLocation, UnsupportedFeatureError
+
+_DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)(\(?)\s*(.*?)\s*$")
+_INCLUDE_RE = re.compile(r"^\s*#\s*include\b")
+_IDENT_RE = re.compile(r"\b[A-Za-z_]\w*\b")
+
+_MAX_RESCAN = 32
+
+
+def _strip_line_comment(text: str) -> str:
+    idx = text.find("//")
+    return text[:idx] if idx >= 0 else text
+
+
+def preprocess(source: str) -> tuple[str, dict[str, int | float]]:
+    """Expand ``#define`` macros; return (expanded_source, defines).
+
+    The expanded source keeps original line structure (directives become blank
+    lines) so token locations still point at the right line of the input.
+    """
+    defines: dict[str, int | float] = {}
+    define_texts: dict[str, str] = {}
+    out_lines: list[str] = []
+
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _DEFINE_RE.match(line)
+        if m:
+            name, paren, body = m.group(1), m.group(2), m.group(3)
+            if paren == "(":
+                raise UnsupportedFeatureError(
+                    f"function-like macro {name!r} is not supported",
+                    SourceLocation(lineno, 1),
+                )
+            body = _strip_line_comment(body).strip()
+            # Expand previously defined macros inside the body.
+            for _ in range(_MAX_RESCAN):
+                expanded = _IDENT_RE.sub(
+                    lambda mm: define_texts.get(mm.group(0), mm.group(0)), body
+                )
+                if expanded == body:
+                    break
+                body = expanded
+            define_texts[name] = body
+            defines[name] = _eval_const(body, name, lineno)
+            out_lines.append("")
+            continue
+        if _INCLUDE_RE.match(line):
+            out_lines.append("")
+            continue
+        if line.lstrip().startswith("#"):
+            raise UnsupportedFeatureError(
+                f"unsupported preprocessor directive: {line.strip()!r}",
+                SourceLocation(lineno, 1),
+            )
+        out_lines.append(line)
+
+    body_text = "\n".join(out_lines)
+    if define_texts:
+        pattern = re.compile(
+            r"\b(" + "|".join(re.escape(k) for k in define_texts) + r")\b"
+        )
+        for _ in range(_MAX_RESCAN):
+            new_text = pattern.sub(lambda m: define_texts[m.group(1)], body_text)
+            if new_text == body_text:
+                break
+            body_text = new_text
+    return body_text, defines
+
+
+def _eval_const(body: str, name: str, lineno: int) -> int | float:
+    """Evaluate a macro body as a constant arithmetic expression."""
+    cleaned = body.replace("f", "").replace("F", "") if _looks_float(body) else body
+    try:
+        value = eval(compile(cleaned, f"<define {name}>", "eval"), {"__builtins__": {}}, {})
+    except Exception as exc:
+        raise UnsupportedFeatureError(
+            f"#define {name} body {body!r} is not a constant expression",
+            SourceLocation(lineno, 1),
+        ) from exc
+    if not isinstance(value, (int, float)):
+        raise UnsupportedFeatureError(
+            f"#define {name} does not evaluate to a number",
+            SourceLocation(lineno, 1),
+        )
+    return value
+
+
+def _looks_float(body: str) -> bool:
+    return bool(re.search(r"\d+\.\d*|\.\d+|\d+[eE][-+]?\d+|\d+\.?\d*[fF]\b", body))

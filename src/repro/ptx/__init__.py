@@ -1,0 +1,24 @@
+"""PTX-like backend: lowering, textual round-trip, and IR-level analysis.
+
+The production deployment path of CATT — analyzing the compiler's PTX
+output instead of CUDA source.  See :mod:`repro.ptx.isa` for the subset.
+"""
+
+from .analysis import PTXAccess, analyze_ptx_kernel, find_loop_regions, requests_by_instruction
+from .codegen import LoweringError, lower_kernel, lower_module
+from .isa import PTXKernel, PTXModule
+from .parser import PTXParseError, parse_ptx
+
+__all__ = [
+    "PTXAccess",
+    "analyze_ptx_kernel",
+    "find_loop_regions",
+    "requests_by_instruction",
+    "LoweringError",
+    "lower_kernel",
+    "lower_module",
+    "PTXKernel",
+    "PTXModule",
+    "parse_ptx",
+    "PTXParseError",
+]

@@ -1,0 +1,284 @@
+"""CATT's coefficient extraction at the PTX level.
+
+Re-derives the paper's ``C_tid``/``C_i`` distances from the instruction
+stream alone — no source in sight.  This mirrors what a production CATT
+deployed behind nvcc would do, and the test suite cross-validates it against
+the source-level analysis on the benchmark suite.
+
+Method
+------
+1. Find loop regions: a backwards ``bra`` at position p to a label at h < p
+   delimits the region [h, p].
+2. Find induction registers per region: registers whose only definitions in
+   the region are a single self-increment (``add r, r, imm``) — they become
+   ``iter:<label>`` symbols with that step, like the source analysis's
+   secondary-induction rule.
+3. Abstract-interpret the instruction list in order, mapping each register
+   to an :class:`~repro.analysis.affine.AffineForm` over special registers,
+   parameters and loop iterators.  Any register otherwise re-defined inside
+   a loop region is poisoned within it.
+4. Every ``ld.global``/``st.global`` address register then yields byte-level
+   distances; dividing by the access width gives the paper's element-level
+   ``C_tid``, and the per-warp request count comes from the same Eq.-7 model
+   used at source level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.affine import AffineForm
+from ..analysis.coalescing import requests_per_warp
+from .isa import (
+    Barrier,
+    Branch,
+    Imm,
+    Instr,
+    Label,
+    Operand,
+    ParamRef,
+    PTXKernel,
+    Reg,
+    Ret,
+    Special,
+)
+
+_WIDTH = {"s32": 4, "u32": 4, "f32": 4, "s64": 8, "u64": 8, "f64": 8,
+          "pred": 1}
+
+_SPECIAL_SYMBOL = {
+    ("tid", "x"): "threadIdx.x", ("tid", "y"): "threadIdx.y",
+    ("tid", "z"): "threadIdx.z",
+    ("ctaid", "x"): "blockIdx.x", ("ctaid", "y"): "blockIdx.y",
+    ("ctaid", "z"): "blockIdx.z",
+    ("ntid", "x"): "blockDim.x", ("ntid", "y"): "blockDim.y",
+    ("ntid", "z"): "blockDim.z",
+    ("nctaid", "x"): "gridDim.x", ("nctaid", "y"): "gridDim.y",
+    ("nctaid", "z"): "gridDim.z",
+}
+
+
+@dataclass(frozen=True)
+class LoopRegion:
+    header: int      # body index of the loop label
+    back_edge: int   # body index of the backwards branch
+    label: str
+
+    def contains(self, idx: int) -> bool:
+        return self.header <= idx <= self.back_edge
+
+
+@dataclass(frozen=True)
+class PTXAccess:
+    """One global memory instruction with its recovered distances."""
+
+    index: int                    # position in the kernel body
+    opcode: str                   # ld.global / st.global
+    width: int                    # bytes per lane
+    address: AffineForm           # byte-level affine form
+    loop_labels: tuple[str, ...]  # enclosing loop regions, outermost first
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode.startswith("st")
+
+    @property
+    def c_tid_bytes(self) -> int | None:
+        if self.address.irregular:
+            return None
+        return self.address.coeff("threadIdx.x")
+
+    @property
+    def c_tid_elems(self) -> int | None:
+        b = self.c_tid_bytes
+        if b is None:
+            return None
+        return b // self.width if b % self.width == 0 else b / self.width
+
+    def c_iter_bytes(self, label: str | None = None) -> int | None:
+        """Per-iteration byte distance for the innermost (or named) loop."""
+        if self.address.irregular:
+            return None
+        if label is None:
+            if not self.loop_labels:
+                return 0
+            label = self.loop_labels[-1]
+        return self.address.coeff(f"iter:{label}")
+
+    @property
+    def req_warp(self) -> int:
+        """Eq. 7 from byte-level distances (element size 1)."""
+        return requests_per_warp(self.c_tid_bytes, 1)
+
+
+def find_loop_regions(kernel: PTXKernel) -> list[LoopRegion]:
+    labels: dict[str, int] = {}
+    for idx, item in enumerate(kernel.body):
+        if isinstance(item, Label):
+            labels[item.name] = idx
+    regions = []
+    for idx, item in enumerate(kernel.body):
+        if isinstance(item, Branch) and item.target in labels:
+            target = labels[item.target]
+            if target < idx:
+                regions.append(LoopRegion(target, idx, item.target))
+    return regions
+
+
+def _defs_in_region(kernel: PTXKernel, region: LoopRegion) -> dict[Reg, list[Instr]]:
+    defs: dict[Reg, list[Instr]] = {}
+    for idx in range(region.header, region.back_edge + 1):
+        item = kernel.body[idx]
+        if isinstance(item, Instr) and item.dst is not None:
+            defs.setdefault(item.dst, []).append(item)
+    return defs
+
+
+def _induction_registers(kernel: PTXKernel,
+                         region: LoopRegion) -> dict[Reg, int]:
+    """Registers updated exactly once per iteration by a constant step."""
+    out: dict[Reg, int] = {}
+    for reg, instrs in _defs_in_region(kernel, region).items():
+        if len(instrs) != 1:
+            continue
+        ins = instrs[0]
+        if ins.opcode not in ("add", "sub") or len(ins.srcs) != 2:
+            continue
+        a, b = ins.srcs
+        if a == reg and isinstance(b, Imm) and isinstance(b.value, int):
+            out[reg] = b.value if ins.opcode == "add" else -b.value
+    return out
+
+
+def analyze_ptx_kernel(
+    kernel: PTXKernel,
+    block_dim: tuple[int, int, int] | None = None,
+    grid_dim: tuple[int, int, int] | None = None,
+) -> list[PTXAccess]:
+    """Recover byte-level affine forms for every global ld/st.
+
+    ``block_dim`` resolves ``%ntid.*`` to constants (the launch configuration
+    CATT knows at compile time — without it, ``%ctaid.x * %ntid.x`` is a
+    product of two symbols and the form goes irregular, exactly like the
+    source-level analysis without a block size).
+    """
+    regions = find_loop_regions(kernel)
+    inductions = {r: _induction_registers(kernel, r) for r in regions}
+    # Loop-carried registers: defined in the region and read at (or before)
+    # their first in-region definition — e.g. accumulators.  Their value
+    # varies per iteration in a non-affine way, so they are poisoned at
+    # region entry.  Induction registers are handled symbolically instead.
+    carried_in: dict[LoopRegion, set[Reg]] = {}
+    for r in regions:
+        first_def: dict[Reg, int] = {}
+        first_use: dict[Reg, int] = {}
+        for idx in range(r.header, r.back_edge + 1):
+            item = kernel.body[idx]
+            if not isinstance(item, Instr):
+                continue
+            for src in item.srcs:
+                if isinstance(src, Reg):
+                    first_use.setdefault(src, idx)
+            if item.dst is not None:
+                first_def.setdefault(item.dst, idx)
+        carried = set()
+        for reg, d in first_def.items():
+            if reg in inductions[r]:
+                continue
+            if first_use.get(reg, d + 1) <= d:
+                carried.add(reg)
+        carried_in[r] = carried
+
+    env: dict[Reg, AffineForm] = {}
+    accesses: list[PTXAccess] = []
+
+    def value_of(op: Operand, idx: int) -> AffineForm:
+        if isinstance(op, Imm):
+            if isinstance(op.value, int):
+                return AffineForm.constant(op.value)
+            return AffineForm.unknown()
+        if isinstance(op, Special):
+            axis = {"x": 0, "y": 1, "z": 2}.get(op.axis)
+            if op.name == "ntid" and block_dim is not None and axis is not None:
+                return AffineForm.constant(block_dim[axis])
+            if op.name == "nctaid" and grid_dim is not None and axis is not None:
+                return AffineForm.constant(grid_dim[axis])
+            sym = _SPECIAL_SYMBOL.get((op.name, op.axis))
+            return AffineForm.symbol(sym) if sym else AffineForm.unknown()
+        if isinstance(op, ParamRef):
+            return AffineForm.symbol(f"param:{op.name}")
+        if isinstance(op, Reg):
+            return env.get(op, AffineForm.unknown())
+        return AffineForm.unknown()
+
+    for idx, item in enumerate(kernel.body):
+        if isinstance(item, (Label, Branch, Barrier, Ret)):
+            if isinstance(item, Label):
+                for r in regions:
+                    if r.header == idx:
+                        # Bind induction registers symbolically ...
+                        for reg, step in inductions[r].items():
+                            base = env.get(reg, AffineForm.unknown())
+                            env[reg] = base + AffineForm.symbol(
+                                f"iter:{r.label}") * AffineForm.constant(step)
+                        # ... and poison loop-carried values.
+                        for reg in carried_in[r]:
+                            env[reg] = AffineForm.unknown()
+            continue
+        ins = item
+        if ins.opcode in ("ld.global", "st.global"):
+            addr_op = ins.srcs[0]
+            form = value_of(addr_op, idx)
+            # Outermost region first (outer loops start earlier in the body).
+            labels = tuple(r.label
+                           for r in sorted(regions, key=lambda r: r.header)
+                           if r.contains(idx))
+            width = _WIDTH.get(ins.dtype, 4)
+            accesses.append(PTXAccess(idx, ins.opcode, width, form, labels))
+            if ins.opcode == "ld.global" and ins.dst is not None:
+                env[ins.dst] = AffineForm.unknown()  # data-dependent
+            continue
+        if ins.dst is None:
+            continue
+        # Skip re-binding induction registers (their symbolic form stands).
+        in_region_induction = any(
+            r.contains(idx) and ins.dst in inductions[r] for r in regions
+        )
+        if in_region_induction:
+            continue
+        env[ins.dst] = _transfer(ins, value_of, idx)
+    return accesses
+
+
+def _transfer(ins: Instr, value_of, idx: int) -> AffineForm:
+    op = ins.opcode
+    if op in ("mov", "ld.param", "cvt"):
+        return value_of(ins.srcs[0], idx)
+    if op == "add":
+        return value_of(ins.srcs[0], idx) + value_of(ins.srcs[1], idx)
+    if op == "sub":
+        return value_of(ins.srcs[0], idx) - value_of(ins.srcs[1], idx)
+    if op in ("mul.lo", "mul"):
+        return value_of(ins.srcs[0], idx) * value_of(ins.srcs[1], idx)
+    if op == "mad.lo":
+        a = value_of(ins.srcs[0], idx)
+        b = value_of(ins.srcs[1], idx)
+        c = value_of(ins.srcs[2], idx)
+        return a * b + c
+    if op == "neg":
+        return -value_of(ins.srcs[0], idx)
+    if op == "shl":
+        b = value_of(ins.srcs[1], idx)
+        if b.is_constant and not b.irregular:
+            return value_of(ins.srcs[0], idx) * AffineForm.constant(1 << b.const)
+        return AffineForm.unknown()
+    return AffineForm.unknown()
+
+
+def requests_by_instruction(
+    kernel: PTXKernel,
+    block_dim: tuple[int, int, int] | None = None,
+) -> dict[int, int]:
+    """body index of each global access -> Eq.-7 request count."""
+    return {a.index: a.req_warp
+            for a in analyze_ptx_kernel(kernel, block_dim=block_dim)}

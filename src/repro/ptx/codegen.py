@@ -1,0 +1,534 @@
+"""Lowering: CUDA-subset AST -> the PTX-like ISA.
+
+A straightforward, nvcc-shaped lowering: parameters are loaded once with
+``ld.param``; every expression lands in a fresh virtual register; control
+flow becomes labels + (predicated) branches.  The output is what
+:mod:`repro.ptx.analysis` consumes — i.e. this is the "compile with nvcc,
+analyze the PTX" pipeline the paper's production setting implies.
+
+Unsupported-for-lowering constructs (device-function calls, local arrays)
+raise :class:`LoweringError`; the source-level pipeline still handles them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..frontend.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    BreakStmt,
+    Call,
+    Cast,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    DoWhileStmt,
+    EmptyStmt,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    ForStmt,
+    FunctionDef,
+    Ident,
+    IfStmt,
+    IntLit,
+    MemberRef,
+    PostIncDec,
+    ReturnStmt,
+    Stmt,
+    SyncthreadsStmt,
+    Ternary,
+    TranslationUnit,
+    UnaryOp,
+    WhileStmt,
+)
+from .isa import (
+    Barrier,
+    Branch,
+    Imm,
+    Instr,
+    Label,
+    Operand,
+    ParamRef,
+    PTXKernel,
+    PTXModule,
+    PTXParam,
+    Reg,
+    RegClass,
+    Ret,
+    Special,
+)
+
+
+class LoweringError(Exception):
+    """Construct outside the PTX-lowerable subset."""
+
+
+_SCALAR_CLASS = {
+    "bool": RegClass.P,
+    "char": RegClass.R,
+    "short": RegClass.R,
+    "int": RegClass.R,
+    "unsigned int": RegClass.R,
+    "long": RegClass.RD,
+    "float": RegClass.F,
+    "double": RegClass.FD,
+}
+
+_CLASS_DTYPE = {
+    RegClass.R: "s32",
+    RegClass.RD: "s64",
+    RegClass.F: "f32",
+    RegClass.FD: "f64",
+    RegClass.P: "pred",
+}
+
+_CMP = {"<": "lt", ">": "gt", "<=": "le", ">=": "ge", "==": "eq", "!=": "ne"}
+
+_MATH_OPCODE = {
+    "sqrtf": "sqrt.rn", "sqrt": "sqrt.rn", "expf": "ex2.approx",
+    "logf": "lg2.approx", "fabsf": "abs", "fabs": "abs", "abs": "abs",
+    "sinf": "sin.approx", "cosf": "cos.approx", "floorf": "cvt.rmi",
+    "ceilf": "cvt.rpi", "rsqrtf": "rsqrt.approx",
+}
+
+
+@dataclass
+class _Var:
+    reg: Reg
+    ctype: CType
+
+
+class Lowerer:
+    def __init__(self, unit: TranslationUnit, kernel: FunctionDef):
+        self.unit = unit
+        self.kernel = kernel
+        self.counters: dict[RegClass, int] = {c: 1 for c in RegClass}
+        self.items: list = []
+        self.vars: dict[str, _Var] = {}
+        self.shared: dict[str, tuple[str, CType]] = {}  # var -> (sym, elem type)
+        self.shared_decls: list[tuple[str, int]] = []
+        self.label_counter = 0
+        self.loop_stack: list[tuple[str, str]] = []  # (continue lbl, break lbl)
+
+    # -- helpers -----------------------------------------------------------
+    def fresh(self, cls: RegClass) -> Reg:
+        reg = Reg(cls, self.counters[cls])
+        self.counters[cls] += 1
+        return reg
+
+    def label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f"$L_{hint}_{self.label_counter}"
+
+    def emit(self, item) -> None:
+        self.items.append(item)
+
+    def ins(self, opcode: str, dtype: str, dst: Reg | None, *srcs: Operand,
+            pred: Reg | None = None, pred_neg: bool = False) -> None:
+        self.emit(Instr(opcode, dtype, dst, tuple(srcs), pred, pred_neg))
+
+    def _class_of(self, ctype: CType) -> RegClass:
+        if ctype.is_pointer:
+            return RegClass.RD
+        try:
+            return _SCALAR_CLASS[ctype.base]
+        except KeyError:
+            raise LoweringError(f"cannot lower type {ctype.base!r}") from None
+
+    # -- top level ---------------------------------------------------------
+    def lower(self) -> PTXKernel:
+        params = []
+        for p in self.kernel.params:
+            ptype = "u64" if p.type.is_pointer else _CLASS_DTYPE[self._class_of(p.type)]
+            pname = f"{self.kernel.name}_param_{p.name}"
+            params.append(PTXParam(pname, ptype, p.type.is_pointer))
+            reg = self.fresh(self._class_of(p.type))
+            dtype = "u64" if p.type.is_pointer else _CLASS_DTYPE[reg.cls]
+            self.ins("ld.param", dtype, reg, ParamRef(pname))
+            self.vars[p.name] = _Var(reg, p.type)
+        self._collect_shared(self.kernel.body)
+        self.lower_block(self.kernel.body)
+        self.emit(Ret())
+        return PTXKernel(
+            name=self.kernel.name,
+            params=params,
+            body=self.items,
+            reg_counts={c: n for c, n in self.counters.items() if n > 1},
+            shared_decls=self.shared_decls,
+        )
+
+    def _collect_shared(self, block: Stmt) -> None:
+        from ..frontend.ast_nodes import statements_in
+
+        for stmt in statements_in(block):
+            if isinstance(stmt, DeclStmt) and stmt.is_shared:
+                for d in stmt.declarators:
+                    if d.dynamic:
+                        raise LoweringError(
+                            "extern __shared__ is not PTX-lowerable here"
+                        )
+                    count = 1
+                    for n in d.array_sizes:
+                        count *= n
+                    sym = f"__shared_{d.name}"
+                    self.shared[d.name] = (sym, stmt.type)
+                    self.shared_decls.append(
+                        (sym, count * stmt.type.element_size)
+                    )
+
+    # -- statements --------------------------------------------------------
+    def lower_block(self, block: Block) -> None:
+        for stmt in block.statements:
+            self.lower_stmt(stmt)
+
+    def lower_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            self.lower_block(stmt)
+        elif isinstance(stmt, EmptyStmt):
+            pass
+        elif isinstance(stmt, DeclStmt):
+            self._lower_decl(stmt)
+        elif isinstance(stmt, ExprStmt):
+            self.lower_expr(stmt.expr)
+        elif isinstance(stmt, IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ForStmt):
+            self._lower_for(stmt)
+        elif isinstance(stmt, WhileStmt):
+            self._lower_while(stmt)
+        elif isinstance(stmt, DoWhileStmt):
+            self._lower_do_while(stmt)
+        elif isinstance(stmt, SyncthreadsStmt):
+            self.emit(Barrier())
+        elif isinstance(stmt, ReturnStmt):
+            self.emit(Ret())
+        elif isinstance(stmt, BreakStmt):
+            if not self.loop_stack:
+                raise LoweringError("break outside a loop")
+            self.emit(Branch(self.loop_stack[-1][1]))
+        elif isinstance(stmt, ContinueStmt):
+            if not self.loop_stack:
+                raise LoweringError("continue outside a loop")
+            self.emit(Branch(self.loop_stack[-1][0]))
+        else:
+            raise LoweringError(f"cannot lower {type(stmt).__name__}")
+
+    def _lower_decl(self, stmt: DeclStmt) -> None:
+        if stmt.is_shared:
+            return  # handled in _collect_shared
+        for d in stmt.declarators:
+            if d.array_sizes:
+                raise LoweringError("local arrays are not PTX-lowerable here")
+            reg = self.fresh(self._class_of(stmt.type))
+            self.vars[d.name] = _Var(reg, stmt.type)
+            if d.init is not None:
+                val, vtype = self.lower_expr(d.init)
+                val = self._convert(val, vtype, stmt.type)
+                self.ins("mov", _CLASS_DTYPE[reg.cls], reg, val)
+
+    def _lower_if(self, stmt: IfStmt) -> None:
+        pred = self._lower_pred(stmt.cond)
+        else_lbl = self.label("else")
+        end_lbl = self.label("endif")
+        self.emit(Branch(else_lbl, pred=pred, pred_neg=True))
+        self.lower_stmt(stmt.then)
+        if stmt.otherwise is not None:
+            self.emit(Branch(end_lbl))
+            self.emit(Label(else_lbl))
+            self.lower_stmt(stmt.otherwise)
+            self.emit(Label(end_lbl))
+        else:
+            self.emit(Label(else_lbl))
+
+    def _lower_for(self, stmt: ForStmt) -> None:
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        head = self.label("for_head")
+        step_lbl = self.label("for_step")
+        end = self.label("for_end")
+        self.emit(Label(head))
+        if stmt.cond is not None:
+            pred = self._lower_pred(stmt.cond)
+            self.emit(Branch(end, pred=pred, pred_neg=True))
+        self.loop_stack.append((step_lbl, end))
+        self.lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        self.emit(Label(step_lbl))
+        if stmt.step is not None:
+            self.lower_expr(stmt.step)
+        self.emit(Branch(head))
+        self.emit(Label(end))
+
+    def _lower_while(self, stmt: WhileStmt) -> None:
+        head = self.label("while_head")
+        end = self.label("while_end")
+        self.emit(Label(head))
+        pred = self._lower_pred(stmt.cond)
+        self.emit(Branch(end, pred=pred, pred_neg=True))
+        self.loop_stack.append((head, end))
+        self.lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        self.emit(Branch(head))
+        self.emit(Label(end))
+
+    def _lower_do_while(self, stmt: DoWhileStmt) -> None:
+        head = self.label("do_head")
+        end = self.label("do_end")
+        self.emit(Label(head))
+        self.loop_stack.append((head, end))
+        self.lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        pred = self._lower_pred(stmt.cond)
+        self.emit(Branch(head, pred=pred))
+        self.emit(Label(end))
+
+    # -- expressions -------------------------------------------------------
+    def _lower_pred(self, cond: Expr) -> Reg:
+        val, ctype = self.lower_expr(cond)
+        if isinstance(val, Reg) and val.cls is RegClass.P:
+            return val
+        pred = self.fresh(RegClass.P)
+        cls = self._class_of(ctype)
+        self.ins("setp.ne", _CLASS_DTYPE[cls], pred, val, Imm(0))
+        return pred
+
+    def lower_expr(self, expr: Expr) -> tuple[Operand, CType]:
+        if isinstance(expr, IntLit):
+            return Imm(expr.value), CType("int")
+        if isinstance(expr, FloatLit):
+            is_double = bool(expr.text) and not expr.text.lower().endswith("f")
+            return Imm(float(expr.value)), CType("double" if is_double else "float")
+        if isinstance(expr, BoolLit):
+            return Imm(1 if expr.value else 0), CType("int")
+        if isinstance(expr, Ident):
+            var = self.vars.get(expr.name)
+            if var is None:
+                if expr.name in self.shared:
+                    sym, elem = self.shared[expr.name]
+                    reg = self.fresh(RegClass.RD)
+                    self.ins("mov", "u64", reg, ParamRef(sym))
+                    return reg, CType(elem.base, elem.pointer_depth + 1)
+                raise LoweringError(f"undefined name {expr.name!r}")
+            return var.reg, var.ctype
+        if isinstance(expr, MemberRef):
+            return self._lower_special(expr)
+        if isinstance(expr, ArrayRef):
+            addr, elem, space = self._lower_address(expr)
+            dst = self.fresh(self._class_of(elem))
+            self.ins(f"ld.{space}", _CLASS_DTYPE[dst.cls], dst, addr)
+            return dst, elem
+        if isinstance(expr, Assign):
+            return self._lower_assign(expr)
+        if isinstance(expr, BinOp):
+            return self._lower_binop(expr)
+        if isinstance(expr, UnaryOp):
+            return self._lower_unary(expr)
+        if isinstance(expr, PostIncDec):
+            return self._lower_incdec(expr.operand, expr.op, post=True)
+        if isinstance(expr, Ternary):
+            cond = self._lower_pred(expr.cond)
+            a, at = self.lower_expr(expr.then)
+            b, bt = self.lower_expr(expr.otherwise)
+            out_t = at if self._class_of(at) is not RegClass.P else bt
+            dst = self.fresh(self._class_of(out_t))
+            self.ins("selp", _CLASS_DTYPE[dst.cls], dst, a, b, cond)
+            return dst, out_t
+        if isinstance(expr, Cast):
+            val, vtype = self.lower_expr(expr.operand)
+            return self._convert(val, vtype, expr.type), expr.type
+        if isinstance(expr, Call):
+            return self._lower_call(expr)
+        raise LoweringError(f"cannot lower expression {type(expr).__name__}")
+
+    def _lower_special(self, expr: MemberRef) -> tuple[Operand, CType]:
+        if not isinstance(expr.base, Ident):
+            raise LoweringError("unsupported member base")
+        name = {"threadIdx": "tid", "blockIdx": "ctaid",
+                "blockDim": "ntid", "gridDim": "nctaid"}.get(expr.base.name)
+        if name is None or expr.member not in ("x", "y", "z"):
+            raise LoweringError(f"unknown builtin {expr.base.name}.{expr.member}")
+        dst = self.fresh(RegClass.R)
+        self.ins("mov", "u32", dst, Special(name, expr.member))
+        return dst, CType("int")
+
+    def _lower_address(self, ref: ArrayRef) -> tuple[Reg, CType, str]:
+        base, base_t = self.lower_expr(ref.base)
+        if not base_t.is_pointer:
+            raise LoweringError("subscript of a non-pointer")
+        space = "shared" if isinstance(ref.base, Ident) and \
+            ref.base.name in self.shared else "global"
+        elem = base_t.pointee()
+        idx, idx_t = self.lower_expr(ref.index)
+        idx64 = self._convert(idx, idx_t, CType("long"))
+        addr = self.fresh(RegClass.RD)
+        # mad.lo.s64 addr, idx, elem_size, base
+        self.ins("mad.lo", "s64", addr, idx64, Imm(elem.element_size), base)
+        return addr, elem, space
+
+    _COMPOUND_OPCODES = {
+        "+": ("add", "add"), "-": ("sub", "sub"),
+        "*": ("mul.lo", "mul"), "&": ("and", None), "|": ("or", None),
+        "^": ("xor", None), "<<": ("shl", None), ">>": ("shr", None),
+    }
+
+    def _lower_assign(self, expr: Assign) -> tuple[Operand, CType]:
+        if expr.op != "=":
+            # Scalar compound assignment lowers to a single in-place op —
+            # the canonical induction pattern (add %r, %r, step) that both
+            # real compilers emit and the PTX analysis recognizes.
+            binop = expr.op[:-1]
+            if isinstance(expr.target, Ident) and binop in self._COMPOUND_OPCODES:
+                var = self.vars.get(expr.target.name)
+                if var is not None and var.reg.cls is not RegClass.P:
+                    val, vtype = self.lower_expr(expr.value)
+                    val = self._convert(val, vtype, var.ctype)
+                    int_op, float_op = self._COMPOUND_OPCODES[binop]
+                    opcode = int_op if var.reg.cls in (RegClass.R, RegClass.RD) \
+                        else float_op
+                    if opcode is not None:
+                        self.ins(opcode, _CLASS_DTYPE[var.reg.cls],
+                                 var.reg, var.reg, val)
+                        return var.reg, var.ctype
+            # general expansion: a op= b  ->  a = a op b
+            binop_expr = BinOp(binop, expr.target, expr.value)
+            return self._lower_assign(Assign("=", expr.target, binop_expr))
+        if isinstance(expr.target, Ident):
+            var = self.vars.get(expr.target.name)
+            if var is None:
+                raise LoweringError(f"assignment to undefined {expr.target.name!r}")
+            val, vtype = self.lower_expr(expr.value)
+            val = self._convert(val, vtype, var.ctype)
+            self.ins("mov", _CLASS_DTYPE[var.reg.cls], var.reg, val)
+            return var.reg, var.ctype
+        if isinstance(expr.target, ArrayRef):
+            addr, elem, space = self._lower_address(expr.target)
+            val, vtype = self.lower_expr(expr.value)
+            val = self._convert(val, vtype, elem)
+            self.ins(f"st.{space}", _CLASS_DTYPE[self._class_of(elem)], None,
+                     addr, val)
+            return val, elem
+        raise LoweringError("unsupported assignment target")
+
+    def _lower_incdec(self, target: Expr, op: str, post: bool):
+        if not isinstance(target, Ident):
+            raise LoweringError("++/-- target must be a variable")
+        var = self.vars[target.name]
+        old = self.fresh(var.reg.cls)
+        self.ins("mov", _CLASS_DTYPE[var.reg.cls], old, var.reg)
+        self.ins("add" if op == "++" else "sub",
+                 _CLASS_DTYPE[var.reg.cls], var.reg, var.reg, Imm(1))
+        return (old if post else var.reg), var.ctype
+
+    def _lower_binop(self, expr: BinOp) -> tuple[Operand, CType]:
+        if expr.op in ("&&", "||"):
+            a = self._lower_pred(expr.left)
+            b = self._lower_pred(expr.right)
+            dst = self.fresh(RegClass.P)
+            self.ins("and" if expr.op == "&&" else "or", "pred", dst, a, b)
+            return dst, CType("bool")
+        if expr.op == ",":
+            self.lower_expr(expr.left)
+            return self.lower_expr(expr.right)
+        a, at = self.lower_expr(expr.left)
+        b, bt = self.lower_expr(expr.right)
+        out_t = self._promote(at, bt)
+        cls = self._class_of(out_t)
+        a = self._convert(a, at, out_t)
+        b = self._convert(b, bt, out_t)
+        if expr.op in _CMP:
+            dst = self.fresh(RegClass.P)
+            self.ins(f"setp.{_CMP[expr.op]}", _CLASS_DTYPE[cls], dst, a, b)
+            return dst, CType("bool")
+        opcode = {
+            "+": "add", "-": "sub",
+            "*": "mul.lo" if cls in (RegClass.R, RegClass.RD) else "mul",
+            "/": "div" if cls in (RegClass.R, RegClass.RD) else "div.rn",
+            "%": "rem", "&": "and", "|": "or", "^": "xor",
+            "<<": "shl", ">>": "shr",
+        }.get(expr.op)
+        if opcode is None:
+            raise LoweringError(f"cannot lower operator {expr.op!r}")
+        dst = self.fresh(cls)
+        self.ins(opcode, _CLASS_DTYPE[cls], dst, a, b)
+        return dst, out_t
+
+    def _lower_unary(self, expr: UnaryOp) -> tuple[Operand, CType]:
+        if expr.op in ("++", "--"):
+            return self._lower_incdec(expr.operand, expr.op, post=False)
+        if expr.op == "!":
+            pred = self._lower_pred(expr.operand)
+            dst = self.fresh(RegClass.P)
+            self.ins("not", "pred", dst, pred)
+            return dst, CType("bool")
+        val, vtype = self.lower_expr(expr.operand)
+        cls = self._class_of(vtype)
+        if expr.op == "-":
+            dst = self.fresh(cls)
+            self.ins("neg", _CLASS_DTYPE[cls], dst, val)
+            return dst, vtype
+        if expr.op == "~":
+            dst = self.fresh(cls)
+            self.ins("not", _CLASS_DTYPE[cls], dst, val)
+            return dst, vtype
+        raise LoweringError(f"cannot lower unary {expr.op!r}")
+
+    def _lower_call(self, expr: Call) -> tuple[Operand, CType]:
+        if expr.func in ("min", "max", "fminf", "fmaxf"):
+            a, at = self.lower_expr(expr.args[0])
+            b, bt = self.lower_expr(expr.args[1])
+            out_t = self._promote(at, bt)
+            cls = self._class_of(out_t)
+            dst = self.fresh(cls)
+            op = "min" if "min" in expr.func else "max"
+            self.ins(op, _CLASS_DTYPE[cls], dst, self._convert(a, at, out_t),
+                     self._convert(b, bt, out_t))
+            return dst, out_t
+        if expr.func in _MATH_OPCODE:
+            val, vtype = self.lower_expr(expr.args[0])
+            out_t = vtype if vtype.base in ("float", "double") else CType("float")
+            val = self._convert(val, vtype, out_t)
+            dst = self.fresh(self._class_of(out_t))
+            self.ins(_MATH_OPCODE[expr.func], _CLASS_DTYPE[dst.cls], dst, val)
+            return dst, out_t
+        raise LoweringError(f"cannot lower call to {expr.func!r}")
+
+    # -- conversions -------------------------------------------------------
+    def _promote(self, a: CType, b: CType) -> CType:
+        if a.is_pointer:
+            return a
+        if b.is_pointer:
+            return b
+        rank = {"bool": 0, "char": 1, "short": 2, "int": 3,
+                "unsigned int": 4, "long": 5, "float": 6, "double": 7}
+        base = a.base if rank[a.base] >= rank[b.base] else b.base
+        if rank[base] < 3:
+            base = "int"
+        return CType(base)
+
+    def _convert(self, val: Operand, src: CType, dst: CType) -> Operand:
+        src_cls = self._class_of(src)
+        dst_cls = self._class_of(dst)
+        if src_cls is dst_cls:
+            return val
+        if isinstance(val, Imm):
+            if dst_cls in (RegClass.F, RegClass.FD):
+                return Imm(float(val.value))
+            if dst_cls in (RegClass.R, RegClass.RD):
+                return Imm(int(val.value))
+        reg = self.fresh(dst_cls)
+        self.ins("cvt", f"{_CLASS_DTYPE[dst_cls]}.{_CLASS_DTYPE[src_cls]}",
+                 reg, val)
+        return reg
+
+
+def lower_kernel(unit: TranslationUnit, kernel_name: str) -> PTXKernel:
+    return Lowerer(unit, unit.kernel(kernel_name)).lower()
+
+
+def lower_module(unit: TranslationUnit) -> PTXModule:
+    return PTXModule([Lowerer(unit, k).lower() for k in unit.kernels()])

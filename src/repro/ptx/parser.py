@@ -1,0 +1,166 @@
+"""Parser for the PTX-like textual form.
+
+Reads what :meth:`PTXModule.render` emits (and hand-written snippets in the
+same subset), so PTX-level analysis can run on stored ``.ptx`` artifacts,
+not only on freshly lowered modules.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .isa import (
+    Barrier,
+    Branch,
+    Imm,
+    Instr,
+    Label,
+    Operand,
+    ParamRef,
+    PTXKernel,
+    PTXModule,
+    PTXParam,
+    Reg,
+    RegClass,
+    Ret,
+    Special,
+)
+
+
+class PTXParseError(Exception):
+    pass
+
+
+_REG_RE = re.compile(r"^%(rd|r|fd|f|p)(\d+)$")
+_SPECIAL_RE = re.compile(r"^%(tid|ctaid|ntid|nctaid)\.([xyz])$")
+_PARAM_RE = re.compile(r"^\[(\w+)\]$")
+_ENTRY_RE = re.compile(r"\.visible\s+\.entry\s+(\w+)\(")
+_PARAM_DECL_RE = re.compile(r"\.param\s+\.(\w+)\s+(\w+)")
+_REG_DECL_RE = re.compile(r"\.reg\s+\.(\w+)\s+%(\w+)<(\d+)>;")
+_SHARED_RE = re.compile(r"\.shared\s+\.align\s+\d+\s+\.b8\s+(\w+)\[(\d+)\];")
+_LABEL_RE = re.compile(r"^(\$\w+):$")
+_GUARD_RE = re.compile(r"^@(!?)(%p\d+)\s+(.*)$")
+
+_CLASS_BY_NAME = {c.value: c for c in RegClass}
+
+
+def _parse_operand(text: str) -> Operand:
+    text = text.strip()
+    m = _REG_RE.match(text)
+    if m:
+        return Reg(_CLASS_BY_NAME[m.group(1)], int(m.group(2)))
+    m = _SPECIAL_RE.match(text)
+    if m:
+        return Special(m.group(1), m.group(2))
+    m = _PARAM_RE.match(text)
+    if m:
+        return ParamRef(m.group(1))
+    try:
+        if re.match(r"^-?\d+$", text):
+            return Imm(int(text))
+        return Imm(float(text))
+    except ValueError:
+        raise PTXParseError(f"cannot parse operand {text!r}") from None
+
+
+def _split_opcode(op: str) -> tuple[str, str]:
+    """Split ``opcode.dtype`` keeping multi-part opcodes intact."""
+    parts = op.split(".")
+    known_tails = {"s32", "s64", "u32", "u64", "f32", "f64", "pred",
+                   "s64.s32", "f32.s32", "s32.f32", "f64.f32", "f32.f64",
+                   "s64.f32", "f32.s64", "s32.s64", "s64.s64", "f64.s32",
+                   "s32.f64", "f64.s64", "s64.f64", "f32.f32", "s32.s32"}
+    for cut in (2, 1):
+        if len(parts) > cut and ".".join(parts[-cut:]) in known_tails:
+            return ".".join(parts[:-cut]), ".".join(parts[-cut:])
+    return op, ""
+
+
+def _parse_instruction(line: str) -> Instr | Branch | Ret:
+    pred = None
+    pred_neg = False
+    m = _GUARD_RE.match(line)
+    if m:
+        pred_neg = m.group(1) == "!"
+        pred_op = _parse_operand(m.group(2))
+        assert isinstance(pred_op, Reg)
+        pred = pred_op
+        line = m.group(3)
+    line = line.rstrip(";").strip()
+    if line.startswith("bra"):
+        return Branch(line.split()[1], pred=pred, pred_neg=pred_neg)
+    if line == "ret":
+        return Ret(pred=pred, pred_neg=pred_neg)
+    head, _, rest = line.partition(" ")
+    opcode, dtype = _split_opcode(head)
+    operands = [_parse_operand(t) for t in rest.split(",")] if rest.strip() else []
+    dst = None
+    srcs = operands
+    if opcode.startswith("st."):
+        srcs = operands
+    elif operands:
+        first = operands[0]
+        if isinstance(first, Reg):
+            dst = first
+            srcs = operands[1:]
+    return Instr(opcode, dtype, dst, tuple(srcs), pred, pred_neg)
+
+
+def parse_ptx(text: str) -> PTXModule:
+    kernels: list[PTXKernel] = []
+    lines = [ln.strip() for ln in text.splitlines()]
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        m = _ENTRY_RE.search(line)
+        if not m:
+            i += 1
+            continue
+        name = m.group(1)
+        params: list[PTXParam] = []
+        i += 1
+        while i < len(lines) and not lines[i].startswith("{"):
+            pm = _PARAM_DECL_RE.search(lines[i])
+            if pm:
+                params.append(PTXParam(pm.group(2), pm.group(1),
+                                       pm.group(1) == "u64"))
+            i += 1
+        i += 1  # past '{'
+        body = []
+        reg_counts: dict[RegClass, int] = {}
+        shared_decls: list[tuple[str, int]] = []
+        while i < len(lines) and not lines[i].startswith("}"):
+            line = lines[i]
+            i += 1
+            if not line or line.startswith("//"):
+                continue
+            rm = _REG_DECL_RE.match(line)
+            if rm:
+                cls = next(
+                    (c for c in RegClass
+                     if c.ptx_type == rm.group(1) and c.value == rm.group(2)),
+                    None,
+                )
+                if cls is None:
+                    # map by register-name prefix
+                    cls = _CLASS_BY_NAME.get(rm.group(2))
+                if cls is not None:
+                    reg_counts[cls] = int(rm.group(3))
+                continue
+            sm = _SHARED_RE.match(line)
+            if sm:
+                shared_decls.append((sm.group(1), int(sm.group(2))))
+                continue
+            lm = _LABEL_RE.match(line)
+            if lm:
+                body.append(Label(lm.group(1)))
+                continue
+            if line.startswith("bar.sync"):
+                body.append(Barrier())
+                continue
+            body.append(_parse_instruction(line))
+        i += 1  # past '}'
+        kernels.append(PTXKernel(name, params, body, reg_counts, shared_decls))
+    if not kernels:
+        raise PTXParseError("no .entry kernels found")
+    return PTXModule(kernels)

@@ -1,0 +1,6 @@
+"""Host-side runtime: device arrays and kernel launches over the simulator."""
+
+from .arrays import DeviceArray
+from .device import Device
+
+__all__ = ["Device", "DeviceArray"]

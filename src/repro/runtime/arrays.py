@@ -1,0 +1,63 @@
+"""Device arrays: host NumPy data registered in the simulator's memory."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.memory import GlobalMemory
+
+
+class DeviceArray:
+    """A typed device allocation backed by a NumPy buffer.
+
+    The simulator operates directly on the backing buffer, so ``to_host()``
+    is just a reshaped copy — there is no separate transfer step, matching
+    the zero-copy spirit of the substrate (and avoiding double memory).
+    """
+
+    def __init__(self, memory: GlobalMemory, host: np.ndarray):
+        self._shape = host.shape
+        self._dtype = host.dtype
+        flat = np.ascontiguousarray(host).reshape(-1).copy()
+        self.address = memory.alloc(flat)
+        self._buffer = memory.find(self.address).buffer
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self._shape)) if self._shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        return self._buffer.nbytes
+
+    def to_host(self) -> np.ndarray:
+        """Copy the device contents back as a host array."""
+        return self._buffer.copy().reshape(self._shape)
+
+    def view(self) -> np.ndarray:
+        """Zero-copy view of the device contents (reshaped)."""
+        return self._buffer.reshape(self._shape)
+
+    def fill(self, value) -> "DeviceArray":
+        self._buffer[:] = value
+        return self
+
+    def copy_from(self, host: np.ndarray) -> "DeviceArray":
+        if host.shape != self._shape:
+            raise ValueError(f"shape mismatch: {host.shape} vs {self._shape}")
+        self._buffer[:] = np.ascontiguousarray(host, dtype=self._dtype).reshape(-1)
+        return self
+
+    def __int__(self) -> int:
+        return self.address
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DeviceArray(shape={self._shape}, dtype={self._dtype}, addr={self.address:#x})"

@@ -1,0 +1,53 @@
+"""GPU simulator substrate.
+
+Replaces the paper's Titan V testbed: a single-SM, event-driven, warp-level
+simulator with a set-associative L1D/L2, a coalescing unit, occupancy limits,
+and ``__syncthreads`` barriers.  See DESIGN.md §2 and §6.
+"""
+
+from .arch import (
+    TITAN_V,
+    TITAN_V_32K,
+    TITAN_V_SIM,
+    TITAN_V_SIM_32K,
+    GPUSpec,
+    SMConfig,
+    TimingModel,
+)
+from .cache import Cache, CacheStats
+from .coalescer import coalesce, transactions_per_warp
+from .events import ComputeEvent, MemEvent, SyncEvent
+from .interp import SharedBlock, SimulationError, WarpInterpreter
+from .launch import LaunchResult, launch_kernel, resolve_args, shared_layout_of
+from .memory import GlobalMemory, MemoryError_
+from .metrics import MemTrace, SMMetrics
+from .sm import SMEngine
+
+__all__ = [
+    "TITAN_V",
+    "TITAN_V_32K",
+    "TITAN_V_SIM",
+    "TITAN_V_SIM_32K",
+    "GPUSpec",
+    "SMConfig",
+    "TimingModel",
+    "Cache",
+    "CacheStats",
+    "coalesce",
+    "transactions_per_warp",
+    "ComputeEvent",
+    "MemEvent",
+    "SyncEvent",
+    "SharedBlock",
+    "SimulationError",
+    "WarpInterpreter",
+    "LaunchResult",
+    "launch_kernel",
+    "resolve_args",
+    "shared_layout_of",
+    "GlobalMemory",
+    "MemoryError_",
+    "MemTrace",
+    "SMMetrics",
+    "SMEngine",
+]

@@ -1,0 +1,135 @@
+"""Set-associative LRU cache model.
+
+Used for both the L1D (per SM) and the simulated L2 slice.  The model tracks
+tags only — data always lives in the runtime's backing NumPy buffers — so an
+access is a dictionary probe, keeping simulation O(1) per transaction.
+
+Addresses entering :meth:`Cache.access` are **line addresses** (byte address
+right-shifted by the line-size log2); the coalescer produces them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = self.evictions = 0
+
+
+class Cache:
+    """A tag-only, write-allocate, set-associative LRU cache.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.  Rounded down to a whole number of sets; must hold at
+        least one set of ``assoc`` lines.
+    line_size:
+        Cache line (and allocation) granularity in bytes.
+    assoc:
+        Associativity.  ``assoc <= 0`` means fully associative.
+    """
+
+    def __init__(self, size_bytes: int, line_size: int = 128, assoc: int = 4,
+                 name: str = "cache", index_hash: bool = True):
+        if size_bytes < line_size * max(assoc, 1):
+            raise ValueError(
+                f"{name}: capacity {size_bytes} B below one set "
+                f"({max(assoc,1)} lines of {line_size} B)"
+            )
+        self.name = name
+        self.line_size = line_size
+        num_lines = size_bytes // line_size
+        if assoc <= 0 or assoc > num_lines:
+            assoc = num_lines
+        self.assoc = assoc
+        self.num_sets = max(num_lines // assoc, 1)
+        self.size_bytes = self.num_sets * assoc * line_size
+        # One OrderedDict per set: line_addr -> True, LRU at the front.
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        # GPU L1/L2 caches hash upper address bits into the set index so
+        # power-of-two strides (ubiquitous in row-major GPU arrays) do not
+        # collapse onto a few sets.  XOR-folding reproduces that behaviour;
+        # without it, capacity-based footprint reasoning (Eq. 8) would be
+        # defeated by conflict misses the real hardware does not exhibit.
+        self.index_hash = index_hash
+        self._shift = max(self.num_sets.bit_length() - 1, 1)
+        self.stats = CacheStats()        # loads
+        self.write_stats = CacheStats()  # stores
+
+    def _set_of(self, line_addr: int) -> OrderedDict:
+        if self.index_hash:
+            h = line_addr ^ (line_addr >> self._shift) ^ (line_addr >> (2 * self._shift))
+            return self._sets[h % self.num_sets]
+        return self._sets[line_addr % self.num_sets]
+
+    # ------------------------------------------------------------------
+    def access(self, line_addr: int, write: bool = False) -> bool:
+        """Probe (and on miss, allocate) one line. Returns True on hit."""
+        s = self._set_of(line_addr)
+        self.stats.accesses += 1
+        if line_addr in s:
+            self.stats.hits += 1
+            s.move_to_end(line_addr)
+            return True
+        self.stats.misses += 1
+        if len(s) >= self.assoc:
+            s.popitem(last=False)
+            self.stats.evictions += 1
+        s[line_addr] = True
+        return False
+
+    def write(self, line_addr: int) -> bool:
+        """Write-allocate store probe.
+
+        Store hits coalesce in the cache (no downstream traffic); store
+        misses allocate, so divergent store footprints occupy L1D capacity —
+        consistent with Eq. 8 counting stores among the memory instructions
+        that fill the cache.  Tracked in ``write_stats`` so the load hit
+        rate (``stats``, what nvprof-style figures report) stays clean.
+        Dirty-eviction write-back traffic is not modeled (DESIGN.md §6).
+        """
+        s = self._set_of(line_addr)
+        self.write_stats.accesses += 1
+        if line_addr in s:
+            self.write_stats.hits += 1
+            s.move_to_end(line_addr)
+            return True
+        self.write_stats.misses += 1
+        if len(s) >= self.assoc:
+            s.popitem(last=False)
+            self.write_stats.evictions += 1
+        s[line_addr] = True
+        return False
+
+    def probe(self, line_addr: int) -> bool:
+        """Check residency without updating LRU state or stats."""
+        return line_addr in self._set_of(line_addr)
+
+    def invalidate_all(self) -> None:
+        for s in self._sets:
+            s.clear()
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Cache({self.name}, {self.size_bytes}B, {self.num_sets}x"
+            f"{self.assoc}way, hit_rate={self.stats.hit_rate:.3f})"
+        )

@@ -1,0 +1,50 @@
+"""Warp memory-access coalescing unit.
+
+Given the byte addresses issued by the active lanes of one warp for a single
+memory instruction, the coalescer merges them into the minimal set of
+cache-line transactions, exactly as §3 of the paper describes: perfectly
+coalesced accesses produce one 128 B transaction; fully divergent accesses
+produce up to 32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+LINE_SHIFT_128 = 7  # log2(128)
+
+
+def coalesce(addresses: np.ndarray, access_size: int, line_size: int = 128) -> np.ndarray:
+    """Merge per-lane byte addresses into unique line addresses.
+
+    Parameters
+    ----------
+    addresses:
+        int64 array of byte addresses for the *active* lanes (inactive lanes
+        must already be filtered out).
+    access_size:
+        Bytes touched per lane (4 for float/int, 8 for double).  An access
+        that straddles a line boundary contributes both lines.
+    line_size:
+        Transaction granularity (128 B on Volta L1D).
+
+    Returns
+    -------
+    Sorted, de-duplicated int64 array of line addresses (byte_addr // line).
+    """
+    if addresses.size == 0:
+        return np.empty(0, dtype=np.int64)
+    shift = int(line_size).bit_length() - 1
+    if (1 << shift) != line_size:
+        raise ValueError(f"line_size must be a power of two, got {line_size}")
+    first = addresses >> shift
+    last = (addresses + (access_size - 1)) >> shift
+    if np.array_equal(first, last):
+        return np.unique(first)
+    return np.unique(np.concatenate([first, last]))
+
+
+def transactions_per_warp(addresses: np.ndarray, access_size: int,
+                          line_size: int = 128) -> int:
+    """Number of line transactions one warp instruction generates."""
+    return int(coalesce(addresses, access_size, line_size).size)

@@ -1,0 +1,43 @@
+"""Events exchanged between warp interpreters and the SM timing engine.
+
+A warp executes as a generator; each yielded event tells the engine what the
+warp just did so the engine can account cycles, drive the caches, and decide
+when the warp may issue again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ComputeEvent:
+    """``ops`` ALU instructions (plus ``sfu_ops`` transcendental ones)."""
+
+    ops: int
+    sfu_ops: int = 0
+
+
+@dataclass(frozen=True)
+class MemEvent:
+    """One warp-level memory instruction.
+
+    ``addresses`` holds byte addresses of the *active* lanes only; the engine
+    coalesces them into line transactions.  ``space`` is ``"global"`` (goes
+    through L1D/L2/DRAM) or ``"shared"`` (fixed-latency scratchpad).
+    """
+
+    addresses: np.ndarray
+    access_size: int
+    write: bool
+    space: str = "global"
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """``__syncthreads()`` — the warp parks until its whole TB arrives."""
+
+
+Event = ComputeEvent | MemEvent | SyncEvent

@@ -1,0 +1,238 @@
+"""Kernel launch orchestration for the simulated GPU.
+
+Resolves the launch configuration (occupancy, shared-memory carveout, TB
+assignment), builds per-TB warp interpreters, and runs them on the
+:class:`~repro.sim.sm.SMEngine`.  This is the piece the runtime's
+``Device.launch`` calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.occupancy import (
+    OccupancyResult,
+    compute_occupancy,
+    estimate_registers,
+    shared_usage_bytes,
+)
+from ..frontend.ast_nodes import CType, DeclStmt, FunctionDef, TranslationUnit, statements_in
+from .arch import GPUSpec, SMConfig
+from .interp import (
+    KernelArgs,
+    SharedBlock,
+    SimulationError,
+    WarpInterpreter,
+    np_dtype_for,
+)
+from .memory import GlobalMemory
+from .metrics import SMMetrics
+
+Dim3 = tuple[int, int, int]
+
+
+def _as_dim3(value) -> Dim3:
+    if isinstance(value, int):
+        return (value, 1, 1)
+    value = tuple(value)
+    return (value + (1, 1, 1))[:3]
+
+
+@dataclass(frozen=True)
+class LaunchResult:
+    """Everything a caller needs to compare configurations."""
+
+    kernel_name: str
+    metrics: SMMetrics
+    occupancy: OccupancyResult
+    grid: Dim3
+    block: Dim3
+    tbs_simulated: int
+
+    @property
+    def cycles(self) -> int:
+        return self.metrics.cycles
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.metrics.l1_hit_rate
+
+
+def shared_layout_of(kernel: FunctionDef, dynamic_bytes: int = 0
+                     ) -> dict[str, tuple[int, CType, tuple[int, ...]]]:
+    """Bump-allocate the kernel's ``__shared__`` declarations.
+
+    Returns name -> (byte offset, element CType, dims).  Static arrays come
+    first (matching :func:`repro.analysis.occupancy.shared_usage_bytes`);
+    an ``extern __shared__`` array — if present — gets the launch-provided
+    ``dynamic_bytes`` at the end, like the CUDA runtime does.
+    """
+    layout: dict[str, tuple[int, CType, tuple[int, ...]]] = {}
+    offset = 0
+    dynamic_decl: tuple[str, CType] | None = None
+    for stmt in statements_in(kernel.body):
+        if not (isinstance(stmt, DeclStmt) and stmt.is_shared):
+            continue
+        elem = stmt.type.element_size
+        for d in stmt.declarators:
+            if d.dynamic:
+                if dynamic_decl is not None:
+                    raise SimulationError(
+                        "multiple extern __shared__ arrays are not allowed"
+                    )
+                dynamic_decl = (d.name, stmt.type)
+                continue
+            if not d.array_sizes:
+                raise SimulationError(
+                    f"__shared__ scalar {d.name!r} is unsupported; use a "
+                    f"1-element array"
+                )
+            count = 1
+            for n in d.array_sizes:
+                count *= n
+            offset = (offset + 7) & ~7
+            layout[d.name] = (offset, stmt.type, tuple(d.array_sizes))
+            offset += count * elem
+    if dynamic_decl is not None:
+        name, ctype = dynamic_decl
+        count = dynamic_bytes // ctype.element_size
+        offset = (offset + 7) & ~7
+        layout[name] = (offset, ctype, (max(count, 1),))
+    return layout
+
+
+def launch_kernel(
+    unit: TranslationUnit,
+    kernel_name: str,
+    grid,
+    block,
+    args: list[tuple[str, float | int, CType]],
+    memory: GlobalMemory,
+    spec: GPUSpec,
+    scheduler: str = "gto",
+    max_tbs: int | None = None,
+    carveout_kb: int | None = None,
+    metrics: SMMetrics | None = None,
+    governor=None,
+    l1_bypass: bool = False,
+    shared_bytes: int = 0,
+) -> LaunchResult:
+    """Simulate one kernel launch on SM 0.
+
+    Parameters mirror a CUDA ``<<<grid, block>>>`` launch; ``args`` carries
+    (param name, resolved scalar or device address, declared CType).  The SM
+    executes the TBs assigned to SM 0 under round-robin distribution over
+    ``spec.num_sms``; ``max_tbs`` optionally caps the simulated TB count (for
+    quick tests).  ``carveout_kb`` overrides the Eq.-4 carveout choice.
+    """
+    from .sm import SMEngine  # local import to avoid cycles in tooling
+
+    kernel = unit.kernel(kernel_name)
+    grid3, block3 = _as_dim3(grid), _as_dim3(block)
+    threads_per_tb = block3[0] * block3[1] * block3[2]
+
+    occ = compute_occupancy(
+        spec,
+        threads_per_tb,
+        shared_usage_bytes(kernel),
+        estimate_registers(kernel),
+        extra_shared_bytes_tb=shared_bytes,
+    )
+    if carveout_kb is not None:
+        occ = _override_carveout(spec, occ, carveout_kb)
+    config = SMConfig(spec, occ.shared_carveout_kb)
+
+    total_tbs = grid3[0] * grid3[1] * grid3[2]
+    tb_ids = list(range(0, total_tbs, spec.num_sms))  # SM 0's share
+    if max_tbs is not None:
+        tb_ids = tb_ids[:max_tbs]
+
+    warps_per_tb = occ.warps_per_tb
+    layout = shared_layout_of(kernel, dynamic_bytes=shared_bytes)
+    kargs = KernelArgs(tuple(args))
+
+    def warp_factory(tb_id: int):
+        bx = tb_id % grid3[0]
+        by = (tb_id // grid3[0]) % grid3[1]
+        bz = tb_id // (grid3[0] * grid3[1])
+        shared = SharedBlock(max(occ.shared_usage_tb, 1))
+        gens = []
+        for w in range(warps_per_tb):
+            interp = WarpInterpreter(
+                unit, kernel, memory, shared, layout, kargs,
+                (bx, by, bz), block3, grid3, w,
+            )
+            gens.append(interp.run())
+        return gens
+
+    engine = SMEngine(spec, config, scheduler=scheduler, metrics=metrics,
+                      governor=governor, l1_bypass=l1_bypass)
+    result_metrics = engine.run(tb_ids, warp_factory, resident_limit=occ.tb_sm)
+
+    # Functionally execute the TBs not assigned to the simulated SM (or cut
+    # by max_tbs) so device memory holds the full kernel result.  They do not
+    # contribute to timing — other SMs run them "in parallel".
+    timed = set(tb_ids)
+    for tb_id in range(total_tbs):
+        if tb_id in timed:
+            continue
+        for gen in warp_factory(tb_id):
+            for _ in gen:
+                pass
+
+    return LaunchResult(
+        kernel_name=kernel_name,
+        metrics=result_metrics,
+        occupancy=occ,
+        grid=grid3,
+        block=block3,
+        tbs_simulated=len(tb_ids),
+    )
+
+
+def _override_carveout(spec: GPUSpec, occ: OccupancyResult,
+                       carveout_kb: int) -> OccupancyResult:
+    """Re-resolve occupancy under a forced shared-memory carveout."""
+    from dataclasses import replace
+
+    if carveout_kb * 1024 < occ.shared_usage_tb:
+        raise ValueError(
+            f"carveout {carveout_kb} KB below one TB's shared usage "
+            f"({occ.shared_usage_tb} B)"
+        )
+    tb_shm = (carveout_kb * 1024 // occ.shared_usage_tb
+              if occ.shared_usage_tb > 0 else occ.tb_hw)
+    tb_sm = max(min(tb_shm, occ.tb_reg, occ.tb_hw), 1)
+    return replace(
+        occ,
+        tb_shm=tb_shm,
+        tb_sm=tb_sm,
+        shared_carveout_kb=carveout_kb,
+        l1d_bytes=spec.l1d_bytes_for_carveout(carveout_kb),
+    )
+
+
+def resolve_args(
+    kernel: FunctionDef,
+    values: list,
+) -> list[tuple[str, float | int, CType]]:
+    """Pair positional launch arguments with kernel parameters.
+
+    ``values`` entries are device base addresses (int) for pointer params or
+    Python/NumPy scalars for value params.
+    """
+    if len(values) != len(kernel.params):
+        raise ValueError(
+            f"kernel {kernel.name} takes {len(kernel.params)} arguments, "
+            f"got {len(values)}"
+        )
+    out = []
+    for param, value in zip(kernel.params, values):
+        if param.type.is_pointer:
+            out.append((param.name, int(value), param.type))
+        else:
+            dtype = np_dtype_for(param.type)
+            out.append((param.name, dtype.type(value).item(), param.type))
+    return out

@@ -1,0 +1,78 @@
+"""Simulation metrics: cache statistics, cycle counts, and the Fig.-2 trace.
+
+``MemTrace`` records the number of post-coalescing transactions of each
+warp-level off-chip memory instruction in issue order — exactly the series
+Figure 2 of the paper plots.  It downsamples transparently once the trace
+exceeds ``max_points`` so long simulations stay O(1) in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cache import CacheStats
+
+
+class MemTrace:
+    """Bounded trace of (instruction sequence number, transactions)."""
+
+    def __init__(self, max_points: int = 4096):
+        self.max_points = max_points
+        self.stride = 1
+        self.seq = 0
+        self.points: list[tuple[int, int]] = []
+
+    def record(self, transactions: int) -> None:
+        if self.seq % self.stride == 0:
+            self.points.append((self.seq, transactions))
+            if len(self.points) >= self.max_points:
+                # Keep every other point and double the stride.
+                self.points = self.points[::2]
+                self.stride *= 2
+        self.seq += 1
+
+    def series(self) -> tuple[list[int], list[int]]:
+        xs = [p[0] for p in self.points]
+        ys = [p[1] for p in self.points]
+        return xs, ys
+
+
+@dataclass
+class SMMetrics:
+    """Counters for one simulated kernel launch on one SM."""
+
+    cycles: int = 0
+    instructions: int = 0
+    warp_mem_insts: int = 0
+    global_load_transactions: int = 0
+    global_store_transactions: int = 0
+    shared_transactions: int = 0
+    l1_load: CacheStats = field(default_factory=CacheStats)
+    l1_store_hits: int = 0
+    l1_store_misses: int = 0
+    l2_load: CacheStats = field(default_factory=CacheStats)
+    dram_transactions: int = 0
+    barriers: int = 0
+    tbs_executed: int = 0
+    mem_trace: MemTrace = field(default_factory=MemTrace)
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1_load.hit_rate
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return self.l2_load.hit_rate
+
+    def summary(self) -> dict:
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "warp_mem_insts": self.warp_mem_insts,
+            "l1_hit_rate": round(self.l1_hit_rate, 4),
+            "l2_hit_rate": round(self.l2_hit_rate, 4),
+            "global_load_transactions": self.global_load_transactions,
+            "global_store_transactions": self.global_store_transactions,
+            "dram_transactions": self.dram_transactions,
+            "tbs_executed": self.tbs_executed,
+        }

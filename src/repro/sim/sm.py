@@ -1,0 +1,299 @@
+"""Event-driven SM timing engine.
+
+One :class:`SMEngine` simulates a single streaming multiprocessor executing
+the thread blocks assigned to it.  Warps are generators (see
+:mod:`repro.sim.interp`); the engine advances simulated time only to the
+points where a warp issues an instruction, so the cost is O(dynamic
+instructions), not O(cycles).
+
+The model captures exactly the mechanisms the paper's argument rests on:
+
+* latency hiding — more ready warps means memory stalls overlap;
+* L1D contention — all resident warps share one set-associative L1D, so a
+  divergent loop thrashes it and destroys intra-thread reuse;
+* bandwidth pressure — L2/DRAM ports serialize per transaction, so floods of
+  uncoalesced misses queue up;
+* real throttling semantics — ``__syncthreads`` barriers (warp-level
+  throttling) and shared-memory occupancy limits (TB-level throttling) are
+  honored structurally; there is no "throttle" flag anywhere in the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from .arch import GPUSpec, SMConfig
+from .cache import Cache
+from .coalescer import coalesce
+from .events import ComputeEvent, MemEvent, SyncEvent
+from .metrics import SMMetrics
+
+_INF = float("inf")
+
+
+@dataclass
+class WarpSlot:
+    gen: Iterator
+    tb_index: int          # index into the engine's active-TB table
+    warp_in_tb: int
+    age: int               # global launch order, for GTO tie-breaking
+    slot_index: int = -1   # position in the engine's slot table
+    ready: float = 0.0
+    done: bool = False
+    at_barrier: bool = False
+    # Completion times of in-flight loads (bounded by mem_pipeline_depth).
+    outstanding: list[float] = field(default_factory=list)
+
+
+@dataclass
+class TBSlot:
+    tb_id: int
+    warps: list[WarpSlot] = field(default_factory=list)
+    arrived: int = 0       # warps waiting at the current barrier
+    live: int = 0          # warps not yet finished
+    barrier_drain: float = 0.0  # latest in-flight load among arrived warps
+
+
+class SMEngine:
+    """Executes TBs on one SM under the event-driven timing model."""
+
+    def __init__(self, spec: GPUSpec, config: SMConfig,
+                 scheduler: str = "gto", metrics: SMMetrics | None = None,
+                 l2: Cache | None = None,
+                 governor=None, governor_period: int = 256,
+                 l1_bypass: bool = False):
+        """``governor`` is an optional callback ``governor(engine) -> None``
+        invoked every ``governor_period`` issued events; it may mutate
+        ``engine.paused_tbs`` (active-TB indexes) to throttle residency at
+        run time — the hook the DynCTA-style baseline uses.
+
+        ``l1_bypass`` models the §2.2 cache-bypassing comparators (-dlcm=cg):
+        global loads skip the L1D entirely."""
+        if scheduler not in ("gto", "lrr"):
+            raise ValueError(f"unknown scheduler policy {scheduler!r}")
+        self.spec = spec
+        self.config = config
+        self.scheduler = scheduler
+        self.metrics = metrics or SMMetrics()
+        self.l1 = Cache(config.l1d_bytes, spec.cache_line, spec.l1_assoc, "L1D")
+        self.l2 = l2 or Cache(spec.l2_slice_bytes(), spec.cache_line,
+                              spec.l2_assoc, "L2")
+        # Expose the live cache counters through the metrics object.
+        self.metrics.l1_load = self.l1.stats
+        self.metrics.l2_load = self.l2.stats
+        # Port availability times (queueing model).
+        self.now = 0.0
+        self.issue_free = 0.0
+        self.lsu_free = 0.0
+        self.l2_free = 0.0
+        self.dram_free = 0.0
+        self._age = 0
+        self._issue_seq = 0
+        self.governor = governor
+        self.governor_period = governor_period
+        self.paused_tbs: set[int] = set()
+        self._events_since_governor = 0
+        self.pause_quantum = 512.0
+        self.l1_bypass = l1_bypass
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        tb_ids: list[int],
+        warp_factory: Callable[[int], list[Iterator]],
+        resident_limit: int,
+    ) -> SMMetrics:
+        """Execute ``tb_ids`` with at most ``resident_limit`` TBs resident.
+
+        ``warp_factory(tb_id)`` materializes the warp generators of one TB —
+        lazily, so shared-memory blocks are created at TB activation, exactly
+        when a real SM would allocate them.
+        """
+        if resident_limit < 1:
+            raise ValueError("resident_limit must be >= 1")
+        pending = list(tb_ids)
+        active: list[TBSlot] = []
+        heap: list[tuple[float, int, int]] = []  # (ready, tie, slot_index)
+        slots: list[WarpSlot] = []
+        self.slots = slots  # exposed for run-time governors
+
+        def activate(tb_id: int, start: float) -> None:
+            tb = TBSlot(tb_id)
+            tb_index = len(active)
+            active.append(tb)
+            for w, gen in enumerate(warp_factory(tb_id)):
+                slot = WarpSlot(gen, tb_index, w, self._age,
+                                slot_index=len(slots), ready=start)
+                self._age += 1
+                tb.warps.append(slot)
+                tb.live += 1
+                slots.append(slot)
+                heapq.heappush(heap, (slot.ready, self._tie(slot), slot.slot_index))
+
+        while pending and len(active) < resident_limit:
+            activate(pending.pop(0), 0.0)
+
+        while heap:
+            ready, _tie, slot_idx = heapq.heappop(heap)
+            warp = slots[slot_idx]
+            if warp.done or warp.at_barrier or warp.ready != ready:
+                continue  # stale heap entry
+            if warp.tb_index in self.paused_tbs:
+                live_tbs = {s.tb_index for s in slots if not s.done}
+                if live_tbs <= self.paused_tbs:
+                    self.paused_tbs.clear()  # never let pausing deadlock
+                else:
+                    # Governor-paused TB: defer this warp by one quantum.
+                    warp.ready = max(self.now, ready) + self.pause_quantum
+                    heapq.heappush(heap, (warp.ready, self._tie(warp), slot_idx))
+                    continue
+            self.now = max(self.now, ready)
+            if self.governor is not None:
+                self._events_since_governor += 1
+                if self._events_since_governor >= self.governor_period:
+                    self._events_since_governor = 0
+                    self.governor(self)
+            try:
+                event = next(warp.gen)
+            except StopIteration:
+                self._retire_warp(warp, active, pending, activate, heap, slots)
+                continue
+            if isinstance(event, ComputeEvent):
+                self._do_compute(warp, event)
+            elif isinstance(event, MemEvent):
+                self._do_mem(warp, event)
+            elif isinstance(event, SyncEvent):
+                self._do_sync(warp, active[warp.tb_index], heap, slots)
+                continue  # parked; re-queued at barrier release
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown event {event!r}")
+            heapq.heappush(heap, (warp.ready, self._tie(warp), slot_idx))
+
+        self.metrics.cycles = int(max(self.now, self.issue_free))
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    def _tie(self, warp: WarpSlot) -> int:
+        if self.scheduler == "gto":
+            return warp.age  # oldest-first among equally-ready warps
+        self._issue_seq += 1
+        return self._issue_seq  # FIFO re-queue order = loose round-robin
+
+    def _retire_warp(self, warp, active, pending, activate, heap, slots) -> None:
+        warp.done = True
+        if warp.outstanding:
+            # A warp is not finished until its in-flight loads complete.
+            self.now = max(self.now, max(warp.outstanding))
+            warp.outstanding.clear()
+        tb = active[warp.tb_index]
+        tb.live -= 1
+        self._maybe_release_barrier(tb, heap, slots)
+        if tb.live == 0:
+            self.metrics.tbs_executed += 1
+            if pending:
+                activate(pending.pop(0), self.now)
+
+    # ------------------------------------------------------------------
+    def _do_compute(self, warp: WarpSlot, event: ComputeEvent) -> None:
+        t = self.spec.timing
+        start = max(self.now, self.issue_free)
+        self.issue_free = start + event.ops * t.issue_cycles \
+            + event.sfu_ops * t.issue_cycles
+        latency = t.compute_cycles if event.ops else 0
+        if event.sfu_ops:
+            latency = max(latency, t.sfu_cycles)
+        warp.ready = self.issue_free + latency
+        self.metrics.instructions += event.ops + event.sfu_ops
+
+    def _do_mem(self, warp: WarpSlot, event: MemEvent) -> None:
+        t = self.spec.timing
+        self.metrics.instructions += 1
+        self.metrics.warp_mem_insts += 1
+        start = max(self.now, self.issue_free)
+        if not event.write and len(warp.outstanding) >= t.mem_pipeline_depth:
+            # MLP window full: the warp stalls on its oldest in-flight load.
+            warp.outstanding.sort()
+            start = max(start, warp.outstanding.pop(0))
+        self.issue_free = start + t.issue_cycles
+        if event.space == "shared":
+            self.metrics.shared_transactions += 1
+            warp.ready = start + (t.issue_cycles if event.write
+                                  else t.shared_latency)
+            return
+        lines = coalesce(event.addresses, event.access_size, self.spec.cache_line)
+        ntxn = int(lines.size)
+        self.metrics.mem_trace.record(ntxn)
+        if event.write:
+            self.metrics.global_store_transactions += ntxn
+        else:
+            self.metrics.global_load_transactions += ntxn
+        finish = start
+        lsu = max(self.lsu_free, start)
+        for line in lines.tolist():
+            txn_start = lsu
+            lsu += t.lsu_txn_cycles
+            if event.write:
+                hit = self.l1.write(line)
+                if hit:
+                    # Store hit: coalesces into the resident line; no
+                    # downstream traffic (write-back behaviour).
+                    self.metrics.l1_store_hits += 1
+                    continue
+                self.metrics.l1_store_misses += 1
+                # Store miss: fire-and-forget past the LSU, but it consumes
+                # L2/DRAM bandwidth.
+                l2_start = max(self.l2_free, txn_start)
+                self.l2_free = l2_start + t.l2_txn_cycles
+                if not self.l2.access(line, write=True):
+                    dram_start = max(self.dram_free, l2_start)
+                    self.dram_free = dram_start + t.dram_txn_cycles
+                    self.metrics.dram_transactions += 1
+                continue
+            if not self.l1_bypass and self.l1.access(line):
+                done = txn_start + t.l1_latency
+            else:
+                l2_start = max(self.l2_free, txn_start)
+                self.l2_free = l2_start + t.l2_txn_cycles
+                if self.l2.access(line):
+                    done = l2_start + t.l2_latency
+                else:
+                    dram_start = max(self.dram_free, l2_start)
+                    self.dram_free = dram_start + t.dram_txn_cycles
+                    self.metrics.dram_transactions += 1
+                    done = dram_start + t.dram_latency
+            finish = max(finish, done)
+        self.lsu_free = lsu
+        if event.write:
+            warp.ready = self.issue_free
+        else:
+            # The warp keeps issuing; it stalls later when its MLP window
+            # fills (see above) or at a barrier/retire drain point.
+            warp.outstanding.append(finish)
+            warp.ready = self.issue_free
+
+    def _do_sync(self, warp: WarpSlot, tb: TBSlot,
+                 heap: list, slots: list[WarpSlot]) -> None:
+        warp.at_barrier = True
+        warp.ready = _INF
+        if warp.outstanding:
+            # Loads must drain before the barrier releases.
+            tb.barrier_drain = max(tb.barrier_drain, max(warp.outstanding))
+            warp.outstanding.clear()
+        tb.arrived += 1
+        self.metrics.barriers += 1
+        self._maybe_release_barrier(tb, heap, slots)
+
+    def _maybe_release_barrier(self, tb: TBSlot, heap: list,
+                               slots: list[WarpSlot]) -> None:
+        if tb.arrived == 0 or tb.arrived < tb.live:
+            return
+        release = max(self.now, tb.barrier_drain) + self.spec.timing.barrier_cycles
+        tb.barrier_drain = 0.0
+        for w in tb.warps:
+            if w.at_barrier:
+                w.at_barrier = False
+                w.ready = release
+                heapq.heappush(heap, (w.ready, self._tie(w), w.slot_index))
+        tb.arrived = 0

@@ -1,0 +1,28 @@
+"""CATT code transformations (§4.3): warp-level and TB-level throttling."""
+
+from .pipeline import (
+    CattCompilation,
+    KernelTransform,
+    catt_compile,
+    force_throttle,
+    specialize_kernel,
+)
+from .tb_throttle import DUMMY_NAME, add_dummy_shared, dummy_bytes_in
+from .utils import linear_warp_id_expr, replace_stmt, with_body, with_function
+from .warp_throttle import split_loop_for_warp_groups
+
+__all__ = [
+    "CattCompilation",
+    "KernelTransform",
+    "catt_compile",
+    "force_throttle",
+    "specialize_kernel",
+    "DUMMY_NAME",
+    "add_dummy_shared",
+    "dummy_bytes_in",
+    "linear_warp_id_expr",
+    "replace_stmt",
+    "with_body",
+    "with_function",
+    "split_loop_for_warp_groups",
+]

@@ -1,0 +1,224 @@
+"""The CATT source-to-source compiler pipeline (§4).
+
+``catt_compile`` = static analysis (§4.1–4.2) + code transformation (§4.3):
+
+1. resolve occupancy and the shared-memory carveout (Eqs. 1–4);
+2. per loop, estimate the L1D footprint (Eqs. 5–8);
+3. per loop, search throttling factors (Eq. 9) — warp level first, TB level
+   only if warp level cannot fit the footprint;
+4. split throttled loops into guarded warp groups (Fig. 4) and/or add a dummy
+   shared array (Fig. 5).
+
+``force_throttle`` applies a *fixed* (N, M) to every top-level loop — the
+building block of the BFTT baseline (§5), which searches fixed TLPs with
+"warp-level throttling and TB-level throttling methods".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..analysis.kernel_info import (
+    KernelAnalysis,
+    LoopAnalysis,
+    TBThrottlePlan,
+    analyze_kernel,
+    tb_throttle_plan,
+)
+from ..analysis.occupancy import shared_usage_bytes
+from ..analysis.throttle import candidate_ns
+from ..frontend.ast_nodes import FunctionDef, TranslationUnit
+from ..sim.arch import GPUSpec
+from .tb_throttle import add_dummy_shared
+from .utils import with_function
+from .warp_throttle import split_loop_for_warp_groups
+
+
+@dataclass
+class KernelTransform:
+    """What CATT did to one kernel."""
+
+    kernel_name: str
+    analysis: KernelAnalysis
+    warp_splits: list[tuple[int, int]] = field(default_factory=list)  # (loop_id, N)
+    tb_plan: TBThrottlePlan | None = None
+    tiles: list[tuple[int, int]] = field(default_factory=list)  # (loop_id, T)
+    analysis_seconds: float = 0.0
+
+    @property
+    def transformed(self) -> bool:
+        return bool(self.warp_splits) or self.tb_plan is not None \
+            or bool(self.tiles)
+
+
+@dataclass
+class CattCompilation:
+    """Result of compiling a translation unit with CATT."""
+
+    original: TranslationUnit
+    unit: TranslationUnit
+    transforms: dict[str, KernelTransform]
+
+    def transform_for(self, kernel_name: str) -> KernelTransform:
+        return self.transforms[kernel_name]
+
+
+def _select_loops(analysis: KernelAnalysis) -> list[LoopAnalysis]:
+    """Throttled loops, skipping ones nested inside another throttled loop."""
+    selected: list[LoopAnalysis] = []
+    selected_ids: set[int] = set()
+    for la in sorted(analysis.loops, key=lambda l: l.record.depth):
+        if not (la.decision.throttles and la.decision.n > 1):
+            continue
+        ancestor = la.record.parent_id
+        skip = False
+        while ancestor is not None:
+            if ancestor in selected_ids:
+                skip = True
+                break
+            ancestor = analysis.kernel_loops.loop(ancestor).parent_id
+        if skip:
+            continue
+        selected.append(la)
+        selected_ids.add(la.record.loop_id)
+    return selected
+
+
+def catt_compile(
+    unit: TranslationUnit,
+    launches: dict[str, tuple],
+    spec: GPUSpec,
+    enable_tiling: bool = False,
+    irregular_req: int = 1,
+) -> CattCompilation:
+    """Compile every kernel in ``launches`` (name -> (grid, block)) with CATT.
+
+    ``enable_tiling`` turns on the future-work reduction-tiling transform
+    (:mod:`repro.transform.tiling`) for loops whose contention is otherwise
+    unresolvable — the paper's CORR case.  Off by default, as in the paper.
+    ``irregular_req`` is §4.2's conservative request count for irregular
+    accesses (1); the A2 ablation passes 32.
+    """
+    from .tiling import try_tile_unresolvable
+
+    out = unit
+    transforms: dict[str, KernelTransform] = {}
+    for name, (grid, block) in launches.items():
+        t0 = time.perf_counter()
+        analysis = analyze_kernel(out, name, block, spec, grid=grid,
+                                  irregular_req=irregular_req)
+        record = KernelTransform(name, analysis)
+        kernel = out.kernel(name)
+
+        if enable_tiling:
+            for la in analysis.loops:
+                if la.decision.needed and not la.decision.fits:
+                    l1d_lines = analysis.occupancy.l1d_bytes // spec.cache_line
+                    tiled = try_tile_unresolvable(kernel, la, l1d_lines)
+                    if tiled is not None:
+                        kernel, tile = tiled
+                        record.tiles.append((la.loop_id, tile))
+
+        for la in _select_loops(analysis):
+            try:
+                kernel = split_loop_for_warp_groups(
+                    kernel,
+                    la.record.stmt,
+                    la.decision.n,
+                    analysis.occupancy.warps_per_tb,
+                    analysis.block_dim,
+                    spec.warp_size,
+                )
+            except ValueError:
+                # The loop object was restructured by an earlier transform
+                # (tiling) — its footprint has changed anyway; skip.
+                continue
+            record.warp_splits.append((la.record.loop_id, la.decision.n))
+
+        tb_m = analysis.tb_m
+        if tb_m > 0:
+            plan = tb_throttle_plan(
+                spec,
+                shared_usage_bytes(out.kernel(name)),
+                analysis.occupancy.tb_sm - tb_m,
+            )
+            if plan is not None and plan.dummy_bytes > 0:
+                kernel = add_dummy_shared(kernel, plan.dummy_bytes)
+                record.tb_plan = plan
+
+        record.analysis_seconds = time.perf_counter() - t0
+        if record.transformed:
+            out = with_function(out, kernel)
+        transforms[name] = record
+    return CattCompilation(original=unit, unit=out, transforms=transforms)
+
+
+def force_throttle(
+    unit: TranslationUnit,
+    kernel_name: str,
+    block,
+    spec: GPUSpec,
+    n: int,
+    m: int,
+    grid=None,
+) -> TranslationUnit:
+    """Apply a fixed (N, M) throttle to every top-level loop of one kernel.
+
+    This is the mechanism BFTT (and the Fig. 9 sensitivity sweep) uses to
+    realize an arbitrary TLP: the same Fig. 4 / Fig. 5 transformations, with
+    factors chosen by search instead of analysis.
+    """
+    analysis = analyze_kernel(unit, kernel_name, block, spec, grid=grid)
+    warps = analysis.occupancy.warps_per_tb
+    if n not in candidate_ns(warps):
+        raise ValueError(f"N={n} not a valid division of {warps} warps")
+    kernel = unit.kernel(kernel_name)
+    if n > 1:
+        for la in analysis.loops:
+            if la.record.depth != 0:
+                continue
+            kernel = split_loop_for_warp_groups(
+                kernel, la.record.stmt, n, warps, analysis.block_dim,
+                spec.warp_size,
+            )
+    if m > 0:
+        target = analysis.occupancy.tb_sm - m
+        if target < 1:
+            raise ValueError(f"M={m} leaves no resident TBs")
+        plan = tb_throttle_plan(
+            spec, shared_usage_bytes(unit.kernel(kernel_name)), target
+        )
+        if plan is None:
+            raise ValueError(f"cannot express a {target}-TB limit via carveout")
+        if plan.dummy_bytes > 0:
+            kernel = add_dummy_shared(kernel, plan.dummy_bytes)
+    return with_function(unit, kernel)
+
+
+def specialize_kernel(
+    unit: TranslationUnit,
+    kernel_name: str,
+    block,
+    spec: GPUSpec,
+    factors: list[tuple[int, int]],
+    grid=None,
+) -> tuple[TranslationUnit, dict[tuple[int, int], str]]:
+    """§4.3's dynamic-parameter fallback: emit one specialized copy of the
+    kernel per (N, M) so the host can pick at run time.
+
+    Returns the augmented unit and a (N, M) -> specialized-kernel-name map.
+    """
+    names: dict[tuple[int, int], str] = {}
+    out = unit
+    for n, m in factors:
+        variant_unit = force_throttle(out, kernel_name, block, spec, n, m, grid)
+        variant = variant_unit.kernel(kernel_name)
+        new_name = f"{kernel_name}__catt_n{n}_m{m}"
+        renamed = FunctionDef(
+            new_name, variant.return_type, variant.params, variant.body,
+            is_kernel=True, is_device=False, loc=variant.loc,
+        )
+        out = TranslationUnit(out.functions + (renamed,), dict(out.defines))
+        names[(n, m)] = new_name
+    return out, names

@@ -1,0 +1,65 @@
+"""TB-level throttling transform (Fig. 5).
+
+Limits the number of concurrently resident TBs by inflating the kernel's
+shared-memory usage with a dummy ``__shared__`` array, plus one write so the
+allocation is not dead (paper: "We add a simple write command to shared
+memory so that the compiler does not remove the shared memory allocation").
+
+The dummy is sized by :func:`repro.analysis.kernel_info.tb_throttle_plan` to
+be *self-limiting*: ``target + 1`` TBs must not fit even at the largest
+carveout, because occupancy is re-derived from the source at launch (Eq. 4).
+This is exactly the paper's Fig. 5 (48 KB per TB → 2 resident TBs), and it is
+why CATT prefers warp-level throttling — the dummy costs L1D capacity on a
+unified-cache part (§4.3's "constraints on TB-level throttling").
+"""
+
+from __future__ import annotations
+
+from ..frontend.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    CType,
+    Declarator,
+    DeclStmt,
+    ExprStmt,
+    FunctionDef,
+    Ident,
+    IntLit,
+    MemberRef,
+)
+from .utils import with_body
+
+DUMMY_NAME = "__catt_dummy_shared"
+
+
+def add_dummy_shared(kernel: FunctionDef, dummy_bytes: int) -> FunctionDef:
+    """Prepend a ``dummy_bytes``-byte ``__shared__ float`` array + one write."""
+    if dummy_bytes <= 0:
+        return kernel
+    elems = max(-(-dummy_bytes // 4), 1)
+    decl = DeclStmt(
+        CType("float"),
+        (Declarator(DUMMY_NAME, (elems,)),),
+        is_shared=True,
+    )
+    tidx = MemberRef(Ident("threadIdx"), "x")
+    # threadIdx.x % elems keeps the keep-alive write in bounds for any TB size.
+    index = BinOp("%", tidx, IntLit(elems))
+    write = ExprStmt(Assign("=", ArrayRef(Ident(DUMMY_NAME), index), IntLit(0)))
+    new_body = Block((decl, write) + kernel.body.statements, kernel.body.loc)
+    return with_body(kernel, new_body)
+
+
+def dummy_bytes_in(kernel: FunctionDef) -> int:
+    """Bytes of CATT dummy shared memory already present (for idempotence)."""
+    for stmt in kernel.body.statements:
+        if isinstance(stmt, DeclStmt) and stmt.is_shared:
+            for d in stmt.declarators:
+                if d.name == DUMMY_NAME:
+                    count = 1
+                    for nmb in d.array_sizes:
+                        count *= nmb
+                    return count * stmt.type.element_size
+    return 0

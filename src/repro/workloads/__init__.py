@@ -1,0 +1,20 @@
+"""The Table-2 benchmark suite, rewritten in the CUDA subset and scaled for
+single-SM simulation (DESIGN.md §2)."""
+
+from .base import Launch, Workload, WorkloadRun, run_workload
+from .microbench import microbench_source, run_microbench
+from .registry import CI_GROUP, CS_GROUP, WORKLOADS, get_workload, table2_rows
+
+__all__ = [
+    "Launch",
+    "Workload",
+    "WorkloadRun",
+    "run_workload",
+    "microbench_source",
+    "run_microbench",
+    "CI_GROUP",
+    "CS_GROUP",
+    "WORKLOADS",
+    "get_workload",
+    "table2_rows",
+]

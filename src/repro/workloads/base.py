@@ -1,0 +1,152 @@
+"""Workload framework: the Table-2 benchmark suite runs through this.
+
+A :class:`Workload` bundles a CUDA-subset source, launch configurations,
+input construction, and a NumPy reference check.  ``run_workload`` executes
+it on the simulator under any of the competing schemes (baseline source,
+CATT-compiled source, BFTT-forced source) and returns per-kernel metrics.
+
+Scaling: every workload supports ``scale="bench"`` (the experiment harness,
+seconds per run) and ``scale="test"`` (unit tests, sub-second).  Sizes are
+chosen so the footprint/L1D ratios land in the same regime as the paper's
+full-size inputs (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..frontend import TranslationUnit, parse
+from ..runtime import Device, DeviceArray
+from ..sim.arch import TITAN_V_SIM, GPUSpec
+from ..sim.launch import LaunchResult
+
+Dim = int | tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Launch:
+    """One kernel launch: names in ``args`` index the workload's buffers."""
+
+    kernel: str
+    grid: Dim
+    block: Dim
+    args: tuple[str, ...]
+
+
+@dataclass
+class WorkloadRun:
+    """Results of executing a workload once on the simulator."""
+
+    workload: str
+    results: list[LaunchResult] = field(default_factory=list)
+    verified: bool | None = None
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(r.cycles for r in self.results)
+
+    def cycles_by_kernel(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.results:
+            out[r.kernel_name] = out.get(r.kernel_name, 0) + r.cycles
+        return out
+
+    def hit_rate_by_kernel(self) -> dict[str, float]:
+        loads: dict[str, list[int]] = {}
+        for r in self.results:
+            acc = loads.setdefault(r.kernel_name, [0, 0])
+            acc[0] += r.metrics.l1_load.hits
+            acc[1] += r.metrics.l1_load.accesses
+        return {k: (h / a if a else 0.0) for k, (h, a) in loads.items()}
+
+
+class Workload(abc.ABC):
+    """Base class for all benchmark applications."""
+
+    name: str = "?"
+    group: str = "CS"            # "CS" or "CI" (Table 2)
+    description: str = ""
+    paper_input: str = ""        # the paper's input column, for Table 2
+    smem_kb: float = 0.0         # the paper's SMEM column, for Table 2
+
+    def __init__(self, scale: str = "bench"):
+        if scale not in ("bench", "test"):
+            raise ValueError(f"unknown scale {scale!r}")
+        self.scale = scale
+        self.rng = np.random.default_rng(hash(self.name) % (2**31))
+        self._configure()
+
+    # -- to implement ------------------------------------------------------
+    @abc.abstractmethod
+    def _configure(self) -> None:
+        """Set size attributes for ``self.scale``."""
+
+    @abc.abstractmethod
+    def source(self) -> str:
+        """CUDA-subset source of all kernels."""
+
+    @abc.abstractmethod
+    def launches(self) -> list[Launch]:
+        """Kernel launches, in execution order."""
+
+    @abc.abstractmethod
+    def setup(self, dev: Device) -> dict[str, DeviceArray | int | float]:
+        """Allocate inputs/outputs; keys are launch-arg names."""
+
+    def verify(self, buffers: dict) -> None:
+        """Assert device results match the NumPy reference (optional)."""
+
+    # -- derived -------------------------------------------------------------
+    def unit(self) -> TranslationUnit:
+        return parse(self.source())
+
+    def launch_configs(self) -> dict[str, tuple[Dim, Dim]]:
+        """kernel name -> (grid, block), first occurrence wins."""
+        configs: dict[str, tuple[Dim, Dim]] = {}
+        for l in self.launches():
+            configs.setdefault(l.kernel, (l.grid, l.block))
+        return configs
+
+    def execute(
+        self,
+        dev: Device,
+        unit: TranslationUnit,
+        buffers: dict,
+        **launch_kw,
+    ) -> list[LaunchResult]:
+        """Run all launches in order.  Iterative workloads override this."""
+        results = []
+        for l in self.launches():
+            args = [buffers[a] for a in l.args]
+            results.append(
+                dev.launch(unit, l.kernel, l.grid, l.block, args, **launch_kw)
+            )
+        return results
+
+
+def run_workload(
+    workload: Workload,
+    spec: GPUSpec = TITAN_V_SIM,
+    unit: TranslationUnit | None = None,
+    verify: bool = True,
+    scheduler: str = "gto",
+    **launch_kw,
+) -> WorkloadRun:
+    """Execute ``workload`` on a fresh simulated device.
+
+    ``unit`` overrides the source (pass a CATT-compiled or BFTT-forced unit);
+    it must contain kernels with the baseline names.
+    """
+    dev = Device(spec, scheduler=scheduler)
+    buffers = workload.setup(dev)
+    if unit is None:
+        unit = workload.unit()
+    results = workload.execute(dev, unit, buffers, **launch_kw)
+    run = WorkloadRun(workload.name, results)
+    if verify:
+        workload.verify(buffers)
+        run.verified = True
+    return run

@@ -1,0 +1,1 @@
+"""Polybench/GPU workloads (Grauer-Gray et al.)."""

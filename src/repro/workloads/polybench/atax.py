@@ -1,0 +1,80 @@
+"""ATAX — matrix transpose and vector multiplication (Polybench/GPU).
+
+The paper's flagship example (Figs. 1/4/5, §3.1): kernel 1 walks matrix rows
+(``A[i*NY+j]`` — inter-thread distance NY, fully divergent, heavy L1D
+contention) while kernel 2 walks columns (coalesced, no contention).  CATT
+throttles kernel 1 only; BFTT's single app-wide TLP hurts kernel 2 (§5.1).
+
+Paper input: 40K×40K.  Simulation scale: 1024×256 (same footprint/L1D regime
+on the single simulated SM — see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class Atax(Workload):
+    name = "ATAX"
+    group = "CS"
+    description = "Matrix transpose and vector mul."
+    paper_input = "40K x 40K"
+    smem_kb = 0.0
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.nx, self.ny = 1024, 192
+        else:
+            self.nx, self.ny = 512, 48
+
+    def source(self) -> str:
+        return f"""
+#define NX {self.nx}
+#define NY {self.ny}
+
+__global__ void atax_kernel1(float *A, float *x, float *tmp) {{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NX) {{
+        for (int j = 0; j < NY; j++) {{
+            tmp[i] += A[i * NY + j] * x[j];
+        }}
+    }}
+}}
+
+__global__ void atax_kernel2(float *A, float *y, float *tmp) {{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < NY) {{
+        for (int i = 0; i < NX; i++) {{
+            y[j] += A[i * NY + j] * tmp[i];
+        }}
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        return [
+            Launch("atax_kernel1", -(-self.nx // 256), 256, ("A", "x", "tmp")),
+            Launch("atax_kernel2", -(-self.ny // 256), 256, ("A", "y", "tmp")),
+        ]
+
+    def setup(self, dev):
+        self.A = self.rng.standard_normal((self.nx, self.ny)).astype(np.float32)
+        self.x = self.rng.standard_normal(self.ny).astype(np.float32)
+        return {
+            "A": dev.to_device(self.A),
+            "x": dev.to_device(self.x),
+            "tmp": dev.zeros(self.nx),
+            "y": dev.zeros(self.ny),
+        }
+
+    def verify(self, buffers) -> None:
+        tmp_ref = self.A @ self.x
+        y_ref = self.A.T @ tmp_ref
+        np.testing.assert_allclose(
+            buffers["tmp"].to_host(), tmp_ref, rtol=2e-3, atol=1e-3
+        )
+        np.testing.assert_allclose(
+            buffers["y"].to_host(), y_ref, rtol=2e-2, atol=1e-2
+        )

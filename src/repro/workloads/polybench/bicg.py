@@ -1,0 +1,77 @@
+"""BICG — BiCGStab sub-kernels (Polybench/GPU).
+
+Mirror image of ATAX: kernel 1 is the coalesced column product (``s = Aᵀr``),
+kernel 2 the divergent row product (``q = Ap``).  Table 3: CATT keeps the
+baseline TLP for #1 and throttles #2 — opposite ordering to ATAX, which is
+what defeats a single app-wide BFTT choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class Bicg(Workload):
+    name = "BICG"
+    group = "CS"
+    description = "BiCGStab"
+    paper_input = "40K x 40K"
+    smem_kb = 0.0
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.nx, self.ny = 1024, 192   # rows, cols
+        else:
+            self.nx, self.ny = 512, 48
+
+    def source(self) -> str:
+        return f"""
+#define NX {self.nx}
+#define NY {self.ny}
+
+__global__ void bicg_kernel1(float *A, float *r, float *s) {{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < NY) {{
+        for (int i = 0; i < NX; i++) {{
+            s[j] += A[i * NY + j] * r[i];
+        }}
+    }}
+}}
+
+__global__ void bicg_kernel2(float *A, float *p, float *q) {{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NX) {{
+        for (int j = 0; j < NY; j++) {{
+            q[i] += A[i * NY + j] * p[j];
+        }}
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        return [
+            Launch("bicg_kernel1", -(-self.ny // 256), 256, ("A", "r", "s")),
+            Launch("bicg_kernel2", -(-self.nx // 256), 256, ("A", "p", "q")),
+        ]
+
+    def setup(self, dev):
+        self.A = self.rng.standard_normal((self.nx, self.ny)).astype(np.float32)
+        self.r = self.rng.standard_normal(self.nx).astype(np.float32)
+        self.p = self.rng.standard_normal(self.ny).astype(np.float32)
+        return {
+            "A": dev.to_device(self.A),
+            "r": dev.to_device(self.r),
+            "p": dev.to_device(self.p),
+            "s": dev.zeros(self.ny),
+            "q": dev.zeros(self.nx),
+        }
+
+    def verify(self, buffers) -> None:
+        np.testing.assert_allclose(
+            buffers["s"].to_host(), self.A.T @ self.r, rtol=2e-2, atol=1e-2
+        )
+        np.testing.assert_allclose(
+            buffers["q"].to_host(), self.A @ self.p, rtol=2e-3, atol=1e-3
+        )

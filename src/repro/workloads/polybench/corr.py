@@ -1,0 +1,125 @@
+"""CORR — correlation computation (Polybench/GPU).
+
+The paper's *unresolvable* case: the correlation kernel's outer loop re-uses
+``data[i*M+j1]`` across ``j2`` iterations, but realizing that reuse would
+require caching an entire inner column sweep per thread — beyond the L1D at
+any TLP.  CATT must detect this and leave the kernel untouched ("CORR ...
+CATT passes such cases without optimization", §5.1).
+
+Four kernels as in Table 3: mean, std, normalize ("reduce"), corr — only the
+last contains the problematic loop nest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class Corr(Workload):
+    name = "CORR"
+    group = "CS"
+    description = "Correlation computation"
+    paper_input = "2K x 2K"
+    smem_kb = 0.0
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            # Few threads, deep inner sweep: even ONE warp's per-j2 footprint
+            # (2 x 128 data lines + symmat) exceeds a 32 KB L1D, so the
+            # contention is unresolvable at any TLP — the paper's CORR case.
+            self.m, self.n = 64, 128     # variables (threads), observations
+        else:
+            self.m, self.n = 64, 16
+
+    def source(self) -> str:
+        return f"""
+#define M {self.m}
+#define N {self.n}
+#define EPS 0.005f
+
+__global__ void corr_mean(float *data, float *mean) {{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < M) {{
+        float s = 0.0f;
+        for (int i = 0; i < N; i++) {{
+            s += data[i * M + j];
+        }}
+        mean[j] = s / N;
+    }}
+}}
+
+__global__ void corr_std(float *data, float *mean, float *stddev) {{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < M) {{
+        float s = 0.0f;
+        for (int i = 0; i < N; i++) {{
+            float d = data[i * M + j] - mean[j];
+            s += d * d;
+        }}
+        s = sqrtf(s / N);
+        if (s <= EPS) {{
+            s = 1.0f;
+        }}
+        stddev[j] = s;
+    }}
+}}
+
+__global__ void corr_normalize(float *data, float *mean, float *stddev) {{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < M) {{
+        for (int i = 0; i < N; i++) {{
+            data[i * M + j] = (data[i * M + j] - mean[j]) / (sqrtf((float)N) * stddev[j]);
+        }}
+    }}
+}}
+
+__global__ void corr_kernel(float *data, float *symmat) {{
+    int j1 = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j1 < M - 1) {{
+        symmat[j1 * M + j1] = 1.0f;
+        for (int j2 = j1 + 1; j2 < M; j2++) {{
+            float sum = 0.0f;
+            for (int i = 0; i < N; i++) {{
+                sum += data[i * M + j1] * data[i * M + j2];
+            }}
+            symmat[j1 * M + j2] = sum;
+            symmat[j2 * M + j1] = sum;
+        }}
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        block = min(self.m, 128)
+        grid = -(-self.m // block)
+        return [
+            Launch("corr_mean", grid, block, ("data", "mean")),
+            Launch("corr_std", grid, block, ("data", "mean", "stddev")),
+            Launch("corr_normalize", grid, block, ("data", "mean", "stddev")),
+            Launch("corr_kernel", grid, block, ("data", "symmat")),
+        ]
+
+    def setup(self, dev):
+        self.data = self.rng.standard_normal((self.n, self.m)).astype(np.float32)
+        return {
+            "data": dev.to_device(self.data),
+            "mean": dev.zeros(self.m),
+            "stddev": dev.zeros(self.m),
+            "symmat": dev.zeros((self.m, self.m)),
+        }
+
+    def verify(self, buffers) -> None:
+        d = self.data.astype(np.float64)
+        mean = d.mean(axis=0)
+        std = np.sqrt(((d - mean) ** 2).mean(axis=0))
+        std[std <= 0.005] = 1.0
+        norm = (d - mean) / (np.sqrt(self.n) * std)
+        ref = norm.T @ norm
+        np.fill_diagonal(ref, 1.0)
+        ref[-1, -1] = 1.0
+        got = buffers["symmat"].to_host()
+        # The last variable's row is only written via symmetry.
+        np.testing.assert_allclose(got[:-1, :-1], ref[:-1, :-1],
+                                   rtol=5e-3, atol=5e-3)

@@ -1,0 +1,68 @@
+"""GEMM — matrix multiply (Polybench/GPU), cache-insensitive group.
+
+Naive 2-D kernel: ``A[i*K+k]`` is warp-uniform and ``B[k*N+j]`` coalesced, so
+the per-loop footprint is tiny; CATT must keep the baseline TLP (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class Gemm(Workload):
+    name = "GEMM"
+    group = "CI"
+    description = "Matrix multiply"
+    paper_input = "0.5K x 0.5K"
+    smem_kb = 0.0
+
+    ALPHA = 1.0
+    BETA = 0.5
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.ni, self.nj, self.nk = 32, 64, 96
+        else:
+            self.ni, self.nj, self.nk = 16, 32, 24
+
+    def source(self) -> str:
+        return f"""
+#define NI {self.ni}
+#define NJ {self.nj}
+#define NK {self.nk}
+#define ALPHA {self.ALPHA}f
+#define BETA {self.BETA}f
+
+__global__ void gemm_kernel(float *a, float *b, float *c) {{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < NI && j < NJ) {{
+        c[i * NJ + j] *= BETA;
+        for (int k = 0; k < NK; k++) {{
+            c[i * NJ + j] += ALPHA * a[i * NK + k] * b[k * NJ + j];
+        }}
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        grid = (-(-self.nj // 32), -(-self.ni // 8))
+        return [Launch("gemm_kernel", grid, (32, 8), ("a", "b", "c"))]
+
+    def setup(self, dev):
+        self.a = self.rng.standard_normal((self.ni, self.nk)).astype(np.float32)
+        self.b = self.rng.standard_normal((self.nk, self.nj)).astype(np.float32)
+        self.c0 = self.rng.standard_normal((self.ni, self.nj)).astype(np.float32)
+        return {
+            "a": dev.to_device(self.a),
+            "b": dev.to_device(self.b),
+            "c": dev.to_device(self.c0),
+        }
+
+    def verify(self, buffers) -> None:
+        ref = self.BETA * self.c0 + self.ALPHA * (self.a @ self.b)
+        np.testing.assert_allclose(
+            buffers["c"].to_host(), ref, rtol=2e-3, atol=1e-3
+        )

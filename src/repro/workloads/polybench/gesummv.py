@@ -1,0 +1,73 @@
+"""GSMV (gesummv) — scalar, vector, matrix multiplication (Polybench/GPU).
+
+One kernel with *two* divergent matrix walks in the same loop — uniform,
+heavy contention throughout, so CATT and BFTT pick the same TLP (§5.1:
+"GSMV ... have a uniform level of cache contention").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class Gesummv(Workload):
+    name = "GSMV"
+    group = "CS"
+    description = "Scalar, vector matrix multiplication"
+    paper_input = "20K x 20K"
+    smem_kb = 0.0
+
+    ALPHA = 1.5
+    BETA = 2.5
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.n, self.nc = 512, 192    # 2 TBs — the paper's (8,2) baseline
+        else:
+            self.n, self.nc = 512, 48
+
+    def source(self) -> str:
+        return f"""
+#define N {self.n}
+#define NC {self.nc}
+#define ALPHA {self.ALPHA}f
+#define BETA {self.BETA}f
+
+__global__ void gesummv_kernel(float *A, float *B, float *x, float *tmp, float *y) {{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < N) {{
+        for (int j = 0; j < NC; j++) {{
+            tmp[i] += A[i * NC + j] * x[j];
+            y[i] += B[i * NC + j] * x[j];
+        }}
+        y[i] = ALPHA * tmp[i] + BETA * y[i];
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        return [
+            Launch("gesummv_kernel", -(-self.n // 256), 256,
+                   ("A", "B", "x", "tmp", "y")),
+        ]
+
+    def setup(self, dev):
+        self.A = self.rng.standard_normal((self.n, self.nc)).astype(np.float32)
+        self.B = self.rng.standard_normal((self.n, self.nc)).astype(np.float32)
+        self.x = self.rng.standard_normal(self.nc).astype(np.float32)
+        return {
+            "A": dev.to_device(self.A),
+            "B": dev.to_device(self.B),
+            "x": dev.to_device(self.x),
+            "tmp": dev.zeros(self.n),
+            "y": dev.zeros(self.n),
+        }
+
+    def verify(self, buffers) -> None:
+        tmp = self.A @ self.x
+        y = self.ALPHA * tmp + self.BETA * (self.B @ self.x)
+        np.testing.assert_allclose(
+            buffers["y"].to_host(), y, rtol=2e-3, atol=1e-3
+        )

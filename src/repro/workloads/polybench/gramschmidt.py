@@ -1,0 +1,82 @@
+"""GRAM — Gram-Schmidt orthonormalization step (Polybench/GPU), CI group.
+
+One projection sweep: for a fixed pivot column ``k``, compute R[k,j] and
+update the trailing columns.  All walks are column-coalesced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class GramSchmidt(Workload):
+    name = "GRAM"
+    group = "CI"
+    description = "Gram-Schmidt process"
+    paper_input = "2K x 2K"
+    smem_kb = 0.0
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.rows, self.cols = 96, 256
+        else:
+            self.rows, self.cols = 24, 64
+        self.k = 0  # pivot column
+
+    def source(self) -> str:
+        return f"""
+#define ROWS {self.rows}
+#define COLS {self.cols}
+#define K {self.k}
+
+__global__ void gram_rdot(float *a, float *r) {{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < COLS && j > K) {{
+        float dot = 0.0f;
+        float nrm = 0.0f;
+        for (int i = 0; i < ROWS; i++) {{
+            dot += a[i * COLS + K] * a[i * COLS + j];
+            nrm += a[i * COLS + K] * a[i * COLS + K];
+        }}
+        r[j] = dot / nrm;
+    }}
+}}
+
+__global__ void gram_update(float *a, float *r) {{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < COLS && j > K) {{
+        for (int i = 0; i < ROWS; i++) {{
+            a[i * COLS + j] -= r[j] * a[i * COLS + K];
+        }}
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        grid = -(-self.cols // 256)
+        return [
+            Launch("gram_rdot", grid, 256, ("a", "r")),
+            Launch("gram_update", grid, 256, ("a", "r")),
+        ]
+
+    def setup(self, dev):
+        self.a = self.rng.standard_normal(
+            (self.rows, self.cols)).astype(np.float32) + 0.1
+        return {
+            "a": dev.to_device(self.a),
+            "r": dev.zeros(self.cols),
+        }
+
+    def verify(self, buffers) -> None:
+        a = self.a.astype(np.float64)
+        k = self.k
+        nrm = (a[:, k] ** 2).sum()
+        r = (a[:, k : k + 1].T @ a).ravel() / nrm
+        expected = a.copy()
+        expected[:, k + 1 :] -= np.outer(a[:, k], r[k + 1 :])
+        np.testing.assert_allclose(
+            buffers["a"].to_host()[:, k + 1 :], expected[:, k + 1 :],
+            rtol=2e-3, atol=1e-3,
+        )

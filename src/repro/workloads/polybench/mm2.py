@@ -1,0 +1,74 @@
+"""2MM — two chained matrix multiplies (Polybench/GPU), CI group."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class Mm2(Workload):
+    name = "2MM"
+    group = "CI"
+    description = "2 matrix multiply"
+    paper_input = "1K x 1K"
+    smem_kb = 0.0
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.n, self.nk = 48, 64
+        else:
+            self.n, self.nk = 16, 24
+
+    def source(self) -> str:
+        return f"""
+#define N {self.n}
+#define NK {self.nk}
+
+__global__ void mm2_kernel1(float *a, float *b, float *tmp) {{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < N && j < N) {{
+        tmp[i * N + j] = 0.0f;
+        for (int k = 0; k < NK; k++) {{
+            tmp[i * N + j] += a[i * NK + k] * b[k * N + j];
+        }}
+    }}
+}}
+
+__global__ void mm2_kernel2(float *tmp, float *c, float *d) {{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < N && j < N) {{
+        d[i * N + j] = 0.0f;
+        for (int k = 0; k < N; k++) {{
+            d[i * N + j] += tmp[i * N + k] * c[k * N + j];
+        }}
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        grid = (-(-self.n // 32), -(-self.n // 8))
+        return [
+            Launch("mm2_kernel1", grid, (32, 8), ("a", "b", "tmp")),
+            Launch("mm2_kernel2", grid, (32, 8), ("tmp", "c", "d")),
+        ]
+
+    def setup(self, dev):
+        self.a = self.rng.standard_normal((self.n, self.nk)).astype(np.float32)
+        self.b = self.rng.standard_normal((self.nk, self.n)).astype(np.float32)
+        self.c = self.rng.standard_normal((self.n, self.n)).astype(np.float32)
+        return {
+            "a": dev.to_device(self.a),
+            "b": dev.to_device(self.b),
+            "c": dev.to_device(self.c),
+            "tmp": dev.zeros((self.n, self.n)),
+            "d": dev.zeros((self.n, self.n)),
+        }
+
+    def verify(self, buffers) -> None:
+        ref = (self.a @ self.b) @ self.c
+        np.testing.assert_allclose(
+            buffers["d"].to_host(), ref, rtol=5e-3, atol=5e-3
+        )

@@ -1,0 +1,89 @@
+"""3MM — three chained matrix multiplies (Polybench/GPU), CI group."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class Mm3(Workload):
+    name = "3MM"
+    group = "CI"
+    description = "3 matrix multiply"
+    paper_input = "0.5K x 0.5K"
+    smem_kb = 0.0
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.n = 48
+        else:
+            self.n = 16
+
+    def source(self) -> str:
+        return f"""
+#define N {self.n}
+
+__global__ void mm3_kernel1(float *a, float *b, float *e) {{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < N && j < N) {{
+        e[i * N + j] = 0.0f;
+        for (int k = 0; k < N; k++) {{
+            e[i * N + j] += a[i * N + k] * b[k * N + j];
+        }}
+    }}
+}}
+
+__global__ void mm3_kernel2(float *c, float *d, float *f) {{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < N && j < N) {{
+        f[i * N + j] = 0.0f;
+        for (int k = 0; k < N; k++) {{
+            f[i * N + j] += c[i * N + k] * d[k * N + j];
+        }}
+    }}
+}}
+
+__global__ void mm3_kernel3(float *e, float *f, float *g) {{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < N && j < N) {{
+        g[i * N + j] = 0.0f;
+        for (int k = 0; k < N; k++) {{
+            g[i * N + j] += e[i * N + k] * f[k * N + j];
+        }}
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        grid = (-(-self.n // 32), -(-self.n // 8))
+        return [
+            Launch("mm3_kernel1", grid, (32, 8), ("a", "b", "e")),
+            Launch("mm3_kernel2", grid, (32, 8), ("c", "d", "f")),
+            Launch("mm3_kernel3", grid, (32, 8), ("e", "f", "g")),
+        ]
+
+    def setup(self, dev):
+        n = self.n
+        self.a = self.rng.standard_normal((n, n)).astype(np.float32)
+        self.b = self.rng.standard_normal((n, n)).astype(np.float32)
+        self.c = self.rng.standard_normal((n, n)).astype(np.float32)
+        self.d = self.rng.standard_normal((n, n)).astype(np.float32)
+        return {
+            "a": dev.to_device(self.a),
+            "b": dev.to_device(self.b),
+            "c": dev.to_device(self.c),
+            "d": dev.to_device(self.d),
+            "e": dev.zeros((n, n)),
+            "f": dev.zeros((n, n)),
+            "g": dev.zeros((n, n)),
+        }
+
+    def verify(self, buffers) -> None:
+        ref = (self.a @ self.b) @ (self.c @ self.d)
+        np.testing.assert_allclose(
+            buffers["g"].to_host(), ref, rtol=5e-3, atol=5e-2
+        )

@@ -1,0 +1,75 @@
+"""MVT — matrix-vector product and transpose (Polybench/GPU).
+
+Kernel 1 is the divergent row-major product (throttled by CATT), kernel 2
+the coalesced transpose product (left at baseline TLP) — Table 3's MVT rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class Mvt(Workload):
+    name = "MVT"
+    group = "CS"
+    description = "Matrix vector product and transpose"
+    paper_input = "40K x 40K"
+    smem_kb = 0.0
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.nr, self.nc = 1024, 192
+        else:
+            self.nr, self.nc = 512, 48
+
+    def source(self) -> str:
+        return f"""
+#define NR {self.nr}
+#define NC {self.nc}
+
+__global__ void mvt_kernel1(float *A, float *x1, float *y1) {{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NR) {{
+        for (int j = 0; j < NC; j++) {{
+            x1[i] += A[i * NC + j] * y1[j];
+        }}
+    }}
+}}
+
+__global__ void mvt_kernel2(float *A, float *x2, float *y2) {{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < NC) {{
+        for (int i = 0; i < NR; i++) {{
+            x2[j] += A[i * NC + j] * y2[i];
+        }}
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        return [
+            Launch("mvt_kernel1", -(-self.nr // 256), 256, ("A", "x1", "y1")),
+            Launch("mvt_kernel2", -(-self.nc // 256), 256, ("A", "x2", "y2")),
+        ]
+
+    def setup(self, dev):
+        self.A = self.rng.standard_normal((self.nr, self.nc)).astype(np.float32)
+        self.y1 = self.rng.standard_normal(self.nc).astype(np.float32)
+        self.y2 = self.rng.standard_normal(self.nr).astype(np.float32)
+        return {
+            "A": dev.to_device(self.A),
+            "y1": dev.to_device(self.y1),
+            "y2": dev.to_device(self.y2),
+            "x1": dev.zeros(self.nr),
+            "x2": dev.zeros(self.nc),
+        }
+
+    def verify(self, buffers) -> None:
+        np.testing.assert_allclose(
+            buffers["x1"].to_host(), self.A @ self.y1, rtol=2e-3, atol=1e-3
+        )
+        np.testing.assert_allclose(
+            buffers["x2"].to_host(), self.A.T @ self.y2, rtol=2e-2, atol=1e-2
+        )

@@ -1,0 +1,74 @@
+"""SYR2K — symmetric rank-2k update (Polybench/GPU).
+
+The paper's multidimensional-TB case (§4.2: "We examine every address
+accessed by each thread in a warp ... (i.e., SYR2K)"): 2-D thread blocks,
+with the ``b[j*M+k]``/``a[j*M+k]`` walks divergent across ``threadIdx.x``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class Syr2k(Workload):
+    name = "SYR2K"
+    group = "CS"
+    description = "Symmetric rank-2k operations"
+    paper_input = "2K x 2K"
+    smem_kb = 0.0
+
+    ALPHA = 1.2
+    BETA = 0.8
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.ni, self.nj, self.nk = 32, 64, 96  # grid (2, 4) of (32, 8)
+        else:
+            self.ni, self.nj, self.nk = 16, 32, 32
+
+    def source(self) -> str:
+        return f"""
+#define NI {self.ni}
+#define NJ {self.nj}
+#define NK {self.nk}
+#define ALPHA {self.ALPHA}f
+#define BETA {self.BETA}f
+
+__global__ void syr2k_kernel(float *a, float *b, float *c) {{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < NI && j < NJ) {{
+        c[i * NJ + j] *= BETA;
+        for (int k = 0; k < NK; k++) {{
+            c[i * NJ + j] += ALPHA * a[i * NK + k] * b[j * NK + k];
+            c[i * NJ + j] += ALPHA * b[i * NK + k] * a[j * NK + k];
+        }}
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        grid = (-(-self.nj // 32), -(-self.ni // 8))
+        return [Launch("syr2k_kernel", grid, (32, 8), ("a", "b", "c"))]
+
+    def setup(self, dev):
+        n = max(self.ni, self.nj)
+        self.a = self.rng.standard_normal((n, self.nk)).astype(np.float32)
+        self.b = self.rng.standard_normal((n, self.nk)).astype(np.float32)
+        self.c0 = self.rng.standard_normal((self.ni, self.nj)).astype(np.float32)
+        return {
+            "a": dev.to_device(self.a),
+            "b": dev.to_device(self.b),
+            "c": dev.to_device(self.c0),
+        }
+
+    def verify(self, buffers) -> None:
+        a, b = self.a, self.b
+        ref = self.BETA * self.c0 + self.ALPHA * (
+            a[: self.ni] @ b[: self.nj].T + b[: self.ni] @ a[: self.nj].T
+        )
+        np.testing.assert_allclose(
+            buffers["c"].to_host(), ref, rtol=2e-3, atol=1e-3
+        )

@@ -1,0 +1,67 @@
+"""SYRK — symmetric rank-k update (Polybench/GPU), CI group.
+
+Uses the transposed operand layout (``at[k*N+j]``) so both inner-loop walks
+are coalesced — the configuration in which SYRK behaves cache-insensitively
+(Table 2 lists SYRK in the CI group, unlike its rank-2k sibling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class Syrk(Workload):
+    name = "SYRK"
+    group = "CI"
+    description = "Symmetric rank-k operations"
+    paper_input = "1K x 1K"
+    smem_kb = 0.0
+
+    ALPHA = 1.5
+    BETA = 0.75
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.n, self.m = 64, 96
+        else:
+            self.n, self.m = 32, 24
+
+    def source(self) -> str:
+        return f"""
+#define N {self.n}
+#define M {self.m}
+#define ALPHA {self.ALPHA}f
+#define BETA {self.BETA}f
+
+__global__ void syrk_kernel(float *a, float *at, float *c) {{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < N && j < N) {{
+        c[i * N + j] *= BETA;
+        for (int k = 0; k < M; k++) {{
+            c[i * N + j] += ALPHA * a[i * M + k] * at[k * N + j];
+        }}
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        grid = (-(-self.n // 32), -(-self.n // 8))
+        return [Launch("syrk_kernel", grid, (32, 8), ("a", "at", "c"))]
+
+    def setup(self, dev):
+        self.a = self.rng.standard_normal((self.n, self.m)).astype(np.float32)
+        self.c0 = self.rng.standard_normal((self.n, self.n)).astype(np.float32)
+        return {
+            "a": dev.to_device(self.a),
+            "at": dev.to_device(np.ascontiguousarray(self.a.T)),
+            "c": dev.to_device(self.c0),
+        }
+
+    def verify(self, buffers) -> None:
+        ref = self.BETA * self.c0 + self.ALPHA * (self.a @ self.a.T)
+        np.testing.assert_allclose(
+            buffers["c"].to_host(), ref, rtol=2e-3, atol=1e-3
+        )

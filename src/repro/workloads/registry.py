@@ -1,0 +1,66 @@
+"""Workload registry — the Table-2 suite by name and group."""
+
+from __future__ import annotations
+
+from .base import Workload
+from .polybench.atax import Atax
+from .polybench.bicg import Bicg
+from .polybench.corr import Corr
+from .polybench.gemm import Gemm
+from .polybench.gesummv import Gesummv
+from .polybench.gramschmidt import GramSchmidt
+from .polybench.mm2 import Mm2
+from .polybench.mm3 import Mm3
+from .polybench.mvt import Mvt
+from .polybench.syr2k import Syr2k
+from .polybench.syrk import Syrk
+from .rodinia.backprop import Backprop
+from .rodinia.bfs import Bfs
+from .rodinia.btree import BTree
+from .rodinia.cfd import Cfd
+from .rodinia.heartwall import HeartWall
+from .rodinia.hotspot3d import Hotspot3D
+from .rodinia.huffman import Huffman
+from .rodinia.kmeans import Kmeans
+from .rodinia.lavamd import LavaMD
+from .rodinia.lud import Lud
+from .rodinia.myocyte import Myocyte
+from .rodinia.particlefilter import ParticleFilter
+
+WORKLOADS: dict[str, type[Workload]] = {
+    cls.name: cls
+    for cls in (
+        # CS group (Table 2, top)
+        Gesummv, Syr2k, Atax, Bicg, Mvt, Corr, Bfs, Cfd, Kmeans, ParticleFilter,
+        # CI group (Table 2, bottom)
+        GramSchmidt, Syrk, BTree, Hotspot3D, LavaMD, Gemm, Mm2, Mm3,
+        Backprop, Huffman, Lud, HeartWall, Myocyte,
+    )
+}
+
+CS_GROUP = [n for n, c in WORKLOADS.items() if c.group == "CS"]
+CI_GROUP = [n for n, c in WORKLOADS.items() if c.group == "CI"]
+
+
+def get_workload(name: str, scale: str = "bench") -> Workload:
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return cls(scale=scale)
+
+
+def table2_rows() -> list[dict]:
+    """Regenerate Table 2 (workload description) from the registry."""
+    rows = []
+    for name, cls in WORKLOADS.items():
+        rows.append({
+            "abbr": name,
+            "group": cls.group,
+            "application": cls.description,
+            "smem_kb": cls.smem_kb,
+            "paper_input": cls.paper_input,
+        })
+    return rows

@@ -1,0 +1,1 @@
+"""Rodinia workloads (Che et al.)."""

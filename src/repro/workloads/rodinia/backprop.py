@@ -1,0 +1,85 @@
+"""BP — back propagation layer forward pass (Rodinia), CI group.
+
+Uses a small ``__shared__`` tile like the original (Table 2: 1.06 KB SMEM),
+exercising the carveout path of Eq. 4 while remaining cache-insensitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class Backprop(Workload):
+    name = "BP"
+    group = "CI"
+    description = "Back propagation"
+    paper_input = "64K"
+    smem_kb = 1.06
+
+    HID = 16  # hidden units per block column
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.n_in = 4096
+        else:
+            self.n_in = 1024
+
+    def source(self) -> str:
+        return f"""
+#define NIN {self.n_in}
+#define HID {self.HID}
+
+__global__ void bpnn_layerforward(float *input, float *weights, float *partial) {{
+    int by = blockIdx.x;
+    int tx = threadIdx.x;
+    int ty = threadIdx.y;
+    __shared__ float input_node[16];
+    __shared__ float weight_matrix[16][16];
+    int index_in = HID * by + ty + 1;
+    if (tx == 0) {{
+        input_node[ty] = input[index_in];
+    }}
+    __syncthreads();
+    weight_matrix[ty][tx] = weights[(index_in - 1) * HID + tx];
+    __syncthreads();
+    weight_matrix[ty][tx] = weight_matrix[ty][tx] * input_node[ty];
+    __syncthreads();
+    for (int i = 1; i <= 4; i++) {{
+        int power_two = 1 << i;
+        if (ty % power_two == 0) {{
+            weight_matrix[ty][tx] = weight_matrix[ty][tx]
+                + weight_matrix[ty + power_two / 2][tx];
+        }}
+        __syncthreads();
+    }}
+    if (ty == 0) {{
+        partial[by * HID + tx] = weight_matrix[0][tx];
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        grid = self.n_in // self.HID
+        return [Launch("bpnn_layerforward", grid, (16, 16),
+                       ("input", "weights", "partial"))]
+
+    def setup(self, dev):
+        self.input = self.rng.uniform(0, 1, self.n_in + 1).astype(np.float32)
+        self.weights = self.rng.standard_normal(
+            (self.n_in, self.HID)).astype(np.float32)
+        blocks = self.n_in // self.HID
+        return {
+            "input": dev.to_device(self.input),
+            "weights": dev.to_device(self.weights),
+            "partial": dev.zeros(blocks * self.HID),
+        }
+
+    def verify(self, buffers) -> None:
+        blocks = self.n_in // self.HID
+        got = buffers["partial"].to_host().reshape(blocks, self.HID)
+        w = self.weights.reshape(blocks, self.HID, self.HID)
+        x = self.input[1:].reshape(blocks, self.HID)
+        ref = (w * x[:, :, None]).sum(axis=1)
+        np.testing.assert_allclose(got, ref, rtol=2e-3, atol=1e-3)

@@ -1,0 +1,144 @@
+"""BFS — breadth-first search (Rodinia).
+
+The paper's irregular-access case (§4.2: "in BFS, each thread traverses from
+one node in a graph to a neighboring node ... the inter-thread distance is
+constantly changed").  CATT cannot bound ``C_tid`` at compile time, sets it
+to 1 conservatively, finds a small footprint, and preserves the baseline TLP
+(Table 3: (16,4) everywhere).
+
+Iterative: the host relaunches both kernels until the frontier empties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class Bfs(Workload):
+    name = "BFS"
+    group = "CS"
+    description = "Breadth-First search"
+    paper_input = "graph128k.txt"
+    smem_kb = 0.0
+
+    MAX_ITERS = 64
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.n_nodes, self.avg_degree = 2048, 8
+        else:
+            self.n_nodes, self.avg_degree = 512, 6
+        self.block = 512
+
+    def source(self) -> str:
+        return f"""
+#define N_NODES {self.n_nodes}
+
+__global__ void bfs_kernel1(int *starts, int *edges, int *mask,
+                            int *visited, int *cost, int *updating) {{
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < N_NODES && mask[tid]) {{
+        mask[tid] = 0;
+        for (int e = starts[tid]; e < starts[tid + 1]; e++) {{
+            int nid = edges[e];
+            if (!visited[nid]) {{
+                cost[nid] = cost[tid] + 1;
+                updating[nid] = 1;
+            }}
+        }}
+    }}
+}}
+
+__global__ void bfs_kernel2(int *mask, int *visited, int *updating, int *over) {{
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < N_NODES && updating[tid]) {{
+        mask[tid] = 1;
+        visited[tid] = 1;
+        updating[tid] = 0;
+        over[0] = 1;
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        grid = -(-self.n_nodes // self.block)
+        return [
+            Launch("bfs_kernel1", grid, self.block,
+                   ("starts", "edges", "mask", "visited", "cost", "updating")),
+            Launch("bfs_kernel2", grid, self.block,
+                   ("mask", "visited", "updating", "over")),
+        ]
+
+    def _build_graph(self):
+        n, deg = self.n_nodes, self.avg_degree
+        # Ring + random chords: connected, irregular neighbour lists.
+        targets = [set() for _ in range(n)]
+        for v in range(n):
+            targets[v].add((v + 1) % n)
+            targets[(v + 1) % n].add(v)
+        extra = self.rng.integers(0, n, size=(n * (deg - 2) // 2, 2))
+        for a, b in extra:
+            if a != b:
+                targets[int(a)].add(int(b))
+                targets[int(b)].add(int(a))
+        starts = np.zeros(n + 1, dtype=np.int32)
+        edges: list[int] = []
+        for v in range(n):
+            nbrs = sorted(targets[v])
+            edges.extend(nbrs)
+            starts[v + 1] = len(edges)
+        return starts, np.array(edges, dtype=np.int32)
+
+    def setup(self, dev):
+        self.starts, self.edges = self._build_graph()
+        n = self.n_nodes
+        mask = np.zeros(n, dtype=np.int32)
+        visited = np.zeros(n, dtype=np.int32)
+        cost = np.full(n, -1, dtype=np.int32)
+        mask[0] = 1
+        visited[0] = 1
+        cost[0] = 0
+        return {
+            "starts": dev.to_device(self.starts),
+            "edges": dev.to_device(self.edges),
+            "mask": dev.to_device(mask),
+            "visited": dev.to_device(visited),
+            "cost": dev.to_device(cost),
+            "updating": dev.zeros(n, dtype=np.int32),
+            "over": dev.zeros(1, dtype=np.int32),
+        }
+
+    def execute(self, dev, unit, buffers, **launch_kw):
+        """Host loop: relaunch until kernel 2 reports no updates."""
+        k1, k2 = self.launches()
+        results = []
+        for _ in range(self.MAX_ITERS):
+            buffers["over"].view()[0] = 0
+            results.append(dev.launch(
+                unit, k1.kernel, k1.grid, k1.block,
+                [buffers[a] for a in k1.args], **launch_kw))
+            results.append(dev.launch(
+                unit, k2.kernel, k2.grid, k2.block,
+                [buffers[a] for a in k2.args], **launch_kw))
+            if buffers["over"].view()[0] == 0:
+                break
+        return results
+
+    def verify(self, buffers) -> None:
+        # Reference BFS with a deque on the host graph.
+        from collections import deque
+
+        n = self.n_nodes
+        ref = np.full(n, -1, dtype=np.int32)
+        ref[0] = 0
+        q = deque([0])
+        while q:
+            v = q.popleft()
+            for e in range(self.starts[v], self.starts[v + 1]):
+                w = self.edges[e]
+                if ref[w] < 0:
+                    ref[w] = ref[v] + 1
+                    q.append(w)
+        np.testing.assert_array_equal(buffers["cost"].to_host(), ref)

@@ -1,0 +1,107 @@
+"""BT — B+-tree lookup (Rodinia ``findK``), CI group, simplified.
+
+Each thread walks an implicit B+-tree for its own query key: the node
+accesses are data-dependent (irregular), so CATT conservatively leaves the
+TLP alone — and with small trees the working set is cache-friendly anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+FANOUT = 8
+
+
+class BTree(Workload):
+    name = "BT"
+    group = "CI"
+    description = "B+ tree"
+    paper_input = "mil.txt"
+    smem_kb = 0.0
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.levels = 4               # 8^4 = 4096 keys
+            self.nqueries = 512
+        else:
+            self.levels = 3
+            self.nqueries = 256
+
+    @property
+    def nkeys(self) -> int:
+        return FANOUT ** self.levels
+
+    def source(self) -> str:
+        return f"""
+#define FANOUT {FANOUT}
+#define LEVELS {self.levels}
+#define NQ {self.nqueries}
+
+__global__ void btree_findk(int *keys, int *offsets, int *queries, int *answers) {{
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < NQ) {{
+        int q = queries[tid];
+        int node = 0;
+        for (int level = 0; level < LEVELS; level++) {{
+            int child = 0;
+            for (int f = 1; f < FANOUT; f++) {{
+                if (q >= keys[node * FANOUT + f]) {{
+                    child = f;
+                }}
+            }}
+            node = offsets[node] + child;
+        }}
+        answers[tid] = node;
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        grid = -(-self.nqueries // 256)
+        return [Launch("btree_findk", grid, 256,
+                       ("keys", "offsets", "queries", "answers"))]
+
+    def _build_tree(self):
+        """Implicit B+-tree over sorted keys 0..nkeys-1.
+
+        Node ``n`` at level ``l`` covers a contiguous key range; ``keys``
+        holds each node's FANOUT separator keys, ``offsets`` the index of its
+        first child.  Leaf 'nodes' are identified by their final node index.
+        """
+        total_nodes = sum(FANOUT ** l for l in range(self.levels))
+        keys = np.zeros((total_nodes, FANOUT), dtype=np.int32)
+        offsets = np.zeros(total_nodes, dtype=np.int32)
+        node = 0
+        level_start = 0
+        for level in range(self.levels):
+            count = FANOUT ** level
+            next_start = level_start + count
+            span = self.nkeys // (FANOUT ** (level + 1))
+            for i in range(count):
+                base = i * span * FANOUT
+                for f in range(FANOUT):
+                    keys[node, f] = base + f * span
+                offsets[node] = next_start + i * FANOUT if level < self.levels - 1 \
+                    else i * FANOUT
+                node += 1
+            level_start = next_start
+        return keys, offsets
+
+    def setup(self, dev):
+        self.keys, self.offsets = self._build_tree()
+        self.queries = self.rng.integers(
+            0, self.nkeys, self.nqueries).astype(np.int32)
+        return {
+            "keys": dev.to_device(self.keys),
+            "offsets": dev.to_device(self.offsets),
+            "queries": dev.to_device(self.queries),
+            "answers": dev.zeros(self.nqueries, dtype=np.int32),
+        }
+
+    def verify(self, buffers) -> None:
+        # Walking the implicit tree lands exactly on the query key's index
+        # (keys are 0..nkeys-1 with uniform spans).
+        got = buffers["answers"].to_host()
+        np.testing.assert_array_equal(got, self.queries)

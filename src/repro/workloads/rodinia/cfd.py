@@ -1,0 +1,132 @@
+"""CFD — Euler3D CFD solver (Rodinia), simplified to its memory structure.
+
+Four kernels as in Table 3 (baseline TLP (6,10): 192-thread blocks, ten TBs
+resident).  The flux kernel's neighbor gather is data-dependent (irregular),
+so CATT conservatively preserves the baseline TLP — like BFS, this is a case
+where "CATT preserves the original level of TLP not to degrade the
+performance" (§5.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+NNB = 4      # neighbors per element
+NVAR = 5     # density, momentum x3, energy
+
+
+class Cfd(Workload):
+    name = "CFD"
+    group = "CS"
+    description = "CFD solver"
+    paper_input = "missile.domn.0.2M"
+    smem_kb = 0.0
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.nelr = 1920     # 10 TBs of 192 threads
+        else:
+            self.nelr = 384
+        self.block = 192
+
+    def source(self) -> str:
+        return f"""
+#define NELR {self.nelr}
+#define NNB {NNB}
+#define NVAR {NVAR}
+
+__global__ void cfd_initialize(float *variables, float *ff_variable) {{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NELR) {{
+        for (int j = 0; j < NVAR; j++) {{
+            variables[j * NELR + i] = ff_variable[j];
+        }}
+    }}
+}}
+
+__global__ void cfd_step_factor(float *variables, float *areas, float *step_factors) {{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NELR) {{
+        float density = variables[0 * NELR + i];
+        float mx = variables[1 * NELR + i];
+        float my = variables[2 * NELR + i];
+        float speed2 = (mx * mx + my * my) / (density * density + 1.0f);
+        step_factors[i] = 0.5f / (sqrtf(areas[i]) * (sqrtf(speed2) + 1.0f));
+    }}
+}}
+
+__global__ void cfd_compute_flux(int *neighbors, float *normals,
+                                 float *variables, float *fluxes) {{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NELR) {{
+        float flux = 0.0f;
+        for (int j = 0; j < NNB; j++) {{
+            int nb = neighbors[j * NELR + i];
+            float normal = normals[j * NELR + i];
+            if (nb >= 0) {{
+                flux += normal * variables[0 * NELR + nb];
+            }}
+        }}
+        fluxes[i] = flux;
+    }}
+}}
+
+__global__ void cfd_time_step(float *variables, float *fluxes, float *step_factors) {{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NELR) {{
+        variables[0 * NELR + i] = variables[0 * NELR + i]
+            + step_factors[i] * fluxes[i];
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        grid = -(-self.nelr // self.block)
+        return [
+            Launch("cfd_initialize", grid, self.block,
+                   ("variables", "ff_variable")),
+            Launch("cfd_step_factor", grid, self.block,
+                   ("variables", "areas", "step_factors")),
+            Launch("cfd_compute_flux", grid, self.block,
+                   ("neighbors", "normals", "variables", "fluxes")),
+            Launch("cfd_time_step", grid, self.block,
+                   ("variables", "fluxes", "step_factors")),
+        ]
+
+    def setup(self, dev):
+        n = self.nelr
+        self.ff = np.array([1.0, 0.5, 0.25, 0.1, 2.5], dtype=np.float32)
+        self.areas = self.rng.uniform(0.5, 2.0, n).astype(np.float32)
+        nbrs = self.rng.integers(-1, n, size=(NNB, n)).astype(np.int32)
+        self.neighbors = nbrs
+        self.normals = self.rng.standard_normal((NNB, n)).astype(np.float32)
+        return {
+            "variables": dev.zeros(NVAR * n),
+            "ff_variable": dev.to_device(self.ff),
+            "areas": dev.to_device(self.areas),
+            "step_factors": dev.zeros(n),
+            "neighbors": dev.to_device(nbrs),
+            "normals": dev.to_device(self.normals),
+            "fluxes": dev.zeros(n),
+        }
+
+    def verify(self, buffers) -> None:
+        n = self.nelr
+        var0 = np.tile(self.ff[:, None], (1, n)).astype(np.float32)
+        density, mx, my = var0[0], var0[1], var0[2]
+        speed2 = (mx * mx + my * my) / (density * density + 1.0)
+        sf = (0.5 / (np.sqrt(self.areas) * (np.sqrt(speed2) + 1.0))).astype(np.float32)
+        nb, nm = self.neighbors, self.normals
+        contrib = np.where(nb >= 0, nm * var0[0][np.maximum(nb, 0)], 0.0)
+        fluxes = contrib.sum(axis=0).astype(np.float32)
+        expected0 = var0[0] + sf * fluxes
+        got = buffers["variables"].to_host().reshape(NVAR, n)
+        np.testing.assert_allclose(got[0], expected0, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(
+            buffers["step_factors"].to_host(), sf, rtol=1e-4, atol=1e-6
+        )
+        np.testing.assert_allclose(
+            buffers["fluxes"].to_host(), fluxes, rtol=1e-4, atol=1e-5
+        )

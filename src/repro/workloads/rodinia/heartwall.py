@@ -1,0 +1,71 @@
+"""HW — Heart Wall tracking (Rodinia), CI group, simplified.
+
+One TB per tracked sample point: the template is staged into shared memory
+(the original uses 11.59 KB — Table 2) and every thread computes the sum of
+squared differences of its column of the search window.  Window reads are
+coalesced; template reads come from shared memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+TPL = 32      # template edge (threads per TB = TPL)
+WIN = 8       # search-window rows per thread
+
+
+class HeartWall(Workload):
+    name = "HW"
+    group = "CI"
+    description = "Heart wall"
+    paper_input = "test.avi"
+    smem_kb = 11.59
+
+    def _configure(self) -> None:
+        self.npoints = 8 if self.scale == "bench" else 3
+
+    def source(self) -> str:
+        return f"""
+#define TPL {TPL}
+#define WIN {WIN}
+
+__global__ void hw_track(float *templates, float *windows, float *ssd) {{
+    __shared__ float s_tpl[TPL * WIN];
+    int point = blockIdx.x;
+    int tx = threadIdx.x;
+    for (int r = 0; r < WIN; r++) {{
+        s_tpl[r * TPL + tx] = templates[point * TPL * WIN + r * TPL + tx];
+    }}
+    __syncthreads();
+    float acc = 0.0f;
+    for (int r = 0; r < WIN; r++) {{
+        float d = windows[point * TPL * WIN + r * TPL + tx] - s_tpl[r * TPL + tx];
+        acc += d * d;
+    }}
+    ssd[point * TPL + tx] = acc;
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        return [Launch("hw_track", self.npoints, TPL,
+                       ("templates", "windows", "ssd"))]
+
+    def setup(self, dev):
+        n = self.npoints * TPL * WIN
+        self.templates = self.rng.uniform(0, 255, n).astype(np.float32)
+        self.windows = self.rng.uniform(0, 255, n).astype(np.float32)
+        return {
+            "templates": dev.to_device(self.templates),
+            "windows": dev.to_device(self.windows),
+            "ssd": dev.zeros(self.npoints * TPL),
+        }
+
+    def verify(self, buffers) -> None:
+        t = self.templates.reshape(self.npoints, WIN, TPL)
+        w = self.windows.reshape(self.npoints, WIN, TPL)
+        ref = ((w - t) ** 2).sum(axis=1).reshape(-1)
+        np.testing.assert_allclose(
+            buffers["ssd"].to_host(), ref, rtol=1e-4, atol=1e-2
+        )

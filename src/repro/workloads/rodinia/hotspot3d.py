@@ -1,0 +1,83 @@
+"""HP — Hotspot3D thermal stencil (Rodinia), CI group.
+
+Each thread sweeps the z-dimension of a 7-point stencil; all accesses are
+unit-stride across threads (coalesced), so there is nothing to throttle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class Hotspot3D(Workload):
+    name = "HP"
+    group = "CI"
+    description = "Hotspot3D"
+    paper_input = "512x8"
+    smem_kb = 0.0
+
+    CC, CW, CE, CN, CS_, CT, CB = 0.4, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.nx, self.ny, self.nz = 32, 32, 24
+        else:
+            self.nx, self.ny, self.nz = 16, 16, 8
+
+    def source(self) -> str:
+        return f"""
+#define NX {self.nx}
+#define NY {self.ny}
+#define NZ {self.nz}
+
+__global__ void hotspot_kernel(float *tIn, float *tOut, float *power) {{
+    int x = blockIdx.x * blockDim.x + threadIdx.x;
+    int y = blockIdx.y * blockDim.y + threadIdx.y;
+    if (x < NX && y < NY) {{
+        for (int z = 0; z < NZ; z++) {{
+            int c = x + y * NX + z * NX * NY;
+            int w = x == 0 ? c : c - 1;
+            int e = x == NX - 1 ? c : c + 1;
+            int n = y == 0 ? c : c - NX;
+            int s = y == NY - 1 ? c : c + NX;
+            int b = z == 0 ? c : c - NX * NY;
+            int t = z == NZ - 1 ? c : c + NX * NY;
+            tOut[c] = {self.CC}f * tIn[c] + {self.CW}f * tIn[w]
+                + {self.CE}f * tIn[e] + {self.CN}f * tIn[n]
+                + {self.CS_}f * tIn[s] + {self.CT}f * tIn[t]
+                + {self.CB}f * tIn[b] + power[c];
+        }}
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        grid = (-(-self.nx // 32), -(-self.ny // 8))
+        return [Launch("hotspot_kernel", grid, (32, 8),
+                       ("tIn", "tOut", "power"))]
+
+    def setup(self, dev):
+        shape = (self.nz, self.ny, self.nx)
+        self.tIn = self.rng.uniform(320, 340, shape).astype(np.float32)
+        self.power = self.rng.uniform(0, 0.5, shape).astype(np.float32)
+        return {
+            "tIn": dev.to_device(self.tIn),
+            "tOut": dev.zeros(shape),
+            "power": dev.to_device(self.power),
+        }
+
+    def verify(self, buffers) -> None:
+        t = self.tIn.astype(np.float64)
+        w = np.concatenate([t[:, :, :1], t[:, :, :-1]], axis=2)
+        e = np.concatenate([t[:, :, 1:], t[:, :, -1:]], axis=2)
+        n = np.concatenate([t[:, :1, :], t[:, :-1, :]], axis=1)
+        s = np.concatenate([t[:, 1:, :], t[:, -1:, :]], axis=1)
+        b = np.concatenate([t[:1], t[:-1]], axis=0)
+        tt = np.concatenate([t[1:], t[-1:]], axis=0)
+        ref = (self.CC * t + self.CW * w + self.CE * e + self.CN * n
+               + self.CS_ * s + self.CT * tt + self.CB * b + self.power)
+        np.testing.assert_allclose(
+            buffers["tOut"].to_host(), ref, rtol=1e-4, atol=1e-3
+        )

@@ -1,0 +1,79 @@
+"""HM — Huffman decoding stage (Rodinia 'huffman'), CI group, simplified.
+
+Each thread decodes a fixed-length slice of the bitstream against a small
+codebook held in shared memory (Table 2: 6.13 KB SMEM).  Off-chip traffic is
+a single coalesced sweep; the hot loop runs from shared memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+CODEBOOK = 256      # one entry per byte symbol
+SYMS_PER_THREAD = 8
+
+
+class Huffman(Workload):
+    name = "HM"
+    group = "CI"
+    description = "Huffman"
+    paper_input = "test1024"
+    smem_kb = 6.13
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.nthreads = 1024
+        else:
+            self.nthreads = 256
+        self.block = 256
+
+    def source(self) -> str:
+        return f"""
+#define NT {self.nthreads}
+#define CB {CODEBOOK}
+#define SPT {SYMS_PER_THREAD}
+
+__global__ void huffman_decode(int *codes, int *lengths, int *stream, int *out) {{
+    __shared__ int s_codes[CB];
+    __shared__ int s_lengths[CB];
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    int lane = threadIdx.x;
+    s_codes[lane] = codes[lane];
+    s_lengths[lane] = lengths[lane];
+    __syncthreads();
+    if (tid < NT) {{
+        int acc = 0;
+        for (int s = 0; s < SPT; s++) {{
+            int sym = stream[tid * SPT + s] & 255;
+            acc = acc + s_codes[sym] * s_lengths[sym];
+        }}
+        out[tid] = acc;
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        grid = -(-self.nthreads // self.block)
+        return [Launch("huffman_decode", grid, self.block,
+                       ("codes", "lengths", "stream", "out"))]
+
+    def setup(self, dev):
+        self.codes = self.rng.integers(1, 1 << 16, CODEBOOK).astype(np.int32)
+        self.lengths = self.rng.integers(1, 17, CODEBOOK).astype(np.int32)
+        self.stream = self.rng.integers(
+            0, 256, self.nthreads * SYMS_PER_THREAD).astype(np.int32)
+        return {
+            "codes": dev.to_device(self.codes),
+            "lengths": dev.to_device(self.lengths),
+            "stream": dev.to_device(self.stream),
+            "out": dev.zeros(self.nthreads, dtype=np.int32),
+        }
+
+    def verify(self, buffers) -> None:
+        syms = (self.stream & 255).reshape(self.nthreads, SYMS_PER_THREAD)
+        ref = (self.codes[syms] * self.lengths[syms]).sum(axis=1,
+                                                          dtype=np.int64)
+        ref = ref.astype(np.int32)  # C int accumulation wraps
+        np.testing.assert_array_equal(buffers["out"].to_host(), ref)

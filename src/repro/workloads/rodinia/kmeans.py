@@ -1,0 +1,98 @@
+"""KM — k-means clustering (Rodinia).
+
+Kernel 1 (assign) re-walks the cluster centroids for every point: the
+centroid rows are re-used across the *outer* cluster loop, and the
+column-major ``feature[f*npoints+tid]`` walk is re-used across clusters too —
+a nested-reuse footprint CATT throttles hard (Table 3: KM (2,8)/(1,8)).
+Kernel 2 (swap) transposes the feature matrix with a divergent row-major
+store, also throttled.  Contention is uniform, so CATT ≈ BFTT here (§5.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class Kmeans(Workload):
+    name = "KM"
+    group = "CS"
+    description = "Kmeans"
+    paper_input = "819200.txt"
+    smem_kb = 0.0
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            # 32 features: the swap kernel's divergent row-major store walks
+            # 32 lines per warp (like the paper's 34-feature input), so both
+            # kernels exceed the L1D and CATT throttles both (Table 3's KM).
+            self.npoints, self.nclusters, self.nfeatures = 1024, 5, 32
+        else:
+            self.npoints, self.nclusters, self.nfeatures = 512, 3, 8
+
+    def source(self) -> str:
+        return f"""
+#define NPOINTS {self.npoints}
+#define NCLUSTERS {self.nclusters}
+#define NFEATURES {self.nfeatures}
+
+__global__ void kmeans_assign(float *feature, float *clusters, int *membership) {{
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < NPOINTS) {{
+        int index = 0;
+        float min_dist = 3.402823e38f;
+        for (int c = 0; c < NCLUSTERS; c++) {{
+            float dist = 0.0f;
+            for (int f = 0; f < NFEATURES; f++) {{
+                float d = feature[f * NPOINTS + tid] - clusters[c * NFEATURES + f];
+                dist += d * d;
+            }}
+            if (dist < min_dist) {{
+                min_dist = dist;
+                index = c;
+            }}
+        }}
+        membership[tid] = index;
+    }}
+}}
+
+__global__ void kmeans_swap(float *feature, float *feature_swap) {{
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < NPOINTS) {{
+        for (int f = 0; f < NFEATURES; f++) {{
+            feature_swap[tid * NFEATURES + f] = feature[f * NPOINTS + tid];
+        }}
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        grid = -(-self.npoints // 256)
+        return [
+            Launch("kmeans_assign", grid, 256,
+                   ("feature", "clusters", "membership")),
+            Launch("kmeans_swap", grid, 256, ("feature", "feature_swap")),
+        ]
+
+    def setup(self, dev):
+        # feature is stored column-major: feature[f * npoints + p].
+        self.feature = self.rng.standard_normal(
+            (self.nfeatures, self.npoints)).astype(np.float32)
+        self.clusters = self.rng.standard_normal(
+            (self.nclusters, self.nfeatures)).astype(np.float32)
+        return {
+            "feature": dev.to_device(self.feature),
+            "clusters": dev.to_device(self.clusters),
+            "membership": dev.zeros(self.npoints, dtype=np.int32),
+            "feature_swap": dev.zeros((self.npoints, self.nfeatures)),
+        }
+
+    def verify(self, buffers) -> None:
+        pts = self.feature.T  # (npoints, nfeatures)
+        d2 = ((pts[:, None, :] - self.clusters[None, :, :]) ** 2).sum(axis=2)
+        ref = d2.argmin(axis=1).astype(np.int32)
+        np.testing.assert_array_equal(buffers["membership"].to_host(), ref)
+        np.testing.assert_allclose(
+            buffers["feature_swap"].to_host(), pts, rtol=1e-6
+        )

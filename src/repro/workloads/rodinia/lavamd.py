@@ -1,0 +1,76 @@
+"""LVMD — LavaMD particle interactions (Rodinia), CI group, simplified.
+
+Each TB loads its home-box particles into shared memory (Table 2: 7.03 KB)
+and every thread accumulates pairwise interactions against them — off-chip
+traffic is one coalesced sweep, the inner loop runs from shared memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+PAR = 128  # particles per box (= threads per TB)
+
+
+class LavaMD(Workload):
+    name = "LVMD"
+    group = "CI"
+    description = "LavaMD"
+    paper_input = "boxes1d 10"
+    smem_kb = 7.03
+
+    A2 = 0.5
+
+    def _configure(self) -> None:
+        self.nboxes = 4 if self.scale == "bench" else 2
+
+    def source(self) -> str:
+        return f"""
+#define PAR {PAR}
+#define A2 {self.A2}f
+
+__global__ void lavamd_kernel(float *rv, float *qv, float *fv) {{
+    int bx = blockIdx.x;
+    int tx = threadIdx.x;
+    __shared__ float rA[PAR];
+    __shared__ float qA[PAR];
+    int gid = bx * PAR + tx;
+    rA[tx] = rv[gid];
+    qA[tx] = qv[gid];
+    __syncthreads();
+    float r = rA[tx];
+    float force = 0.0f;
+    for (int j = 0; j < PAR; j++) {{
+        float d = r - rA[j];
+        float u2 = A2 * d * d;
+        float vij = expf(-u2);
+        force += qA[j] * vij * d;
+    }}
+    fv[gid] = force;
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        return [Launch("lavamd_kernel", self.nboxes, PAR, ("rv", "qv", "fv"))]
+
+    def setup(self, dev):
+        n = self.nboxes * PAR
+        self.rv = self.rng.uniform(0, 2, n).astype(np.float32)
+        self.qv = self.rng.uniform(-1, 1, n).astype(np.float32)
+        return {
+            "rv": dev.to_device(self.rv),
+            "qv": dev.to_device(self.qv),
+            "fv": dev.zeros(n),
+        }
+
+    def verify(self, buffers) -> None:
+        r = self.rv.reshape(self.nboxes, PAR).astype(np.float64)
+        q = self.qv.reshape(self.nboxes, PAR).astype(np.float64)
+        d = r[:, :, None] - r[:, None, :]
+        vij = np.exp(-self.A2 * d * d)
+        ref = (q[:, None, :] * vij * d).sum(axis=2).reshape(-1)
+        np.testing.assert_allclose(
+            buffers["fv"].to_host(), ref, rtol=1e-3, atol=1e-3
+        )

@@ -1,0 +1,81 @@
+"""MC — Myocyte cardiac cell simulation (Rodinia), CI group, simplified.
+
+Per-thread ODE integration (forward Euler over a stiff-ish exponential
+system): dominated by SFU work with a single coalesced state load/store —
+the compute-bound end of Table 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class Myocyte(Workload):
+    name = "MC"
+    group = "CI"
+    description = "Myocyte"
+    paper_input = "100"
+    smem_kb = 0.0
+
+    DT = 0.05
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.ncells, self.steps = 256, 24
+        else:
+            self.ncells, self.steps = 64, 8
+
+    def source(self) -> str:
+        return f"""
+#define NC {self.ncells}
+#define STEPS {self.steps}
+#define DT {self.DT}f
+
+__global__ void myocyte_solve(float *v0, float *w0, float *v_out, float *w_out) {{
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < NC) {{
+        float v = v0[tid];
+        float w = w0[tid];
+        for (int t = 0; t < STEPS; t++) {{
+            float dv = v - v * v * v / 3.0f - w + 0.5f;
+            float dw = 0.08f * (v + 0.7f - 0.8f * w) * expf(-0.01f * v * v);
+            v = v + DT * dv;
+            w = w + DT * dw;
+        }}
+        v_out[tid] = v;
+        w_out[tid] = w;
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        grid = -(-self.ncells // 64)
+        return [Launch("myocyte_solve", grid, 64,
+                       ("v0", "w0", "v_out", "w_out"))]
+
+    def setup(self, dev):
+        self.v0 = self.rng.uniform(-1, 1, self.ncells).astype(np.float32)
+        self.w0 = self.rng.uniform(-1, 1, self.ncells).astype(np.float32)
+        return {
+            "v0": dev.to_device(self.v0),
+            "w0": dev.to_device(self.w0),
+            "v_out": dev.zeros(self.ncells),
+            "w_out": dev.zeros(self.ncells),
+        }
+
+    def verify(self, buffers) -> None:
+        v = self.v0.astype(np.float32).copy()
+        w = self.w0.astype(np.float32).copy()
+        dt = np.float32(self.DT)
+        for _ in range(self.steps):
+            dv = v - v * v * v / np.float32(3.0) - w + np.float32(0.5)
+            dw = (np.float32(0.08) * (v + np.float32(0.7) - np.float32(0.8) * w)
+                  * np.exp(np.float32(-0.01) * v * v, dtype=np.float32))
+            v = (v + dt * dv).astype(np.float32)
+            w = (w + dt * dw).astype(np.float32)
+        np.testing.assert_allclose(buffers["v_out"].to_host(), v,
+                                   rtol=2e-4, atol=1e-4)
+        np.testing.assert_allclose(buffers["w_out"].to_host(), w,
+                                   rtol=2e-4, atol=1e-4)

@@ -1,0 +1,156 @@
+"""PF — particle filter (Rodinia).
+
+The paper's multi-phase case: kernel 1 mixes two divergent loops (the
+per-particle neighborhood gather) with one coalesced loop, and kernels 2–4
+are coalesced.  CATT throttles only the first two loops of kernel 1; BFTT's
+single TLP either under-throttles them or over-throttles the rest (§5.1's
+PF discussion, Table 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Launch, Workload
+
+
+class ParticleFilter(Workload):
+    name = "PF"
+    group = "CS"
+    description = "Particle filter"
+    paper_input = "128x128x10"
+    smem_kb = 4.00
+
+    def _configure(self) -> None:
+        if self.scale == "bench":
+            self.nparticles = 1536           # 3 TBs of 512 (paper: (16,3))
+            self.num_ones = 48
+            self.sum_len = 64
+        else:
+            self.nparticles = 512
+            self.num_ones = 12
+            self.sum_len = 16
+        self.block = 512
+        self.img = 64 * 64
+
+    def source(self) -> str:
+        return f"""
+#define NP {self.nparticles}
+#define NUM_ONES {self.num_ones}
+#define SUM_LEN {self.sum_len}
+#define IMG {self.img}
+
+__global__ void pf_likelihood(float *arrayX, float *arrayY, int *ind,
+                              float *I, float *likelihood, float *partial) {{
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < NP) {{
+        for (int k = 0; k < NUM_ONES; k++) {{
+            int ix = (int)(arrayX[tid]) + k;
+            int iy = (int)(arrayY[tid]);
+            int idx = ix * 64 + iy;
+            if (idx >= IMG) {{
+                idx = idx % IMG;
+            }}
+            if (idx < 0) {{
+                idx = 0;
+            }}
+            ind[tid * NUM_ONES + k] = idx;
+        }}
+        float lk = 0.0f;
+        for (int k = 0; k < NUM_ONES; k++) {{
+            float p = I[ind[tid * NUM_ONES + k]];
+            lk += (p - 100.0f) * (p - 100.0f) - (p - 228.0f) * (p - 228.0f);
+        }}
+        likelihood[tid] = lk / NUM_ONES;
+        float acc = 0.0f;
+        for (int j = 0; j < SUM_LEN; j++) {{
+            acc += partial[j];
+        }}
+        likelihood[tid] = likelihood[tid] + acc * 0.000001f;
+    }}
+}}
+
+__global__ void pf_weights(float *weights, float *likelihood) {{
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < NP) {{
+        for (int r = 0; r < 8; r++) {{
+            weights[tid] = weights[tid] * 0.5f + likelihood[tid] * 0.125f;
+        }}
+    }}
+}}
+
+__global__ void pf_normalize(float *weights, float *norm) {{
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < NP) {{
+        for (int r = 0; r < 8; r++) {{
+            norm[tid] += weights[tid] * 0.125f;
+        }}
+    }}
+}}
+
+__global__ void pf_moments(float *arrayX, float *arrayY, float *norm, float *xe) {{
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < NP) {{
+        float acc = 0.0f;
+        for (int r = 0; r < 8; r++) {{
+            acc += arrayX[tid] * norm[tid] * 0.125f + arrayY[tid] * 0.0f;
+        }}
+        xe[tid] = acc;
+    }}
+}}
+"""
+
+    def launches(self) -> list[Launch]:
+        grid = -(-self.nparticles // self.block)
+        return [
+            Launch("pf_likelihood", grid, self.block,
+                   ("arrayX", "arrayY", "ind", "I", "likelihood", "partial")),
+            Launch("pf_weights", grid, self.block, ("weights", "likelihood")),
+            Launch("pf_normalize", grid, self.block, ("weights", "norm")),
+            Launch("pf_moments", grid, self.block,
+                   ("arrayX", "arrayY", "norm", "xe")),
+        ]
+
+    def setup(self, dev):
+        n = self.nparticles
+        self.arrayX = self.rng.uniform(0, 60, n).astype(np.float32)
+        self.arrayY = self.rng.uniform(0, 60, n).astype(np.float32)
+        self.I = self.rng.uniform(0, 255, self.img).astype(np.float32)
+        self.partial = self.rng.standard_normal(self.sum_len).astype(np.float32)
+        self.weights0 = np.full(n, 1.0 / n, dtype=np.float32)
+        return {
+            "arrayX": dev.to_device(self.arrayX),
+            "arrayY": dev.to_device(self.arrayY),
+            "ind": dev.zeros(n * self.num_ones, dtype=np.int32),
+            "I": dev.to_device(self.I),
+            "likelihood": dev.zeros(n),
+            "partial": dev.to_device(self.partial),
+            "weights": dev.to_device(self.weights0),
+            "norm": dev.zeros(n),
+            "xe": dev.zeros(n),
+        }
+
+    def verify(self, buffers) -> None:
+        n = self.nparticles
+        ks = np.arange(self.num_ones)
+        ix = self.arrayX.astype(np.int32)[:, None] + ks[None, :]
+        iy = self.arrayY.astype(np.int32)[:, None]
+        idx = ix * 64 + iy
+        idx = np.where(idx >= self.img, idx % self.img, idx)
+        idx = np.maximum(idx, 0)
+        p = self.I[idx]
+        lk = (((p - 100.0) ** 2 - (p - 228.0) ** 2).sum(axis=1)
+              / self.num_ones).astype(np.float32)
+        lk = lk + np.float32(self.partial.sum() * 0.000001)
+        w = self.weights0.copy()
+        for _ in range(8):
+            w = w * np.float32(0.5) + lk * np.float32(0.125)
+        norm = np.zeros(n, dtype=np.float32)
+        for _ in range(8):
+            norm += w * np.float32(0.125)
+        np.testing.assert_allclose(
+            buffers["weights"].to_host(), w, rtol=2e-3, atol=1e-2
+        )
+        np.testing.assert_allclose(
+            buffers["norm"].to_host(), norm, rtol=2e-3, atol=1e-2
+        )

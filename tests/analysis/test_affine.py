@@ -1,0 +1,133 @@
+"""Affine-form extraction tests (Eq. 5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.affine import TIDX, AffineForm, SymbolicEnv, analyze_expr
+from repro.frontend.parser import Parser
+from repro.frontend.lexer import tokenize
+
+
+def expr_of(text):
+    return Parser(tokenize(text))._parse_expression()
+
+
+def analyze(text, env=None):
+    return analyze_expr(expr_of(text), env or SymbolicEnv(block_dim=(256, 1, 1)))
+
+
+def test_constant():
+    f = analyze("40960")
+    assert f.is_constant and f.const == 40960
+
+
+def test_thread_symbol():
+    f = analyze("threadIdx.x")
+    assert f.coeff(TIDX) == 1
+
+
+def test_paper_atax_example():
+    """The Fig. 1 analysis: i = blockIdx.x*blockDim.x + threadIdx.x."""
+    env = SymbolicEnv(block_dim=(256, 1, 1))
+    env.bind("i", analyze("blockIdx.x * blockDim.x + threadIdx.x", env))
+    f = analyze("i * 40960 + j", env)
+    assert f.coeff(TIDX) == 40960          # C_tid = NX (no inter-thread locality)
+    assert f.coeff("param:j") == 1
+    env.bind("j", AffineForm.symbol("j"))
+    tmp = analyze("i", env)
+    assert tmp.coeff(TIDX) == 1            # tmp[i]: C_tid = 1
+    b = analyze("j", env)
+    assert b.coeff(TIDX) == 0              # B[j]: C_tid = 0
+
+
+def test_addition_merges_coefficients():
+    env = SymbolicEnv()
+    env.bind("a", AffineForm.symbol(TIDX, 2))
+    f = analyze("a + threadIdx.x", env)
+    assert f.coeff(TIDX) == 3
+
+
+def test_subtraction_and_negation():
+    f = analyze("-threadIdx.x + 10")
+    assert f.coeff(TIDX) == -1
+    assert f.const == 10
+
+
+def test_multiplication_by_constant():
+    f = analyze("threadIdx.x * 8 + 4")
+    assert f.coeff(TIDX) == 8 and f.const == 4
+
+
+def test_symbol_times_symbol_is_irregular():
+    f = analyze("threadIdx.x * threadIdx.y")
+    assert f.irregular
+
+
+def test_shift_left_scales():
+    f = analyze("threadIdx.x << 3")
+    assert f.coeff(TIDX) == 8
+
+
+def test_division_is_irregular():
+    f = analyze("threadIdx.x / 32")
+    assert f.irregular
+
+
+def test_modulo_is_irregular():
+    assert analyze("threadIdx.x % 16").irregular
+
+
+def test_array_load_is_irregular():
+    env = SymbolicEnv()
+    f = analyze("edges[threadIdx.x]", env)
+    assert f.irregular
+
+
+def test_blockdim_resolves_with_launch_config():
+    f = analyze("blockIdx.x * blockDim.x")
+    assert f.coeff("blockIdx.x") == 256
+
+
+def test_blockdim_symbolic_without_launch_config():
+    env = SymbolicEnv()  # no block_dim
+    f = analyze_expr(expr_of("blockIdx.x * blockDim.x"), env)
+    assert f.irregular  # symbol * symbol
+
+
+def test_cast_passthrough():
+    f = analyze("(int)threadIdx.x * 2")
+    assert f.coeff(TIDX) == 2
+
+
+def test_unbound_param_is_fresh_symbol():
+    f = analyze("n * 1 + threadIdx.x")
+    assert f.coeff("param:n") == 1
+    assert f.coeff(TIDX) == 1
+
+
+def test_zero_coefficient_dropped():
+    env = SymbolicEnv()
+    f = AffineForm.symbol(TIDX, 3) + AffineForm.symbol(TIDX, -3)
+    assert f.is_constant
+    assert f.symbols() == ()
+
+
+# -- property: extraction matches evaluation --------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(
+    a=st.integers(-64, 64),
+    b=st.integers(-64, 64),
+    c=st.integers(-512, 512),
+    tid=st.integers(0, 255),
+    j=st.integers(0, 100),
+)
+def test_affine_form_matches_concrete_evaluation(a, b, c, tid, j):
+    """For index ``a*threadIdx.x + b*j + c`` the extracted coefficients must
+    reproduce the concrete value at any (tid, j)."""
+    env = SymbolicEnv(block_dim=(256, 1, 1))
+    env.bind("j", AffineForm.symbol("j"))
+    f = analyze(f"threadIdx.x * ({a}) + j * ({b}) + ({c})", env)
+    assert not f.irregular
+    value = f.coeff(TIDX) * tid + f.coeff("j") * j + f.const
+    assert value == a * tid + b * j + c

@@ -1,0 +1,110 @@
+"""Coalescing model tests (Eq. 7) + agreement with the simulator's coalescer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.affine import AffineForm, TIDX, TIDY
+from repro.analysis.coalescing import (
+    paper_req_warp,
+    requests_per_warp,
+    requests_per_warp_enumerated,
+)
+from repro.sim.coalescer import coalesce, transactions_per_warp
+
+
+def test_uniform_access_one_line():
+    assert requests_per_warp(0, 4) == 1
+
+
+def test_unit_stride_one_line():
+    # 32 lanes x 4 B = 128 B = exactly one line
+    assert requests_per_warp(1, 4) == 1
+
+
+def test_stride_two_floats_two_lines():
+    assert requests_per_warp(2, 4) == 2
+
+
+def test_fully_divergent_32_lines():
+    assert requests_per_warp(1024, 4) == 32
+
+
+def test_paper_formula_matches_exact_for_4byte():
+    """Eq. 7's min(C_tid, 32) equals the exact count for 4-byte elements."""
+    for c in (0, 1, 2, 4, 8, 16, 32, 64, 1000):
+        assert requests_per_warp(c, 4) == paper_req_warp(c)
+
+
+def test_irregular_conservative_one():
+    assert requests_per_warp(None, 4) == 1
+    assert paper_req_warp(None) == 1
+
+
+def test_double_elements_halve_the_coalescing():
+    # stride 16 doubles = 128 B apart -> every lane its own line
+    assert requests_per_warp(16, 8) == 32
+    # stride 16 floats = 64 B apart -> two lanes per line
+    assert requests_per_warp(16, 4) == 16
+
+
+def test_negative_stride_same_as_positive():
+    assert requests_per_warp(-8, 4) == requests_per_warp(8, 4)
+
+
+def test_enumerated_matches_closed_form_1d():
+    for c in (0, 1, 2, 4, 8, 32, 100):
+        form = AffineForm.symbol(TIDX, c)
+        assert requests_per_warp_enumerated(form, 4, (256, 1, 1)) == \
+            requests_per_warp(c, 4)
+
+
+def test_enumerated_multidim_warp_wraps_rows():
+    # block (8, 32): one warp spans 4 rows of 8 threads; index = tidy*8+tidx
+    # is contiguous -> 1 line.
+    form = AffineForm((( TIDX, 1), (TIDY, 8)), 0)
+    assert requests_per_warp_enumerated(form, 4, (8, 32, 1)) == 1
+    # index = tidy*1024 + tidx: 4 rows 4 KB apart -> 4 lines.
+    form = AffineForm(((TIDX, 1), (TIDY, 1024)), 0)
+    assert requests_per_warp_enumerated(form, 4, (8, 32, 1)) == 4
+
+
+def test_enumerated_irregular_returns_none():
+    assert requests_per_warp_enumerated(AffineForm.unknown(), 4, (256, 1, 1)) is None
+
+
+# -- agreement with the dynamic coalescer ------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(stride=st.integers(0, 64), elem=st.sampled_from([4, 8]))
+def test_static_model_matches_dynamic_coalescer(stride, elem):
+    """Eq. 7's static count equals what the simulator's coalescing unit does
+    to the same warp access pattern (base address aligned)."""
+    addrs = (np.arange(32, dtype=np.int64) * stride * elem) + 0x10000000
+    dynamic = transactions_per_warp(addrs, elem)
+    static = requests_per_warp(stride, elem)
+    assert static == dynamic
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    addrs=st.lists(st.integers(0, 2**20), min_size=1, max_size=32),
+    size=st.sampled_from([1, 4, 8]),
+)
+def test_coalescer_bounds(addrs, size):
+    """1 <= transactions <= min(active lanes, distinct lines touched)."""
+    arr = np.array(addrs, dtype=np.int64)
+    n = transactions_per_warp(arr, size)
+    assert 1 <= n
+    distinct = len({a // 128 for a in addrs} | {(a + size - 1) // 128 for a in addrs})
+    assert n <= distinct
+
+
+def test_coalesce_straddling_access():
+    # 8-byte access starting 4 bytes before a line boundary touches 2 lines.
+    addrs = np.array([124], dtype=np.int64)
+    assert coalesce(addrs, 8).tolist() == [0, 1]
+
+
+def test_coalesce_empty():
+    assert coalesce(np.empty(0, dtype=np.int64), 4).size == 0

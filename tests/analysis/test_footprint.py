@@ -1,0 +1,112 @@
+"""Footprint estimation tests (Eq. 8 + nested-sweep multipliers)."""
+
+from repro.analysis.footprint import loop_footprint
+from repro.analysis.locality import classify_loop
+from repro.analysis.loops import find_loops
+from repro.frontend import parse_kernel
+
+
+def footprints(src, warps=8, tbs=4, block=(256, 1, 1)):
+    kl = find_loops(parse_kernel(src), block_dim=block)
+    by_id = {l.loop_id: l for l in kl.loops}
+    return [
+        loop_footprint(l, classify_loop(l), warps, tbs, block, loops_by_id=by_id)
+        for l in kl.loops
+    ]
+
+
+ATAX = """
+__global__ void k(float *A, float *B, float *tmp) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int j = 0; j < 64; j++) {
+        tmp[i] += A[i * 4096 + j] * B[j];
+    }
+}
+"""
+
+
+def test_eq8_atax():
+    """tmp: 1 line, A: 32 lines, B: 1 line -> 34 x 8 x 4 = 1088 lines."""
+    fp = footprints(ATAX)[0]
+    assert fp.req_per_warp == 34
+    assert fp.size_req_lines == 34 * 8 * 4
+    assert fp.size_req_bytes == fp.size_req_lines * 128
+
+
+def test_eq9_throttled_lines():
+    fp = footprints(ATAX)[0]
+    assert fp.throttled_lines(2, 0) == 34 * 4 * 4
+    assert fp.throttled_lines(8, 0) == 34 * 1 * 4
+    assert fp.throttled_lines(8, 3) == 34 * 1 * 1
+    assert fp.throttled_lines(1, 0) == fp.size_req_lines
+
+
+def test_nested_loop_multiplier():
+    """An access inside an inner loop of known trip T contributes REQ x T to
+    the outer loop's footprint (the CORR mechanism)."""
+    src = """
+__global__ void k(float *data, float *out) {
+    int j1 = threadIdx.x;
+    for (int j2 = 0; j2 < 16; j2++) {
+        float s = 0.0f;
+        for (int i = 0; i < 10; i++) {
+            s += data[i * 128 + j1];
+        }
+        out[j1 * 128 + j2] = s;
+    }
+}
+"""
+    outer, inner = footprints(src)
+    by_array = {a.array: a for a in outer.per_access}
+    assert by_array["data"].iteration_multiplier == 10
+    assert by_array["out"].iteration_multiplier == 1
+    assert inner.per_access[0].iteration_multiplier == 1
+
+
+def test_unknown_inner_trip_makes_unbounded():
+    src = """
+__global__ void k(float *data, float *out, int n) {
+    int j1 = threadIdx.x;
+    for (int j2 = 0; j2 < 16; j2++) {
+        for (int i = 0; i < n; i++) {
+            out[j1] += data[i * 128 + j1];
+        }
+    }
+}
+"""
+    outer = footprints(src)[0]
+    assert outer.unbounded
+    assert outer.size_req_lines is None
+    assert outer.throttled_lines(8, 3) is None
+
+
+def test_irregular_accesses_use_conservative_req():
+    src = """
+__global__ void k(int *idx, float *A) {
+    int i = threadIdx.x;
+    for (int j = 0; j < 8; j++) { A[idx[i]] += 1.0f; }
+}
+"""
+    fp = footprints(src)[0]
+    by_array = {a.array: a for a in fp.per_access}
+    assert by_array["A"].req_warp == 1       # §4.2: C_tid := 1
+    assert by_array["idx"].req_warp == 1     # idx[i] is unit-stride
+    assert fp.has_irregular
+
+
+def test_multidim_block_uses_enumeration():
+    src = """
+__global__ void k(float *a, float *c) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    for (int k2 = 0; k2 < 8; k2++) {
+        c[i * 64 + j] += a[i * 96 + k2];
+    }
+}
+"""
+    fp = footprints(src, block=(32, 8, 1))[0]
+    by_array = {a.array: a for a in fp.per_access}
+    # a[i*96+k2] is warp-uniform (i fixed within a warp of 32 tx lanes)
+    assert by_array["a"].req_warp == 1
+    # c[i*64+j] is unit-stride in tx -> 1 line
+    assert by_array["c"].req_warp == 1

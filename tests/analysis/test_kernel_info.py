@@ -1,0 +1,133 @@
+"""Whole-kernel analysis tests: the paper's Table-3 decision patterns."""
+
+from repro.analysis import analyze_kernel, tb_throttle_plan
+from repro.frontend import parse
+from repro.sim.arch import KB, TITAN_V, TITAN_V_32K
+
+ATAX1 = """
+#define NX 1024
+#define NY 256
+__global__ void atax_kernel1(float *A, float *B, float *tmp) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NX) {
+        for (int j = 0; j < NY; j++) {
+            tmp[i] += A[i * NY + j] * B[j];
+        }
+    }
+}
+"""
+
+ATAX2 = """
+#define NX 1024
+#define NY 256
+__global__ void atax_kernel2(float *A, float *y, float *tmp) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < NY) {
+        for (int i = 0; i < NX; i++) {
+            y[j] += A[i * NY + j] * tmp[i];
+        }
+    }
+}
+"""
+
+CORR = """
+#define M 2048
+#define N 2048
+__global__ void corr_kernel(float *symmat, float *data) {
+    int j1 = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j1 < M - 1) {
+        for (int j2 = j1 + 1; j2 < M; j2++) {
+            float sum = 0.0f;
+            for (int i = 0; i < N; i++) {
+                sum += data[i * M + j1] * data[i * M + j2];
+            }
+            symmat[j1 * M + j2] = sum;
+        }
+    }
+}
+"""
+
+BFS = """
+#define N 1024
+__global__ void bfs_kernel(int *starts, int *edges, int *cost) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < N) {
+        for (int e = starts[tid]; e < starts[tid + 1]; e++) {
+            cost[edges[e]] = cost[tid] + 1;
+        }
+    }
+}
+"""
+
+
+def test_atax_kernel1_throttled_at_max_l1d():
+    an = analyze_kernel(parse(ATAX1), "atax_kernel1", 256, TITAN_V, grid=320)
+    assert an.baseline_tlp() == (8, 4)
+    dec = an.loops[0].decision
+    assert dec.needed and dec.fits
+    assert dec.tlp == (4, 4)       # the paper's Table-3 CATT Max-L1D entry
+
+
+def test_atax_kernel1_deeper_at_32k():
+    an = analyze_kernel(parse(ATAX1), "atax_kernel1", 256, TITAN_V_32K, grid=320)
+    dec = an.loops[0].decision
+    assert dec.tlp == (1, 4)       # Table 3, 32 KB column
+
+
+def test_atax_kernel2_untouched():
+    an = analyze_kernel(parse(ATAX2), "atax_kernel2", 256, TITAN_V, grid=80)
+    dec = an.loops[0].decision
+    assert not dec.needed
+    assert dec.tlp == an.baseline_tlp()
+
+
+def test_corr_unresolvable_both_sizes():
+    for spec in (TITAN_V, TITAN_V_32K):
+        an = analyze_kernel(parse(CORR), "corr_kernel", 256, spec, grid=80)
+        outer = an.loops[0].decision
+        assert outer.needed and not outer.fits
+        assert not outer.throttles
+        assert an.tb_m == 0
+
+
+def test_bfs_conservative_no_throttle():
+    an = analyze_kernel(parse(BFS), "bfs_kernel", 512, TITAN_V, grid=160)
+    for la in an.loops:
+        assert not la.decision.throttles
+
+
+def test_grid_share_caps_residency():
+    an = analyze_kernel(parse(ATAX1), "atax_kernel1", 256, TITAN_V, grid=160)
+    assert an.occupancy.tb_sm == 2
+    an_big = analyze_kernel(parse(ATAX1), "atax_kernel1", 256, TITAN_V, grid=800)
+    assert an_big.occupancy.tb_sm == 8
+
+
+def test_tb_throttle_plan_self_limiting():
+    """The dummy must exclude target+1 TBs even at the largest carveout
+    (Fig. 5's mechanism: ~48 KB per TB pins residency at 2)."""
+    plan = tb_throttle_plan(TITAN_V, existing_shared=0, target_tbs=2)
+    assert plan is not None
+    assert plan.dummy_bytes > 32 * KB
+    max_cap = TITAN_V.shared_carveouts_kb[-1] * KB
+    assert max_cap // plan.dummy_bytes == 2
+    assert 2 * plan.dummy_bytes <= plan.carveout_kb * KB
+
+
+def test_tb_throttle_plan_respects_existing_shared():
+    plan = tb_throttle_plan(TITAN_V, existing_shared=20 * KB, target_tbs=2)
+    assert plan is not None
+    total = 20 * KB + plan.dummy_bytes
+    cap = plan.carveout_kb * KB
+    assert cap // total == 2
+
+
+def test_tb_throttle_plan_impossible():
+    assert tb_throttle_plan(TITAN_V, existing_shared=0, target_tbs=0) is None
+
+
+def test_throttled_loops_listing():
+    an = analyze_kernel(parse(ATAX1), "atax_kernel1", 256, TITAN_V, grid=320)
+    assert [l.loop_id for l in an.throttled_loops] == [0]
+    an2 = analyze_kernel(parse(ATAX2), "atax_kernel2", 256, TITAN_V, grid=80)
+    assert an2.throttled_loops == []

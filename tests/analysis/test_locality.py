@@ -1,0 +1,114 @@
+"""Locality classification tests (§3.1, Eq. 6)."""
+
+from repro.analysis.locality import classify_loop, loop_has_reuse
+from repro.analysis.loops import find_loops
+from repro.frontend import parse_kernel
+
+
+def classified(src):
+    kl = find_loops(parse_kernel(src), block_dim=(256, 1, 1))
+    loop = kl.loops[0]
+    return {loc.access.array: loc for loc in classify_loop(loop)}
+
+
+ATAX = """
+__global__ void k(float *A, float *B, float *tmp) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int j = 0; j < 64; j++) {
+        tmp[i] += A[i * 4096 + j] * B[j];
+    }
+}
+"""
+
+
+def test_paper_section31_distances():
+    """The §3.1 worked example: tmp (1, 0), A (NX, 1), B (0, 1)."""
+    locs = classified(ATAX)
+    assert locs["tmp"].inter_thread_elems == 1
+    assert locs["tmp"].intra_thread_elems == 0
+    assert locs["A"].inter_thread_elems == 4096
+    assert locs["A"].intra_thread_elems == 1
+    assert locs["B"].inter_thread_elems == 0
+    assert locs["B"].intra_thread_elems == 1
+
+
+def test_paper_section31_locality_conclusions():
+    locs = classified(ATAX)
+    # tmp and B have both kinds of locality; A has intra only.
+    assert locs["tmp"].has_inter_thread_locality
+    assert locs["tmp"].has_intra_thread_locality
+    assert locs["B"].has_inter_thread_locality
+    assert locs["B"].has_intra_thread_locality
+    assert not locs["A"].has_inter_thread_locality
+    assert locs["A"].has_intra_thread_locality
+
+
+def test_eq6_boundary_at_cache_line():
+    # C_i = 32 floats = 128 B = exactly the line: still counts as locality
+    locs = classified("""
+__global__ void k(float *A) {
+    int i = threadIdx.x;
+    for (int j = 0; j < 8; j++) { A[i + j * 32] = 0.0f; }
+}
+""")
+    assert locs["A"].intra_thread_bytes == 128
+    assert locs["A"].has_intra_thread_locality
+    # One element beyond the line: no reuse.
+    locs = classified("""
+__global__ void k(float *A) {
+    int i = threadIdx.x;
+    for (int j = 0; j < 8; j++) { A[i + j * 33] = 0.0f; }
+}
+""")
+    assert not locs["A"].has_intra_thread_locality
+
+
+def test_irregular_access_classified():
+    locs = classified("""
+__global__ void k(int *idx, float *A) {
+    int i = threadIdx.x;
+    for (int j = 0; j < 8; j++) { A[idx[i * 8 + j]] = 0.0f; }
+}
+""")
+    assert locs["A"].irregular
+    assert locs["A"].inter_thread_elems is None
+
+
+def test_double_element_distances_in_bytes():
+    locs = classified("""
+__global__ void k(double *A) {
+    int i = threadIdx.x;
+    for (int j = 0; j < 8; j++) { A[i * 4 + j] += 1.0; }
+}
+""")
+    assert locs["A"].inter_thread_bytes == 32
+    assert locs["A"].intra_thread_bytes == 8
+
+
+def test_loop_has_reuse_true_for_intra():
+    kl = find_loops(parse_kernel(ATAX), block_dim=(256, 1, 1))
+    assert loop_has_reuse(classify_loop(kl.loops[0]))
+
+
+def test_loop_without_reuse():
+    # Stride-33-line accesses: no intra, no inter locality.
+    locs_src = """
+__global__ void k(float *A) {
+    int i = threadIdx.x;
+    for (int j = 0; j < 8; j++) { A[i * 8192 + j * 4224] = 0.0f; }
+}
+"""
+    kl = find_loops(parse_kernel(locs_src), block_dim=(256, 1, 1))
+    assert not loop_has_reuse(classify_loop(kl.loops[0]))
+
+
+def test_irregular_loop_counts_as_reuse_candidate():
+    """BFS-style loops stay candidates (handled conservatively downstream)."""
+    src = """
+__global__ void k(int *idx, float *A) {
+    int i = threadIdx.x;
+    for (int j = 0; j < 8; j++) { A[idx[A2(i)] ] = 0.0f; }
+}
+""".replace("A2(i)", "i")
+    kl = find_loops(parse_kernel(src), block_dim=(256, 1, 1))
+    assert loop_has_reuse(classify_loop(kl.loops[0]))

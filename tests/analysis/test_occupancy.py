@@ -1,0 +1,131 @@
+"""Occupancy model tests (Eqs. 1–4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.occupancy import (
+    compute_occupancy,
+    estimate_registers,
+    occupancy_for_kernel,
+    shared_usage_bytes,
+)
+from repro.frontend import parse_kernel
+from repro.sim.arch import KB, TITAN_V
+
+
+def test_unconstrained_kernel_hits_hw_limit():
+    occ = compute_occupancy(TITAN_V, 256, 0, 32)
+    assert occ.warps_per_tb == 8
+    assert occ.tb_hw == 8          # 64 warps / 8 warps per TB
+    assert occ.tb_sm == 8
+    assert occ.shared_carveout_kb == 0
+    assert occ.l1d_bytes == 128 * KB
+
+
+def test_shared_memory_limits_tbs_eq1():
+    # 48 KB per TB in a 96 KB carveout -> 2 TBs (the Fig. 5 example).
+    occ = compute_occupancy(TITAN_V, 256, 48 * KB, 32)
+    assert occ.tb_shm == 2
+    assert occ.tb_sm == 2
+    assert occ.shared_carveout_kb == 96
+    assert occ.l1d_bytes == 32 * KB
+
+
+def test_register_pressure_limits_tbs_eq2():
+    # 128 regs x 256 threads = 32768 regs per TB; 65536 total -> 2 TBs.
+    occ = compute_occupancy(TITAN_V, 256, 0, 128)
+    assert occ.tb_reg == 2
+    assert occ.tb_sm == 2
+
+
+def test_eq3_is_min_of_constraints():
+    occ = compute_occupancy(TITAN_V, 256, 24 * KB, 64)
+    assert occ.tb_sm == min(occ.tb_shm, occ.tb_reg, occ.tb_hw)
+
+
+def test_eq4_smallest_covering_carveout():
+    # 4 TBs x 10 KB = 40 KB -> 64 KB is the smallest configurable carveout.
+    occ = compute_occupancy(TITAN_V, 512, 10 * KB, 32)
+    assert occ.tb_sm * occ.shared_usage_tb <= occ.shared_carveout_kb * KB
+    smaller = [c for c in TITAN_V.shared_carveouts_kb
+               if c < occ.shared_carveout_kb]
+    for c in smaller:
+        assert c * KB < occ.tb_sm * occ.shared_usage_tb
+
+
+def test_warps_rounded_up():
+    occ = compute_occupancy(TITAN_V, 100, 0, 32)
+    assert occ.warps_per_tb == 4
+
+
+def test_invalid_threads_rejected():
+    with pytest.raises(ValueError):
+        compute_occupancy(TITAN_V, 0, 0, 32)
+    with pytest.raises(ValueError):
+        compute_occupancy(TITAN_V, 2048, 0, 32)
+
+
+def test_shared_usage_from_source():
+    k = parse_kernel("""
+__global__ void k(float *a) {
+    __shared__ float t1[256];
+    __shared__ double t2[16][16];
+    a[0] = t1[0] + (float)t2[0][0];
+}
+""")
+    assert shared_usage_bytes(k) == 256 * 4 + 256 * 8
+
+
+def test_register_estimate_monotone_in_locals():
+    small = parse_kernel("__global__ void k(float *a) { a[0] = 1.0f; }")
+    big = parse_kernel("""
+__global__ void k(float *a) {
+    float x1 = 1.0f; float x2 = 2.0f; float x3 = 3.0f; float x4 = 4.0f;
+    double d1 = 0.5; double d2 = 1.5;
+    a[0] = x1 + x2 + x3 + x4 + (float)d1 + (float)d2;
+}
+""")
+    assert estimate_registers(big) > estimate_registers(small)
+
+
+def test_occupancy_for_kernel_end_to_end():
+    k = parse_kernel("""
+__global__ void k(float *a) {
+    __shared__ float tile[1024];
+    tile[threadIdx.x] = a[threadIdx.x];
+    __syncthreads();
+    a[threadIdx.x] = tile[threadIdx.x];
+}
+""")
+    occ = occupancy_for_kernel(TITAN_V, k, 256)
+    assert occ.shared_usage_tb == 4096
+    assert occ.tb_sm >= 1
+
+
+# -- properties ---------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(
+    threads=st.integers(32, 1024),
+    shared=st.integers(0, 96 * KB),
+    regs=st.integers(16, 255),
+)
+def test_occupancy_invariants(threads, shared, regs):
+    occ = compute_occupancy(TITAN_V, threads, shared, regs)
+    # At least one TB always resident; never beyond hardware caps.
+    assert 1 <= occ.tb_sm <= TITAN_V.max_tbs_per_sm
+    assert occ.warps_per_sm <= max(TITAN_V.max_warps_per_sm, occ.warps_per_tb)
+    # Eq. 4: the carveout covers the resident TBs' shared memory.
+    assert occ.tb_sm * shared <= occ.shared_carveout_kb * KB or occ.tb_sm == 1
+    # L1D + carveout never exceed the unified cache.
+    assert occ.l1d_bytes + occ.shared_carveout_kb * KB \
+        <= TITAN_V.unified_cache_bytes
+
+
+@settings(max_examples=50, deadline=None)
+@given(shared=st.integers(1, 48 * KB), regs=st.integers(16, 128))
+def test_more_shared_never_increases_tbs(shared, regs):
+    occ1 = compute_occupancy(TITAN_V, 256, shared, regs)
+    occ2 = compute_occupancy(TITAN_V, 256, shared * 2, regs)
+    assert occ2.tb_sm <= occ1.tb_sm

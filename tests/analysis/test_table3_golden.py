@@ -1,0 +1,75 @@
+"""Golden Table-3 decisions for the whole CS group (bench scale).
+
+Pure static analysis — no simulation — so this runs in milliseconds and
+pins down exactly which TLP CATT selects per loop, at both cache sizes.
+Any model change that shifts a decision shows up here first.
+"""
+
+import pytest
+
+from repro.experiments.table3 import catt_loop_tlps
+
+# kernel -> [(loop_id, CATT TLP at max L1D, CATT TLP at 32 KB)]
+GOLDEN = {
+    "GSMV": {
+        "gesummv_kernel": [(0, (4, 2), (1, 2))],     # paper: (4,2) / (1,2)
+    },
+    "ATAX": {
+        "atax_kernel1": [(0, (4, 4), (1, 4))],       # paper: (4,4) / (1,4)
+        "atax_kernel2": [(0, (8, 1), (8, 1))],       # untouched
+    },
+    "BICG": {
+        "bicg_kernel1": [(0, (8, 1), (8, 1))],       # untouched
+        "bicg_kernel2": [(0, (4, 4), (1, 4))],
+    },
+    "MVT": {
+        "mvt_kernel1": [(0, (4, 4), (1, 4))],
+        "mvt_kernel2": [(0, (8, 1), (8, 1))],
+    },
+    "CORR": {
+        # The unresolvable case: everything stays at the (2,1) baseline.
+        "corr_mean": [(0, (2, 1), (2, 1))],
+        "corr_std": [(0, (2, 1), (2, 1))],
+        "corr_normalize": [(0, (2, 1), (2, 1))],
+        "corr_kernel": [(0, (2, 1), (2, 1)), (1, (2, 1), (2, 1))],
+    },
+    "CFD": {
+        # Irregular/coalesced: baseline (6,10) preserved everywhere.
+        "cfd_initialize": [(0, (6, 10), (6, 10))],
+        "cfd_compute_flux": [(0, (6, 10), (6, 10))],
+    },
+    "KM": {
+        "kmeans_assign": [(0, (4, 4), (1, 4)), (1, (8, 4), (8, 4))],
+        "kmeans_swap": [(0, (4, 4), (1, 4))],
+    },
+    "PF": {
+        # Loops 0-1 throttled, loop 2 untouched — the paper's PF#1 pattern.
+        "pf_likelihood": [(0, (8, 2), (2, 2)), (1, (8, 2), (2, 2)),
+                          (2, (16, 2), (16, 2))],
+        "pf_weights": [(0, (16, 3), (16, 3))],
+    },
+}
+
+
+@pytest.mark.parametrize("app", sorted(GOLDEN))
+def test_catt_decisions_match_golden(app):
+    tlps_max = catt_loop_tlps(app, "max", "bench")
+    tlps_32k = catt_loop_tlps(app, "32k", "bench")
+    for kernel, expectations in GOLDEN[app].items():
+        got_max = {lid: tlp for lid, _base, tlp in tlps_max[kernel]}
+        got_32k = {lid: tlp for lid, _base, tlp in tlps_32k[kernel]}
+        for loop_id, want_max, want_32k in expectations:
+            assert got_max[loop_id] == want_max, \
+                f"{app}:{kernel} loop {loop_id} max: {got_max[loop_id]}"
+            assert got_32k[loop_id] == want_32k, \
+                f"{app}:{kernel} loop {loop_id} 32k: {got_32k[loop_id]}"
+
+
+def test_baseline_tlps_match_paper_structure():
+    """Baseline occupancies follow the paper's Table-3 'Baseline' column
+    shape: warps/TB from the block size, TBs from the grid share."""
+    tlps = catt_loop_tlps("ATAX", "max", "bench")
+    (_lid, base1, _t1), = tlps["atax_kernel1"]
+    (_lid2, base2, _t2), = tlps["atax_kernel2"]
+    assert base1 == (8, 4)
+    assert base2 == (8, 1)

@@ -1,0 +1,109 @@
+"""BFTT / Best-SWL / DynCTA baseline tests."""
+
+import pytest
+
+from repro.baselines import (
+    apply_fixed_throttle,
+    best_swl_search,
+    bftt_search,
+    candidate_factors,
+    run_with_dyncta,
+)
+from repro.baselines.dyncta import DynCtaGovernor
+from repro.sim.arch import TITAN_V_SIM
+from repro.workloads import get_workload, run_workload
+
+
+def factory(name="GSMV"):
+    return lambda: get_workload(name, scale="test")
+
+
+def test_candidate_factors_structure():
+    factors = candidate_factors(get_workload("GSMV", "test"), TITAN_V_SIM)
+    assert (1, 0) in factors
+    ns = [n for n, m in factors if m == 0]
+    assert ns == sorted(ns)
+    assert all(m >= 0 for _, m in factors)
+
+
+def test_apply_fixed_throttle_produces_runnable_unit():
+    wl = get_workload("GSMV", "test")
+    unit = apply_fixed_throttle(wl, TITAN_V_SIM, 2, 0)
+    run = run_workload(get_workload("GSMV", "test"), TITAN_V_SIM, unit=unit)
+    assert run.verified
+
+
+def test_bftt_finds_no_worse_than_baseline():
+    res = bftt_search(factory("GSMV"), TITAN_V_SIM)
+    base = run_workload(get_workload("GSMV", "test"), TITAN_V_SIM)
+    assert res.best_cycles <= base.total_cycles
+    assert (1, 0) in res.runs  # the untouched configuration was tried
+
+
+def test_bftt_best_is_min_of_sweep():
+    res = bftt_search(factory("GSMV"), TITAN_V_SIM)
+    assert res.best_cycles == min(r.total_cycles for r in res.runs.values())
+
+
+def test_bftt_tlp_for_reporting():
+    res = bftt_search(factory("GSMV"), TITAN_V_SIM)
+    warps, tbs = res.tlp_for("gesummv_kernel", (8, 2))
+    assert 1 <= warps <= 8 and 1 <= tbs <= 2
+
+
+def test_best_swl_subset_of_bftt_space():
+    res = best_swl_search(factory("GSMV"), TITAN_V_SIM)
+    assert all(m == 0 for _, m in res.runs)
+
+
+def test_dyncta_runs_and_verifies():
+    run = run_with_dyncta(get_workload("GSMV", "test"), TITAN_V_SIM)
+    assert run.verified
+
+
+def test_dyncta_governor_pauses_on_high_miss_rate():
+    class FakeStats:
+        accesses, misses = 1000, 900
+
+    class FakeL1:
+        stats = FakeStats()
+
+    class FakeSlot:
+        def __init__(self, tb):
+            self.tb_index = tb
+            self.done = False
+
+    class FakeEngine:
+        l1 = FakeL1()
+        paused_tbs = set()
+        slots = [FakeSlot(0), FakeSlot(1), FakeSlot(2)]
+
+    gov = DynCtaGovernor()
+    engine = FakeEngine()
+    gov(engine)
+    assert engine.paused_tbs == {2}
+    # Low miss rate resumes.
+    FakeStats.accesses, FakeStats.misses = 3000, 950
+    gov(engine)
+    assert engine.paused_tbs == set()
+
+
+def test_bypass_runs_and_verifies():
+    from repro.baselines import run_with_bypass
+
+    run = run_with_bypass(get_workload("GSMV", "test"), TITAN_V_SIM)
+    assert run.verified
+    # Bypassed loads never touch the L1D.
+    assert all(r.metrics.l1_load.accesses == 0 for r in run.results)
+
+
+def test_bypass_destroys_reuse_catt_keeps_it():
+    from repro.baselines import run_with_bypass
+    from repro.transform import catt_compile
+
+    wl = get_workload("GSMV", "test")
+    byp = run_with_bypass(get_workload("GSMV", "test"), TITAN_V_SIM)
+    comp = catt_compile(wl.unit(), dict(wl.launch_configs()), TITAN_V_SIM)
+    catt = run_workload(get_workload("GSMV", "test"), TITAN_V_SIM,
+                        unit=comp.unit)
+    assert catt.total_cycles < byp.total_cycles

@@ -1,0 +1,120 @@
+"""Codegen tests: emission correctness and parse/emit round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import emit, parse, parse_kernel
+
+ROUND_TRIP_SOURCES = [
+    "__global__ void k(float *a) { a[threadIdx.x] = 1.0f; }",
+    """
+__global__ void k(float *a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        for (int j = 0; j < 16; j++) {
+            a[i * 16 + j] += (float)j * 2.5f;
+        }
+    }
+}
+""",
+    """
+__global__ void k(float *a) {
+    __shared__ float tile[8][8];
+    tile[threadIdx.y][threadIdx.x] = a[threadIdx.x];
+    __syncthreads();
+    a[threadIdx.x] = tile[threadIdx.x][threadIdx.y];
+}
+""",
+    """
+__device__ float helper(float x) { return x < 0.0f ? -x : x; }
+__global__ void k(float *a) { a[0] = helper(a[1]); }
+""",
+    """
+__global__ void k(int *a) {
+    int i = 0;
+    while (i < 10) { a[i] = i; i++; }
+    do { i--; } while (i > 0);
+}
+""",
+]
+
+
+@pytest.mark.parametrize("src", ROUND_TRIP_SOURCES)
+def test_emit_parse_fixed_point(src):
+    """emit(parse(src)) must be a fixed point of parse∘emit."""
+    once = emit(parse(src))
+    twice = emit(parse(once))
+    assert once == twice
+
+
+def test_parentheses_only_where_needed():
+    k = parse_kernel("__global__ void k(int *a) { a[0] = (1 + 2) * 3; }")
+    text = emit(k)
+    assert "(1 + 2) * 3" in text
+
+
+def test_no_spurious_parens_for_precedence():
+    k = parse_kernel("__global__ void k(int *a) { a[0] = 1 + 2 * 3; }")
+    assert "1 + 2 * 3" in emit(k)
+
+
+def test_unary_in_binary():
+    k = parse_kernel("__global__ void k(int *a) { a[0] = -a[1] + 2; }")
+    assert "-a[1] + 2" in emit(k)
+
+
+def test_nested_ternary_parens():
+    src = "__global__ void k(int *a) { a[0] = (a[1] ? 1 : 2) + 3; }"
+    once = emit(parse(src))
+    assert emit(parse(once)) == once
+
+
+def test_float_literal_spelling_preserved():
+    k = parse_kernel("__global__ void k(float *a) { a[0] = 1.5f; }")
+    assert "1.5f" in emit(k)
+
+
+def test_shared_decl_emission():
+    k = parse_kernel(
+        "__global__ void k(float *a) { __shared__ float buf[256]; buf[0] = 0.0f; a[0] = buf[0]; }"
+    )
+    assert "__shared__ float buf[256];" in emit(k)
+
+
+# -- property-based round-trip over generated expressions -------------------
+
+_names = st.sampled_from(["x", "y", "z"])
+
+
+def _exprs():
+    return st.recursive(
+        st.one_of(
+            st.integers(min_value=0, max_value=999).map(str),
+            _names,
+        ),
+        lambda children: st.one_of(
+            st.tuples(children, st.sampled_from(["+", "-", "*", "/", "%"]),
+                      children).map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+            st.tuples(children, st.sampled_from(["<", ">", "==", "!="]),
+                      children).map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+            children.map(lambda c: f"-({c})"),
+        ),
+        max_leaves=12,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(_exprs())
+def test_random_expression_round_trip(expr):
+    src = f"__global__ void k(int *a, int x, int y, int z) {{ a[0] = {expr}; }}"
+    once = emit(parse(src))
+    assert emit(parse(once)) == once
+
+
+def test_extern_shared_round_trip():
+    src = ("__global__ void k(float *a) { extern __shared__ float buf[]; "
+           "buf[threadIdx.x] = a[threadIdx.x]; a[0] = buf[0]; }")
+    once = emit(parse(src))
+    assert "extern __shared__ float buf[];" in once
+    assert emit(parse(once)) == once

@@ -1,0 +1,84 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.frontend.errors import LexError
+from repro.frontend.lexer import TokenKind, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != TokenKind.EOF]
+
+
+def test_identifiers_and_keywords():
+    toks = kinds("int foo _bar __global__ float4x")
+    assert toks[0] == (TokenKind.KEYWORD, "int")
+    assert toks[1] == (TokenKind.IDENT, "foo")
+    assert toks[2] == (TokenKind.IDENT, "_bar")
+    assert toks[3] == (TokenKind.KEYWORD, "__global__")
+    assert toks[4] == (TokenKind.IDENT, "float4x")
+
+
+def test_integer_literals():
+    toks = kinds("0 42 0x1F 100u 7L")
+    assert all(k == TokenKind.INT_LIT for k, _ in toks)
+    assert [t for _, t in toks] == ["0", "42", "0x1F", "100u", "7L"]
+
+
+def test_float_literals():
+    toks = kinds("1.0 .5 2. 1e3 1.5e-2 3.0f 2e+4f")
+    assert all(k == TokenKind.FLOAT_LIT for k, _ in toks)
+
+
+def test_float_suffix_makes_float():
+    toks = kinds("3f")
+    assert toks[0][0] == TokenKind.FLOAT_LIT
+
+
+def test_punctuators_maximal_munch():
+    toks = kinds("a <<= b >> c <= d < e")
+    punct = [t for k, t in toks if k == TokenKind.PUNCT]
+    assert punct == ["<<=", ">>", "<=", "<"]
+
+
+def test_increment_vs_plus():
+    toks = kinds("i++ + ++j")
+    punct = [t for k, t in toks if k == TokenKind.PUNCT]
+    assert punct == ["++", "+", "++"]
+
+
+def test_line_comments_stripped():
+    toks = kinds("a // comment with * tokens\nb")
+    assert [t for _, t in toks] == ["a", "b"]
+
+
+def test_block_comments_stripped():
+    toks = kinds("a /* x\ny\nz */ b")
+    assert [t for _, t in toks] == ["a", "b"]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_locations_track_lines():
+    toks = tokenize("a\n  b")
+    assert toks[0].loc.line == 1
+    assert toks[1].loc.line == 2
+    assert toks[1].loc.column == 3
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("int a = `b`;")
+
+
+def test_preprocessor_directive_rejected_in_lexer():
+    with pytest.raises(LexError):
+        tokenize("#define N 4")
+
+
+def test_eof_token_terminates():
+    toks = tokenize("x")
+    assert toks[-1].kind is TokenKind.EOF

@@ -1,0 +1,236 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.frontend import parse, parse_kernel
+from repro.frontend.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Cast,
+    DeclStmt,
+    DoWhileStmt,
+    ForStmt,
+    Ident,
+    IfStmt,
+    IntLit,
+    MemberRef,
+    ReturnStmt,
+    SyncthreadsStmt,
+    Ternary,
+    UnaryOp,
+    WhileStmt,
+)
+from repro.frontend.errors import ParseError, UnsupportedFeatureError
+
+
+def body_stmts(src):
+    return parse_kernel("__global__ void k(float *a) {" + src + "}").body.statements
+
+
+def first_expr(src):
+    stmt = body_stmts(src)[0]
+    return stmt.expr
+
+
+def test_kernel_header():
+    k = parse_kernel("__global__ void my_kernel(float *a, int n) {}")
+    assert k.is_kernel and not k.is_device
+    assert k.name == "my_kernel"
+    assert k.params[0].type.is_pointer
+    assert k.params[1].type.base == "int"
+
+
+def test_device_function():
+    unit = parse("__device__ float f(float x) { return x * 2.0f; }")
+    f = unit.device_function("f")
+    assert f.is_device
+    assert isinstance(f.body.statements[0], ReturnStmt)
+
+
+def test_kernel_must_return_void():
+    with pytest.raises(UnsupportedFeatureError):
+        parse("__global__ int k() { return 1; }")
+
+
+def test_precedence_mul_over_add():
+    e = first_expr("a[0] = 1 + 2 * 3;")
+    assert isinstance(e, Assign)
+    assert isinstance(e.value, BinOp) and e.value.op == "+"
+    assert isinstance(e.value.right, BinOp) and e.value.right.op == "*"
+
+
+def test_precedence_shift_vs_relational():
+    e = first_expr("a[0] = 1 << 2 < 3;")
+    # C: relational binds looser than shift: (1 << 2) < 3
+    assert e.value.op == "<"
+    assert e.value.left.op == "<<"
+
+
+def test_logical_short_circuit_structure():
+    e = first_expr("a[0] = x && y || z;")
+    assert e.value.op == "||"
+    assert e.value.left.op == "&&"
+
+
+def test_unary_minus_binds_tighter():
+    e = first_expr("a[0] = -x * y;")
+    assert e.value.op == "*"
+    assert isinstance(e.value.left, UnaryOp)
+
+
+def test_ternary():
+    e = first_expr("a[0] = x ? 1 : 2;")
+    assert isinstance(e.value, Ternary)
+
+
+def test_nested_array_ref():
+    e = first_expr("a[b[i] + 1] = 0;")
+    assert isinstance(e.target, ArrayRef)
+    assert isinstance(e.target.index, BinOp)
+    assert isinstance(e.target.index.left, ArrayRef)
+
+
+def test_member_ref_builtin():
+    e = first_expr("a[0] = threadIdx.x;")
+    assert isinstance(e.value, MemberRef)
+    assert e.value.member == "x"
+
+
+def test_cast():
+    e = first_expr("a[0] = (float)x;")
+    assert isinstance(e.value, Cast)
+    assert e.value.type.base == "float"
+
+
+def test_cast_vs_parenthesized_expr():
+    e = first_expr("a[0] = (x) + 1;")
+    assert isinstance(e.value, BinOp)
+
+
+def test_call_with_args():
+    e = first_expr("a[0] = min(x, 3);")
+    assert isinstance(e.value, Call)
+    assert e.value.func == "min"
+    assert len(e.value.args) == 2
+
+
+def test_compound_assignment():
+    e = first_expr("a[i] += 2;")
+    assert isinstance(e, Assign) and e.op == "+="
+
+
+def test_post_increment_statement():
+    stmts = body_stmts("int i = 0; i++;")
+    assert isinstance(stmts[0], DeclStmt)
+
+
+def test_for_loop_structure():
+    stmt = body_stmts("for (int j = 0; j < 4; j++) { a[j] = 0; }")[0]
+    assert isinstance(stmt, ForStmt)
+    assert isinstance(stmt.init, DeclStmt)
+    assert stmt.cond.op == "<"
+    assert isinstance(stmt.body, Block)
+
+
+def test_for_loop_empty_clauses():
+    stmt = body_stmts("for (;;) { break; }")[0]
+    assert isinstance(stmt, ForStmt)
+    assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+
+def test_while_and_do_while():
+    stmts = body_stmts("while (x) { x = x - 1; } do { x = 1; } while (x);")
+    assert isinstance(stmts[0], WhileStmt)
+    assert isinstance(stmts[1], DoWhileStmt)
+
+
+def test_if_else_chain():
+    stmt = body_stmts("if (x) a[0] = 1; else if (y) a[0] = 2; else a[0] = 3;")[0]
+    assert isinstance(stmt, IfStmt)
+    assert isinstance(stmt.otherwise, IfStmt)
+
+
+def test_syncthreads_statement():
+    stmt = body_stmts("__syncthreads();")[0]
+    assert isinstance(stmt, SyncthreadsStmt)
+
+
+def test_shared_declaration():
+    stmt = body_stmts("__shared__ float tile[16][16];")[0]
+    assert isinstance(stmt, DeclStmt) and stmt.is_shared
+    assert stmt.declarators[0].array_sizes == (16, 16)
+
+
+def test_shared_array_size_expression_folds():
+    stmt = body_stmts("__shared__ float buf[4 * 32];")[0]
+    assert stmt.declarators[0].array_sizes == (128,)
+
+
+def test_non_constant_array_size_rejected():
+    with pytest.raises(UnsupportedFeatureError):
+        body_stmts("__shared__ float buf[n];")
+
+
+def test_multi_declarator():
+    stmt = body_stmts("int i = 0, j = 1, k;")[0]
+    assert [d.name for d in stmt.declarators] == ["i", "j", "k"]
+
+
+def test_unsigned_type():
+    stmt = body_stmts("unsigned int u = 0;")[0]
+    assert stmt.type.base == "unsigned int"
+
+
+def test_array_param_becomes_pointer():
+    k = parse_kernel("__global__ void k(float a[]) {}")
+    assert k.params[0].type.is_pointer
+
+
+def test_missing_semicolon_errors():
+    with pytest.raises(ParseError):
+        body_stmts("int i = 0")
+
+
+def test_error_has_location():
+    with pytest.raises(ParseError) as exc:
+        parse("__global__ void k() { int = 3; }")
+    assert exc.value.location is not None
+
+
+def test_defines_resolved_in_unit():
+    unit = parse("#define N 8\n__global__ void k(float *a) { a[N] = 0.0f; }")
+    assert unit.defines == {"N": 8}
+    stmt = unit.kernel("k").body.statements[0]
+    assert isinstance(stmt.expr.target.index, IntLit)
+    assert stmt.expr.target.index.value == 8
+
+
+def test_multiple_kernels():
+    unit = parse(
+        "__global__ void k1(float *a) {}\n__global__ void k2(float *a) {}"
+    )
+    assert [k.name for k in unit.kernels()] == ["k1", "k2"]
+    with pytest.raises(ValueError):
+        parse_kernel(
+            "__global__ void k1(float *a) {}\n__global__ void k2(float *a) {}"
+        )
+
+
+def test_sizeof_folds():
+    e = first_expr("a[0] = sizeof(float);")
+    assert isinstance(e.value, IntLit) and e.value.value == 4
+
+
+def test_extern_shared_dynamic_declaration():
+    stmt = body_stmts("extern __shared__ float buf[]; buf[0] = 1.0f; a[0] = buf[0];")[0]
+    assert isinstance(stmt, DeclStmt) and stmt.is_shared
+    assert stmt.declarators[0].dynamic
+    assert stmt.declarators[0].array_sizes == ()
+
+
+def test_unsized_array_requires_extern_shared():
+    with pytest.raises(UnsupportedFeatureError):
+        body_stmts("float buf[];")

@@ -1,0 +1,68 @@
+"""Preprocessor unit tests."""
+
+import pytest
+
+from repro.frontend.errors import UnsupportedFeatureError
+from repro.frontend.preprocessor import preprocess
+
+
+def test_simple_define():
+    text, defines = preprocess("#define N 42\nint x = N;")
+    assert defines == {"N": 42}
+    assert "int x = 42;" in text
+
+
+def test_define_expression():
+    text, defines = preprocess("#define N (4 * 256)\nx = N;")
+    assert defines["N"] == 1024
+    assert "(4 * 256)" in text
+
+
+def test_define_referencing_earlier_define():
+    _, defines = preprocess("#define A 4\n#define B (A * 2)\n")
+    assert defines["B"] == 8
+
+
+def test_float_define():
+    _, defines = preprocess("#define ALPHA 1.5f\n")
+    assert defines["ALPHA"] == pytest.approx(1.5)
+
+
+def test_line_structure_preserved():
+    text, _ = preprocess("#define N 1\n\nx;\n")
+    assert text.splitlines()[0] == ""
+    assert text.splitlines()[2] == "x;"
+
+
+def test_word_boundary_substitution():
+    text, _ = preprocess("#define N 9\nint NN = N; int xN = 2;")
+    # The standalone N expands; the N inside NN and xN must not.
+    assert "int NN = 9;" in text
+    assert "int xN = 2;" in text
+    assert "9N" not in text and "x9" not in text
+
+
+def test_includes_dropped():
+    text, defines = preprocess('#include <cuda.h>\nint x;')
+    assert "include" not in text
+    assert defines == {}
+
+
+def test_function_like_macro_rejected():
+    with pytest.raises(UnsupportedFeatureError):
+        preprocess("#define SQ(x) ((x)*(x))\n")
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(UnsupportedFeatureError):
+        preprocess("#pragma unroll\n")
+
+
+def test_non_constant_define_rejected():
+    with pytest.raises(UnsupportedFeatureError):
+        preprocess("#define N foo+1\n")
+
+
+def test_comment_in_define():
+    _, defines = preprocess("#define N 8 // threads\n")
+    assert defines["N"] == 8

@@ -1,0 +1,82 @@
+"""Runtime (host API) tests."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import Device, DeviceArray
+from repro.sim.arch import TITAN_V_SIM
+
+
+def test_to_device_roundtrip():
+    dev = Device(TITAN_V_SIM)
+    host = np.random.default_rng(0).standard_normal((7, 5)).astype(np.float32)
+    d = dev.to_device(host)
+    np.testing.assert_array_equal(d.to_host(), host)
+    assert d.shape == (7, 5)
+    assert d.dtype == np.float32
+
+
+def test_zeros_and_fill():
+    dev = Device(TITAN_V_SIM)
+    d = dev.zeros((4, 4), dtype=np.int32)
+    assert d.to_host().sum() == 0
+    d.fill(3)
+    assert (d.to_host() == 3).all()
+
+
+def test_copy_from_shape_check():
+    dev = Device(TITAN_V_SIM)
+    d = dev.zeros(8)
+    with pytest.raises(ValueError):
+        d.copy_from(np.zeros((2, 2), np.float32))
+
+
+def test_view_is_zero_copy():
+    dev = Device(TITAN_V_SIM)
+    d = dev.zeros(4)
+    d.view()[2] = 9.0
+    assert d.to_host()[2] == 9.0
+
+
+def test_int_conversion_gives_address():
+    dev = Device(TITAN_V_SIM)
+    d = dev.zeros(4)
+    assert int(d) == d.address
+
+
+def test_compile_and_launch_source_string():
+    dev = Device(TITAN_V_SIM)
+    out = dev.zeros(32, np.int32)
+    res = dev.launch(
+        "__global__ void k(int *o) { o[threadIdx.x] = threadIdx.x; }",
+        "k", 1, 32, [out],
+    )
+    assert res.cycles > 0
+    np.testing.assert_array_equal(out.to_host(), np.arange(32))
+
+
+def test_launch_precompiled_module():
+    dev = Device(TITAN_V_SIM)
+    mod = dev.compile("__global__ void k(int *o) { o[threadIdx.x] = 1; }")
+    out = dev.zeros(32, np.int32)
+    dev.launch(mod, "k", 1, 32, [out])
+    assert out.to_host().sum() == 32
+
+
+def test_empty_like():
+    dev = Device(TITAN_V_SIM)
+    d = dev.empty_like(np.ones((3, 3), np.float64))
+    assert d.shape == (3, 3) and d.dtype == np.float64
+    assert d.to_host().sum() == 0.0
+
+
+def test_multiple_arrays_disjoint():
+    dev = Device(TITAN_V_SIM)
+    a = dev.to_device(np.full(16, 1.0, np.float32))
+    b = dev.to_device(np.full(16, 2.0, np.float32))
+    dev.launch(
+        "__global__ void k(float *a, float *b) { b[threadIdx.x] += a[threadIdx.x]; }",
+        "k", 1, 16, [a, b],
+    )
+    np.testing.assert_array_equal(a.to_host(), np.full(16, 1.0))
+    np.testing.assert_array_equal(b.to_host(), np.full(16, 3.0))

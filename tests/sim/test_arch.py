@@ -1,0 +1,57 @@
+"""GPU spec tests: carveouts, L1D caps, L2 slicing, sim variants."""
+
+import pytest
+
+from repro.sim.arch import KB, TITAN_V, TITAN_V_32K, TITAN_V_SIM, GPUSpec, SMConfig
+
+
+def test_carveout_l1d_partition():
+    for c in TITAN_V.shared_carveouts_kb:
+        l1d = TITAN_V.l1d_bytes_for_carveout(c)
+        assert l1d + c * KB == TITAN_V.unified_cache_bytes
+
+
+def test_invalid_carveout_rejected():
+    with pytest.raises(ValueError):
+        TITAN_V.l1d_bytes_for_carveout(17)
+
+
+def test_min_carveout_for():
+    assert TITAN_V.min_carveout_for(0) == 0
+    assert TITAN_V.min_carveout_for(1) == 8
+    assert TITAN_V.min_carveout_for(8 * KB) == 8
+    assert TITAN_V.min_carveout_for(8 * KB + 1) == 16
+    assert TITAN_V.min_carveout_for(96 * KB) == 96
+    with pytest.raises(ValueError):
+        TITAN_V.min_carveout_for(96 * KB + 1)
+
+
+def test_l1d_cap_spec():
+    assert TITAN_V_32K.l1d_bytes_for_carveout(0) == 32 * KB
+    assert TITAN_V_32K.l1d_bytes_for_carveout(96) == 32 * KB
+    # The uncapped part scales with the carveout.
+    assert TITAN_V.l1d_bytes_for_carveout(0) == 128 * KB
+    assert TITAN_V.l1d_bytes_for_carveout(96) == 32 * KB
+
+
+def test_single_sm_keeps_l2_share():
+    assert TITAN_V_SIM.num_sms == 1
+    assert TITAN_V_SIM.l2_slice_bytes() == TITAN_V.l2_slice_bytes()
+    # Without the share override, 1 SM would own the whole L2.
+    naked = GPUSpec(num_sms=1)
+    assert naked.l2_slice_bytes() == naked.l2_total_bytes
+
+
+def test_smconfig_properties():
+    cfg = SMConfig(TITAN_V, 32)
+    assert cfg.l1d_bytes == 96 * KB
+    assert cfg.shared_bytes == 32 * KB
+
+
+def test_table1_values():
+    """The spec mirrors Table 1 of the paper."""
+    assert TITAN_V.num_sms == 80
+    assert TITAN_V.registers_per_sm * 4 == 256 * KB
+    assert TITAN_V.unified_cache_bytes == 128 * KB
+    assert TITAN_V.l2_total_bytes == 4608 * KB
+    assert TITAN_V.max_warps_per_sm == 64

@@ -1,0 +1,183 @@
+"""Launcher tests: arg resolution, shared layout, TB distribution."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import parse, parse_kernel
+from repro.runtime import Device
+from repro.sim.arch import TITAN_V, TITAN_V_SIM
+from repro.sim.interp import SimulationError
+from repro.sim.launch import resolve_args, shared_layout_of
+
+
+def test_shared_layout_offsets_aligned():
+    k = parse_kernel("""
+__global__ void k(float *a) {
+    __shared__ float t1[3];
+    __shared__ double t2[4];
+    __shared__ int t3[2][8];
+    t1[0] = 0.0f; t2[0] = 0.0; t3[0][0] = 0;
+    a[0] = t1[0];
+}
+""")
+    layout = shared_layout_of(k)
+    assert set(layout) == {"t1", "t2", "t3"}
+    off1, _, dims1 = layout["t1"]
+    off2, _, _ = layout["t2"]
+    off3, _, dims3 = layout["t3"]
+    assert off1 == 0 and dims1 == (3,)
+    assert off2 % 8 == 0 and off2 >= 12
+    assert off3 > off2 and dims3 == (2, 8)
+
+
+def test_shared_scalar_rejected():
+    k = parse_kernel("""
+__global__ void k(float *a) {
+    __shared__ float x;
+    a[0] = x;
+}
+""")
+    with pytest.raises(SimulationError):
+        shared_layout_of(k)
+
+
+def test_resolve_args_type_checking():
+    k = parse_kernel("__global__ void k(float *a, int n, float s) {}")
+    out = resolve_args(k, [0x1000, 7, 2.5])
+    assert out[0] == ("a", 0x1000, k.params[0].type)
+    assert out[1][1] == 7
+    assert isinstance(out[2][1], float)
+
+
+def test_resolve_args_arity_mismatch():
+    k = parse_kernel("__global__ void k(float *a) {}")
+    with pytest.raises(ValueError):
+        resolve_args(k, [1, 2])
+
+
+def test_unknown_kernel_name():
+    dev = Device(TITAN_V_SIM)
+    with pytest.raises(KeyError):
+        dev.launch("__global__ void k(float *a) {}", "nope", 1, 32,
+                   [dev.zeros(4)])
+
+
+def test_multi_sm_spec_times_subset_but_runs_all():
+    """With 80 SMs and grid 160, SM 0 times 2 TBs but all 160 execute."""
+    dev = Device(TITAN_V)
+    out = dev.zeros(160 * 32)
+    res = dev.launch(
+        """__global__ void k(float *out) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            out[i] = (float)blockIdx.x;
+        }""",
+        "k", 160, 32, [out],
+    )
+    assert res.tbs_simulated == 2
+    ref = np.repeat(np.arange(160, dtype=np.float32), 32)
+    np.testing.assert_array_equal(out.to_host(), ref)
+
+
+def test_max_tbs_cap():
+    dev = Device(TITAN_V_SIM)
+    out = dev.zeros(4 * 32)
+    res = dev.launch(
+        "__global__ void k(float *out) { out[blockIdx.x * 32 + threadIdx.x] = 1.0f; }",
+        "k", 4, 32, [out], max_tbs=2,
+    )
+    assert res.tbs_simulated == 2
+    np.testing.assert_array_equal(out.to_host(), np.ones(128))  # all ran
+
+
+def test_carveout_override():
+    dev = Device(TITAN_V_SIM)
+    out = dev.zeros(32)
+    res = dev.launch(
+        "__global__ void k(float *out) { out[threadIdx.x] = 1.0f; }",
+        "k", 1, 32, [out], carveout_kb=64,
+    )
+    assert res.occupancy.shared_carveout_kb == 64
+    assert res.occupancy.l1d_bytes == 64 * 1024
+
+
+def test_carveout_below_usage_rejected():
+    dev = Device(TITAN_V_SIM)
+    out = dev.zeros(32)
+    src = """
+__global__ void k(float *out) {
+    __shared__ float big[4096];
+    big[threadIdx.x] = 0.0f;
+    out[threadIdx.x] = big[threadIdx.x];
+}
+"""
+    with pytest.raises(ValueError):
+        dev.launch(src, "k", 1, 32, [out], carveout_kb=8)
+
+
+def test_2d_grid_and_block():
+    dev = Device(TITAN_V_SIM)
+    out = dev.zeros((16, 64))
+    dev.launch(
+        """__global__ void k(float *out) {
+            int x = blockIdx.x * blockDim.x + threadIdx.x;
+            int y = blockIdx.y * blockDim.y + threadIdx.y;
+            out[y * 64 + x] = (float)(y * 100 + x);
+        }""",
+        "k", (2, 2), (32, 8), [out],
+    )
+    ref = (np.arange(16)[:, None] * 100 + np.arange(64)[None, :]).astype(np.float32)
+    np.testing.assert_array_equal(out.to_host(), ref)
+
+
+def test_dynamic_shared_memory():
+    """`extern __shared__` + launch-time size (the <<<g,b,shm>>> argument)."""
+    src = """
+__global__ void k(float *a, float *out) {
+    extern __shared__ float buf[];
+    int i = threadIdx.x;
+    buf[i] = a[i];
+    __syncthreads();
+    out[i] = buf[255 - i];
+}
+"""
+    dev = Device(TITAN_V_SIM)
+    a = dev.to_device(np.arange(256, dtype=np.float32))
+    out = dev.zeros(256)
+    res = dev.launch(src, "k", 1, 256, [a, out], shared_bytes=1024)
+    assert res.occupancy.shared_usage_tb == 1024
+    np.testing.assert_array_equal(
+        out.to_host(), np.arange(255, -1, -1, dtype=np.float32))
+
+
+def test_dynamic_shared_limits_occupancy():
+    src = """
+__global__ void k(float *out) {
+    extern __shared__ float buf[];
+    buf[threadIdx.x] = 1.0f;
+    out[blockIdx.x * blockDim.x + threadIdx.x] = buf[threadIdx.x];
+}
+"""
+    dev = Device(TITAN_V_SIM)
+    out = dev.zeros(1024)
+    res = dev.launch(src, "k", 4, 256, [out], shared_bytes=48 * 1024)
+    assert res.occupancy.tb_sm == 2          # Eq. 1 with dynamic usage
+    np.testing.assert_array_equal(out.to_host(), np.ones(1024))
+
+
+def test_dynamic_shared_mixed_with_static():
+    src = """
+__global__ void k(float *out) {
+    __shared__ float fixed[64];
+    extern __shared__ float dyn[];
+    int i = threadIdx.x;
+    fixed[i % 64] = 2.0f;
+    dyn[i] = 3.0f;
+    __syncthreads();
+    out[i] = fixed[i % 64] + dyn[i];
+}
+"""
+    dev = Device(TITAN_V_SIM)
+    out = dev.zeros(128)
+    res = dev.launch(src, "k", 1, 128, [out], shared_bytes=512)
+    assert res.occupancy.shared_usage_tb == 64 * 4 + 512
+    np.testing.assert_array_equal(out.to_host(), np.full(128, 5.0))

@@ -1,0 +1,73 @@
+"""Global-memory model tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.memory import GlobalMemory, MemoryError_
+
+
+def test_alloc_alignment():
+    mem = GlobalMemory()
+    a = mem.alloc(np.zeros(3, dtype=np.float32))
+    b = mem.alloc(np.zeros(3, dtype=np.float32))
+    assert a % 256 == 0 and b % 256 == 0
+    assert b > a
+
+
+def test_load_store_roundtrip():
+    mem = GlobalMemory()
+    data = np.arange(16, dtype=np.float32)
+    base = mem.alloc(data)
+    addrs = base + np.array([0, 4, 8, 60], dtype=np.int64)
+    got = mem.load(addrs, np.dtype(np.float32))
+    np.testing.assert_array_equal(got, [0.0, 1.0, 2.0, 15.0])
+    mem.store(addrs, np.array([9, 8, 7, 6], dtype=np.float32))
+    got = mem.load(addrs, np.dtype(np.float32))
+    np.testing.assert_array_equal(got, [9.0, 8.0, 7.0, 6.0])
+
+
+def test_int32_buffer():
+    mem = GlobalMemory()
+    base = mem.alloc(np.arange(8, dtype=np.int32))
+    got = mem.load(base + np.array([28], dtype=np.int64), np.dtype(np.int32))
+    assert got[0] == 7
+
+
+def test_cross_allocation_access_splits():
+    mem = GlobalMemory()
+    a = mem.alloc(np.full(64, 1.0, dtype=np.float32))
+    b = mem.alloc(np.full(64, 2.0, dtype=np.float32))
+    addrs = np.array([a, b], dtype=np.int64)
+    got = mem.load(addrs, np.dtype(np.float32))
+    np.testing.assert_array_equal(got, [1.0, 2.0])
+
+
+def test_out_of_bounds_raises():
+    mem = GlobalMemory()
+    base = mem.alloc(np.zeros(4, dtype=np.float32))
+    with pytest.raises(MemoryError_):
+        mem.load(np.array([base + 16], dtype=np.int64), np.dtype(np.float32))
+
+
+def test_below_all_allocations_raises():
+    mem = GlobalMemory()
+    mem.alloc(np.zeros(4, dtype=np.float32))
+    with pytest.raises(MemoryError_):
+        mem.load(np.array([10], dtype=np.int64), np.dtype(np.float32))
+
+
+def test_type_punned_load():
+    """Reading float bits as int32 goes through the byte path."""
+    mem = GlobalMemory()
+    data = np.array([1.0], dtype=np.float32)
+    base = mem.alloc(data)
+    got = mem.load(np.array([base], dtype=np.int64), np.dtype(np.int32))
+    assert got[0] == np.float32(1.0).view(np.int32)
+
+
+def test_find_reports_right_allocation():
+    mem = GlobalMemory()
+    a = mem.alloc(np.zeros(4, dtype=np.float32))
+    b = mem.alloc(np.zeros(4, dtype=np.float32))
+    assert mem.find(a).start == a
+    assert mem.find(b + 8).start == b

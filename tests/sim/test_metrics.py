@@ -1,0 +1,50 @@
+"""Metrics tests: the bounded Fig.-2 trace and summary plumbing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import MemTrace, SMMetrics
+
+
+def test_trace_records_in_order():
+    t = MemTrace()
+    for v in (1, 32, 4):
+        t.record(v)
+    xs, ys = t.series()
+    assert xs == [0, 1, 2]
+    assert ys == [1, 32, 4]
+
+
+def test_trace_downsamples_beyond_cap():
+    t = MemTrace(max_points=64)
+    for i in range(1000):
+        t.record(i % 32 + 1)
+    xs, ys = t.series()
+    assert len(xs) < 128
+    assert t.seq == 1000
+    assert xs == sorted(xs)
+    assert xs[-1] <= 999
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(1, 32), min_size=1, max_size=500))
+def test_trace_invariants(values):
+    t = MemTrace(max_points=32)
+    for v in values:
+        t.record(v)
+    xs, ys = t.series()
+    assert t.seq == len(values)
+    assert len(xs) == len(ys) <= 64
+    # every retained point is a true sample
+    for x, y in zip(xs, ys):
+        assert values[x] == y
+
+
+def test_summary_fields():
+    m = SMMetrics()
+    m.cycles = 100
+    m.l1_load.accesses = 10
+    m.l1_load.hits = 4
+    s = m.summary()
+    assert s["cycles"] == 100
+    assert s["l1_hit_rate"] == 0.4

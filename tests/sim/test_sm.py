@@ -1,0 +1,222 @@
+"""SM timing-engine tests: latency hiding, ports, barriers, occupancy."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import Device
+from repro.sim.arch import TITAN_V_SIM
+from repro.sim.sm import SMEngine
+from repro.sim.arch import SMConfig
+
+
+def launch(src, kernel="k", grid=1, block=256, n=4096, scheduler="gto",
+           governor=None):
+    dev = Device(TITAN_V_SIM, scheduler=scheduler)
+    a = dev.to_device(np.arange(n, dtype=np.float32))
+    out = dev.zeros(n)
+    res = dev.launch(src, kernel, grid, block, [a, out], governor=governor)
+    return res
+
+
+STREAM = """
+__global__ void k(float *a, float *out) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    float s = 0.0f;
+    for (int j = 0; j < 16; j++) {
+        s += a[(j * 1024 + i) % 4096];
+    }
+    out[i] = s;
+}
+"""
+
+
+def test_more_warps_hide_latency():
+    """With a memory-latency-bound kernel, 8 warps beat 1 warp (Fig. 3's
+    left slope)."""
+    one = launch(STREAM, block=32)
+    eight = launch(STREAM, block=256)
+    # 8x the work in much less than 8x the time
+    assert eight.cycles < one.cycles * 3
+
+
+def test_compute_cycles_accounted():
+    src = """
+__global__ void k(float *a, float *out) {
+    int i = threadIdx.x;
+    float x = a[i];
+    for (int j = 0; j < 64; j++) { x = x * 1.0001f + 0.5f; }
+    out[i] = x;
+}
+"""
+    res = launch(src, block=32)
+    assert res.metrics.instructions > 64
+    assert res.cycles > 64
+
+
+def test_barrier_synchronizes_tb():
+    """A barrier must order writes before reads across warps; timing-wise the
+    TB cannot finish before the slowest warp reaches the barrier."""
+    src = """
+__global__ void k(float *a, float *out) {
+    __shared__ float tile[256];
+    int i = threadIdx.x;
+    float s = 0.0f;
+    if (i < 32) {
+        for (int j = 0; j < 32; j++) { s += a[i * 37 + j]; }
+    }
+    tile[i] = s;
+    __syncthreads();
+    out[i] = tile[255 - i];
+}
+"""
+    res = launch(src, block=256)
+    assert res.metrics.barriers >= 8  # every warp arrives once
+
+
+def test_occupancy_limits_resident_tbs():
+    """48 KB of shared memory per TB -> only 2 TBs resident (Eq. 1)."""
+    src = """
+__global__ void k(float *a, float *out) {
+    __shared__ float dummy[12288];
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    dummy[threadIdx.x] = 0.0f;
+    out[i] = a[i];
+}
+"""
+    res = launch(src, grid=4, block=256)
+    assert res.occupancy.tb_sm == 2
+    assert res.occupancy.shared_carveout_kb == 96
+    assert res.occupancy.l1d_bytes == 32 * 1024
+
+
+def test_all_tbs_execute_even_beyond_residency():
+    src = """
+__global__ void k(float *a, float *out) {
+    __shared__ float dummy[12288];
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    dummy[threadIdx.x] = 0.0f;
+    out[i] = a[i] + 1.0f;
+}
+"""
+    dev = Device(TITAN_V_SIM)
+    a = dev.to_device(np.arange(1024, dtype=np.float32))
+    out = dev.zeros(1024)
+    res = dev.launch(src, "k", 4, 256, [a, out])
+    assert res.metrics.tbs_executed == 4
+    np.testing.assert_array_equal(out.to_host(), np.arange(1024) + 1.0)
+
+
+def test_lrr_scheduler_also_works():
+    res = launch(STREAM, block=256, scheduler="lrr")
+    assert res.cycles > 0
+
+
+def test_bad_scheduler_rejected():
+    with pytest.raises(ValueError):
+        SMEngine(TITAN_V_SIM, SMConfig(TITAN_V_SIM, 0), scheduler="wrong")
+
+
+def test_stores_do_not_stall_warps():
+    """Write-only kernels should run much faster than read-heavy ones."""
+    write_src = """
+__global__ void k(float *a, float *out) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int j = 0; j < 16; j++) { out[(j * 1024 + i) % 4096] = 1.0f; }
+}
+"""
+    w = launch(write_src, block=256)
+    r = launch(STREAM, block=256)
+    assert w.cycles < r.cycles
+
+
+def test_governor_hook_invoked():
+    calls = []
+
+    def governor(engine):
+        calls.append(engine.now)
+
+    launch(STREAM, block=256, governor=governor)
+    assert calls  # invoked at least once
+
+
+def test_governor_pausing_slows_execution():
+    def pause_all_but_first(engine):
+        live = {s.tb_index for s in engine.slots if not s.done}
+        engine.paused_tbs = {t for t in live if t != min(live, default=0)}
+
+    free = launch(STREAM, grid=4, block=256)
+    paused = launch(STREAM, grid=4, block=256, governor=pause_all_but_first)
+    assert paused.cycles > free.cycles
+
+
+def test_mem_trace_records_transactions():
+    res = launch(STREAM, block=256)
+    xs, ys = res.metrics.mem_trace.series()
+    assert len(xs) == len(ys) > 0
+    assert all(1 <= y <= 32 for y in ys)
+
+
+def test_divergent_kernel_generates_32_transactions():
+    src = """
+__global__ void k(float *a, float *out) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    float s = 0.0f;
+    for (int j = 0; j < 4; j++) { s += a[(i * 32 + j) % 4096]; }
+    out[i] = s;
+}
+"""
+    res = launch(src, block=32)
+    _, ys = res.metrics.mem_trace.series()
+    assert max(ys) == 32
+
+
+def test_mlp_window_bounds_outstanding_loads():
+    """With MLP depth D, a warp issuing D+1 loads must stall on the first."""
+    from dataclasses import replace
+
+    from repro.sim.arch import TITAN_V_SIM as SPEC
+
+    src = """
+__global__ void k(float *a, float *out) {
+    int i = threadIdx.x;
+    float s = 0.0f;
+    for (int j = 0; j < 8; j++) { s += a[(j * 1024 + i) % 8192]; }
+    out[i] = s;
+}
+"""
+    dev_deep = Device(replace(
+        SPEC, timing=replace(SPEC.timing, mem_pipeline_depth=8)))
+    dev_shallow = Device(replace(
+        SPEC, timing=replace(SPEC.timing, mem_pipeline_depth=1)))
+    import numpy as np
+    a = np.arange(8192, dtype=np.float32)
+    r_deep = dev_deep.launch(src, "k", 1, 32,
+                             [dev_deep.to_device(a), dev_deep.zeros(32)])
+    r_shallow = dev_shallow.launch(src, "k", 1, 32,
+                                   [dev_shallow.to_device(a),
+                                    dev_shallow.zeros(32)])
+    assert r_deep.cycles < r_shallow.cycles
+
+
+def test_l1_bypass_flag():
+    res_normal = launch(STREAM, block=256)
+    dev = Device(TITAN_V_SIM)
+    import numpy as np
+    a = dev.to_device(np.arange(4096, dtype=np.float32))
+    out = dev.zeros(4096)
+    res_bypass = dev.launch(STREAM, "k", 1, 256, [a, out], l1_bypass=True)
+    assert res_bypass.metrics.l1_load.accesses == 0
+    assert res_normal.metrics.l1_load.accesses > 0
+
+
+def test_store_hits_absorb_downstream_traffic():
+    """Repeated stores to the same lines must not multiply DRAM traffic."""
+    src = """
+__global__ void k(float *a, float *out) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int j = 0; j < 16; j++) { out[i] = (float)j; }
+}
+"""
+    res = launch(src, block=256)
+    m = res.metrics
+    assert m.l1_store_hits > m.l1_store_misses * 8  # 15 of 16 rounds hit

@@ -1,0 +1,78 @@
+"""Property: throttling transforms never change results, only timing.
+
+Hypothesis generates small affine kernels and arbitrary valid (N, M)
+factors; the forced-throttle unit must produce bit-identical outputs to the
+baseline unit (float path uses exact equality too — the transforms reorder
+*scheduling*, not arithmetic).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import parse
+from repro.runtime import Device
+from repro.sim.arch import TITAN_V_SIM
+from repro.transform import force_throttle
+
+THREADS = 128  # 4 warps, 2 TBs of 64
+
+
+def make_source(c_tid: int, c_i: int, offset: int, trips: int) -> str:
+    return f"""
+__global__ void k(float *a, float *out) {{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int j = 0; j < {trips}; j++) {{
+        out[i] += a[(i * {c_tid} + j * {c_i} + {offset}) % 512];
+    }}
+}}
+"""
+
+
+def run(unit, a):
+    dev = Device(TITAN_V_SIM)
+    da, dout = dev.to_device(a), dev.zeros(THREADS)
+    dev.launch(unit, "k", 2, 64, [da, dout])
+    return dout.to_host()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    c_tid=st.integers(0, 40),
+    c_i=st.integers(0, 17),
+    offset=st.integers(0, 100),
+    trips=st.integers(1, 10),
+    n=st.sampled_from([1, 2]),
+    m=st.sampled_from([0, 1]),
+    seed=st.integers(0, 2**16),
+)
+def test_forced_throttle_is_result_equivalent(c_tid, c_i, offset, trips,
+                                              n, m, seed):
+    src = make_source(c_tid, c_i, offset, trips)
+    unit = parse(src)
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(512).astype(np.float32)
+    baseline = run(unit, a)
+    throttled_unit = force_throttle(unit, "k", 64, TITAN_V_SIM, n, m, grid=2)
+    throttled = run(throttled_unit, a)
+    np.testing.assert_array_equal(baseline, throttled)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    c_tid=st.integers(0, 40),
+    trips=st.integers(1, 8),
+    seed=st.integers(0, 2**16),
+)
+def test_simulation_is_deterministic(c_tid, trips, seed):
+    src = make_source(c_tid, 1, 0, trips)
+    unit = parse(src)
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(512).astype(np.float32)
+
+    def cycles():
+        dev = Device(TITAN_V_SIM)
+        da, dout = dev.to_device(a), dev.zeros(THREADS)
+        return dev.launch(unit, "k", 2, 64, [da, dout]).cycles
+
+    assert cycles() == cycles()

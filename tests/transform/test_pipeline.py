@@ -1,0 +1,137 @@
+"""CATT pipeline tests: end-to-end compile decisions and transformations."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import emit, parse
+from repro.runtime import Device
+from repro.sim.arch import TITAN_V_SIM
+from repro.transform import catt_compile, force_throttle, specialize_kernel
+from repro.transform.tb_throttle import DUMMY_NAME
+
+ATAX = """
+#define NX 1024
+#define NY 64
+__global__ void atax_kernel1(float *A, float *x, float *tmp) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NX) {
+        for (int j = 0; j < NY; j++) {
+            tmp[i] += A[i * NY + j] * x[j];
+        }
+    }
+}
+
+__global__ void atax_kernel2(float *A, float *y, float *tmp) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < NY) {
+        for (int i = 0; i < NX; i++) {
+            y[j] += A[i * NY + j] * tmp[i];
+        }
+    }
+}
+"""
+
+LAUNCHES = {"atax_kernel1": (4, 256), "atax_kernel2": (1, 64)}
+
+
+def test_catt_throttles_only_the_divergent_kernel():
+    comp = catt_compile(parse(ATAX), LAUNCHES, TITAN_V_SIM)
+    t1 = comp.transforms["atax_kernel1"]
+    t2 = comp.transforms["atax_kernel2"]
+    assert t1.warp_splits == [(0, 2)]
+    assert t1.tb_plan is None
+    assert not t2.transformed
+    text = emit(comp.unit.kernel("atax_kernel1"))
+    assert "__syncthreads();" in text
+    assert "__syncthreads" not in emit(comp.unit.kernel("atax_kernel2"))
+
+
+def test_catt_compiled_unit_still_correct():
+    comp = catt_compile(parse(ATAX), LAUNCHES, TITAN_V_SIM)
+    rng = np.random.default_rng(3)
+    A = rng.standard_normal((1024, 64)).astype(np.float32)
+    x = rng.standard_normal(64).astype(np.float32)
+    dev = Device(TITAN_V_SIM)
+    dA, dx = dev.to_device(A), dev.to_device(x)
+    tmp, y = dev.zeros(1024), dev.zeros(64)
+    dev.launch(comp.unit, "atax_kernel1", 4, 256, [dA, dx, tmp])
+    dev.launch(comp.unit, "atax_kernel2", 1, 64, [dA, y, tmp])
+    np.testing.assert_allclose(tmp.to_host(), A @ x, rtol=1e-3)
+    np.testing.assert_allclose(y.to_host(), A.T @ (A @ x), rtol=1e-2)
+
+
+def test_analysis_seconds_recorded():
+    comp = catt_compile(parse(ATAX), LAUNCHES, TITAN_V_SIM)
+    for t in comp.transforms.values():
+        assert t.analysis_seconds >= 0
+        assert t.analysis_seconds < 2.0     # §5.1.4's bound, generously
+
+
+def test_original_unit_untouched():
+    unit = parse(ATAX)
+    before = emit(unit)
+    catt_compile(unit, LAUNCHES, TITAN_V_SIM)
+    assert emit(unit) == before
+
+
+def test_force_throttle_warp_only():
+    unit = force_throttle(parse(ATAX), "atax_kernel1", 256, TITAN_V_SIM, 4, 0,
+                          grid=4)
+    text = emit(unit.kernel("atax_kernel1"))
+    assert text.count("__syncthreads();") == 4
+    assert DUMMY_NAME not in text
+
+
+def test_force_throttle_with_tb_reduction():
+    unit = force_throttle(parse(ATAX), "atax_kernel1", 256, TITAN_V_SIM, 1, 2,
+                          grid=4)
+    text = emit(unit.kernel("atax_kernel1"))
+    assert DUMMY_NAME in text
+
+
+def test_force_throttle_invalid_n():
+    with pytest.raises(ValueError):
+        force_throttle(parse(ATAX), "atax_kernel1", 256, TITAN_V_SIM, 3, 0)
+
+
+def test_force_throttle_m_too_large():
+    with pytest.raises(ValueError):
+        force_throttle(parse(ATAX), "atax_kernel1", 256, TITAN_V_SIM, 1, 99,
+                       grid=4)
+
+
+def test_specialize_kernel_variants():
+    unit, names = specialize_kernel(
+        parse(ATAX), "atax_kernel1", 256, TITAN_V_SIM,
+        [(2, 0), (4, 0)], grid=4,
+    )
+    assert set(names.values()) == {
+        "atax_kernel1__catt_n2_m0", "atax_kernel1__catt_n4_m0",
+    }
+    # Original and variants coexist; variants are runnable.
+    dev = Device(TITAN_V_SIM)
+    A = dev.to_device(np.ones((1024, 64), np.float32))
+    x = dev.to_device(np.ones(64, np.float32))
+    tmp = dev.zeros(1024)
+    dev.launch(unit, names[(4, 0)], 4, 256, [A, x, tmp])
+    np.testing.assert_allclose(tmp.to_host(), np.full(1024, 64.0))
+
+
+def test_nested_throttled_loop_not_double_split():
+    src = """
+#define N 512
+__global__ void k(float *a, float *out) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int r = 0; r < 4; r++) {
+        for (int j = 0; j < 32; j++) {
+            out[i] += a[i * 32 + j];
+        }
+    }
+}
+"""
+    comp = catt_compile(parse(src), {"k": (4, 256)}, TITAN_V_SIM)
+    t = comp.transforms["k"]
+    # Whatever the decision, at most one split per nesting chain.
+    split_ids = [loop_id for loop_id, _ in t.warp_splits]
+    assert len(split_ids) == len(set(split_ids))
+    assert len(split_ids) <= 1

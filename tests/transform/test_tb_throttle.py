@@ -1,0 +1,78 @@
+"""TB-level throttling transform tests (Fig. 5)."""
+
+import numpy as np
+
+from repro.frontend import emit, parse, parse_kernel
+from repro.runtime import Device
+from repro.sim.arch import TITAN_V_SIM
+from repro.transform.tb_throttle import DUMMY_NAME, add_dummy_shared, dummy_bytes_in
+
+SRC = """
+__global__ void k(float *a, float *out) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    out[i] = a[i];
+}
+"""
+
+
+def test_dummy_inserted_with_keepalive_write():
+    kernel = parse_kernel(SRC)
+    out = add_dummy_shared(kernel, 48 * 1024)
+    text = emit(out)
+    assert f"__shared__ float {DUMMY_NAME}[12288];" in text
+    assert f"{DUMMY_NAME}[threadIdx.x % 12288] = 0;" in text
+    # inserted before the original body
+    assert text.index(DUMMY_NAME) < text.index("blockIdx.x")
+
+
+def test_zero_bytes_is_identity():
+    kernel = parse_kernel(SRC)
+    assert add_dummy_shared(kernel, 0) is kernel
+
+
+def test_dummy_bytes_in_detects():
+    kernel = parse_kernel(SRC)
+    out = add_dummy_shared(kernel, 4096)
+    assert dummy_bytes_in(out) == 4096
+    assert dummy_bytes_in(kernel) == 0
+
+
+def test_dummy_limits_resident_tbs_in_simulator():
+    kernel = parse_kernel(SRC)
+    out = add_dummy_shared(kernel, 48 * 1024)
+    unit = parse(emit(out))
+    dev = Device(TITAN_V_SIM)
+    a = dev.to_device(np.arange(1024, dtype=np.float32))
+    res_out = dev.zeros(1024)
+    res = dev.launch(unit, "k", 4, 256, [a, res_out])
+    assert res.occupancy.tb_sm == 2          # the Fig. 5 example: 2 TBs
+    np.testing.assert_array_equal(res_out.to_host(), np.arange(1024))
+
+
+def test_small_dummy_does_not_throttle():
+    """A dummy below the self-limiting size must NOT reduce residency: Eq. 4
+    just grows the carveout to fit all TBs (why tb_throttle_plan sizes the
+    dummy against the largest carveout)."""
+    kernel = parse_kernel(SRC)
+    out = add_dummy_shared(kernel, 4 * 1024)
+    unit = parse(emit(out))
+    dev = Device(TITAN_V_SIM)
+    a = dev.to_device(np.arange(1024, dtype=np.float32))
+    res_out = dev.zeros(1024)
+    res = dev.launch(unit, "k", 4, 256, [a, res_out])
+    assert res.occupancy.tb_sm == 8
+    assert res.occupancy.shared_carveout_kb == 32
+
+
+def test_plan_sized_dummy_throttles():
+    from repro.analysis import tb_throttle_plan
+
+    plan = tb_throttle_plan(TITAN_V_SIM, 0, 2)
+    kernel = parse_kernel(SRC)
+    out = add_dummy_shared(kernel, plan.dummy_bytes)
+    unit = parse(emit(out))
+    dev = Device(TITAN_V_SIM)
+    a = dev.to_device(np.arange(1024, dtype=np.float32))
+    res_out = dev.zeros(1024)
+    res = dev.launch(unit, "k", 4, 256, [a, res_out])
+    assert res.occupancy.tb_sm == 2

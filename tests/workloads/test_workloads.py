@@ -1,0 +1,81 @@
+"""Every workload must verify against its NumPy reference, under every
+scheme (baseline source, CATT-compiled, and one forced throttle)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_kernel
+from repro.sim.arch import TITAN_V_SIM
+from repro.transform import catt_compile
+from repro.workloads import CI_GROUP, CS_GROUP, WORKLOADS, get_workload, run_workload, table2_rows
+
+ALL = sorted(WORKLOADS)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_baseline_verifies(name):
+    wl = get_workload(name, scale="test")
+    run = run_workload(wl, TITAN_V_SIM)
+    assert run.verified
+    assert run.total_cycles > 0
+    assert all(r.cycles >= 0 for r in run.results)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_catt_compiled_verifies(name):
+    """Throttling must never change results — only timing."""
+    wl = get_workload(name, scale="test")
+    comp = catt_compile(wl.unit(), dict(wl.launch_configs()), TITAN_V_SIM)
+    run = run_workload(get_workload(name, scale="test"), TITAN_V_SIM,
+                       unit=comp.unit)
+    assert run.verified
+
+
+@pytest.mark.parametrize("name", CS_GROUP)
+def test_cs_apps_parse_and_analyze(name):
+    wl = get_workload(name, scale="test")
+    unit = wl.unit()
+    for kernel, (grid, block) in wl.launch_configs().items():
+        an = analyze_kernel(unit, kernel, block, TITAN_V_SIM, grid=grid)
+        assert an.occupancy.tb_sm >= 1
+
+
+@pytest.mark.parametrize("name", CI_GROUP)
+def test_ci_apps_not_throttled(name):
+    """Fig. 8's premise: CATT decides 'no throttling' for every CI app."""
+    wl = get_workload(name, scale="bench")
+    comp = catt_compile(wl.unit(), dict(wl.launch_configs()), TITAN_V_SIM)
+    for t in comp.transforms.values():
+        assert not t.transformed, f"{name}: CATT touched a CI kernel"
+
+
+def test_groups_partition_registry():
+    assert set(CS_GROUP) | set(CI_GROUP) == set(WORKLOADS)
+    assert not set(CS_GROUP) & set(CI_GROUP)
+    assert len(CS_GROUP) == 10
+
+
+def test_table2_rows_complete():
+    rows = table2_rows()
+    assert len(rows) == len(WORKLOADS)
+    for row in rows:
+        assert row["group"] in ("CS", "CI")
+        assert row["application"]
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        get_workload("NOPE")
+
+
+def test_bench_scale_configures_larger():
+    small = get_workload("ATAX", "test")
+    big = get_workload("ATAX", "bench")
+    assert big.nx * big.ny > small.nx * small.ny
+
+
+def test_workload_determinism():
+    r1 = run_workload(get_workload("GSMV", "test"), TITAN_V_SIM)
+    r2 = run_workload(get_workload("GSMV", "test"), TITAN_V_SIM)
+    assert r1.total_cycles == r2.total_cycles
+    assert r1.hit_rate_by_kernel() == r2.hit_rate_by_kernel()
