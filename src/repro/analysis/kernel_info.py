@@ -9,15 +9,16 @@ The transform pipeline (:mod:`repro.transform.pipeline`) consumes the result.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from ..errors import BudgetExceededError
 from ..frontend.ast_nodes import FunctionDef, TranslationUnit
 from ..sim.arch import KB, GPUSpec
 from .footprint import LoopFootprint, loop_footprint
 from .locality import AccessLocality, classify_loop, loop_has_reuse
 from .loops import KernelLoops, LoopRecord, find_loops
 from .occupancy import OccupancyResult, compute_occupancy, estimate_registers, shared_usage_bytes
-from .throttle import ThrottleDecision, find_throttle
+from .throttle import SearchBudget, ThrottleDecision, find_throttle
 
 MAX_SHARED_PER_TB = 96 * KB  # Volta per-TB shared memory limit
 
@@ -89,6 +90,11 @@ class KernelAnalysis:
     kernel_loops: KernelLoops
     spec: GPUSpec
     block_dim: tuple[int, int, int]
+    budget_exhausted_loops: list[int] = field(default_factory=list)
+
+    @property
+    def budget_exhausted(self) -> bool:
+        return bool(self.budget_exhausted_loops)
 
     @property
     def tb_m(self) -> int:
@@ -129,11 +135,15 @@ def analyze_kernel(
     spec: GPUSpec,
     grid=None,
     irregular_req: int = 1,
+    budget: SearchBudget | None = None,
 ) -> KernelAnalysis:
     """Run the full CATT static analysis for one kernel + launch config.
 
     ``irregular_req`` overrides the conservative per-warp request count for
     data-dependent accesses (§4.2 uses 1; the A2 ablation uses 32).
+    ``budget`` caps the throttle search; a loop whose search runs out of
+    budget degrades to "left untouched" (the paper's CORR posture) with
+    ``budget_exhausted`` set on the analysis.
     """
     kernel = unit.kernel(kernel_name)
     block3 = _as_dim3(block)
@@ -167,6 +177,7 @@ def analyze_kernel(
         return plan.l1d_bytes // line
 
     analyses: list[LoopAnalysis] = []
+    budget_hit: list[int] = []
     loops_by_id = {l.loop_id: l for l in kernel_loops.loops}
     for rec in kernel_loops.loops:
         localities = classify_loop(rec, line)
@@ -176,7 +187,18 @@ def analyze_kernel(
             loops_by_id=loops_by_id, irregular_req=irregular_req,
         )
         if reuse and localities:
-            decision = find_throttle(fp, l1d_lines_for_tbs)
+            try:
+                decision = find_throttle(fp, l1d_lines_for_tbs, budget=budget)
+            except BudgetExceededError:
+                # Out of search budget: leave the loop untouched, like the
+                # CORR case — never half-apply a throttling decision.
+                budget_hit.append(rec.loop_id)
+                decision = ThrottleDecision(
+                    loop_id=rec.loop_id, n=1, m=0,
+                    warps_per_tb=occ.warps_per_tb, tb_sm=occ.tb_sm,
+                    size_req_lines=fp.size_req_lines,
+                    l1d_lines=l1d_lines_base, fits=False, needed=True,
+                )
         else:
             # No reuse to protect (or no off-chip accesses): never throttle.
             decision = ThrottleDecision(
@@ -194,4 +216,5 @@ def analyze_kernel(
         kernel_loops=kernel_loops,
         spec=spec,
         block_dim=block3,
+        budget_exhausted_loops=budget_hit,
     )

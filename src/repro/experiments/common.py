@@ -10,6 +10,8 @@ from __future__ import annotations
 import json
 import math
 import os
+import time
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -17,6 +19,7 @@ from ..baselines.bftt import bftt_search
 from ..baselines.dyncta import run_with_dyncta
 from ..sim.arch import TITAN_V_SIM, TITAN_V_SIM_32K, GPUSpec
 from ..transform import catt_compile
+from ..transform.diagnostics import E_SIM, Diagnostic
 from ..workloads import get_workload
 from ..workloads.base import WorkloadRun, run_workload
 
@@ -53,6 +56,9 @@ class AppResult:
     sweep: dict[str, dict] | None = None   # "n,m" -> {total, kernels:{k:cycles}}
     # Fig.-2 trace (baseline scheme only)
     mem_trace: list[tuple[int, int]] | None = None
+    # Degradation records (resilient sweeps): Diagnostic.to_dict() payloads.
+    diagnostics: list[dict] = field(default_factory=list)
+    degraded: bool = False   # True = this cell failed and carries no timing
 
     def speedup_vs(self, other: "AppResult") -> float:
         return other.total_cycles / self.total_cycles if self.total_cycles else 0.0
@@ -66,7 +72,14 @@ def geomean(values: list[float]) -> float:
 
 
 class ResultCache:
-    """In-process + JSON-file memo of :class:`AppResult` records."""
+    """In-process + JSON-file memo of :class:`AppResult` records.
+
+    Disk writes are atomic (write-temp + :func:`os.replace`), so a killed
+    sweep can never leave a half-written JSON behind.  A corrupt cache file
+    found at load time is archived next to itself (``results.json.corrupt``)
+    with a warning instead of being silently ignored — the sweep restarts
+    from an empty cache and the evidence is preserved.
+    """
 
     VERSION = 4  # bump to invalidate stale caches after model changes
 
@@ -81,10 +94,31 @@ class ResultCache:
         if self.path and self.path.exists():
             try:
                 payload = json.loads(self.path.read_text())
+                if not isinstance(payload, dict):
+                    raise ValueError("cache payload is not a JSON object")
                 if payload.get("version") == self.VERSION:
-                    self._disk = payload.get("results", {})
-            except (json.JSONDecodeError, OSError):
+                    results = payload.get("results", {})
+                    if not isinstance(results, dict):
+                        raise ValueError("cache 'results' is not an object")
+                    self._disk = results
+            except OSError:
                 pass
+            except (json.JSONDecodeError, ValueError):
+                self._archive_corrupt()
+
+    def _archive_corrupt(self) -> None:
+        archive = self.path.with_name(self.path.name + ".corrupt")
+        try:
+            os.replace(self.path, archive)
+        except OSError:
+            archive = None
+        warnings.warn(
+            f"result cache {self.path} was corrupt; "
+            + (f"archived to {archive} and " if archive else "")
+            + "starting from an empty cache",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     @staticmethod
     def key(app: str, scheme: str, spec: str, scale: str) -> str:
@@ -105,9 +139,17 @@ class ResultCache:
         self._disk[key] = _to_json(result)
         if self.path:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self.path.write_text(json.dumps(
+            payload = json.dumps(
                 {"version": self.VERSION, "results": self._disk}, indent=0
-            ))
+            )
+            tmp = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
+            tmp.write_text(payload)
+            os.replace(tmp, self.path)
+
+    def put_transient(self, key: str, result: AppResult) -> None:
+        """Memoize in-process only — used for degraded cells, which should be
+        retried by the next sweep instead of poisoning the disk cache."""
+        self._mem[key] = result
 
 
 def _to_json(result: AppResult) -> dict:
@@ -133,6 +175,8 @@ def _from_json(raw: dict) -> AppResult:
         factors=tuple(raw["factors"]) if raw.get("factors") else None,
         sweep=raw.get("sweep"),
         mem_trace=[tuple(p) for p in raw["mem_trace"]] if raw.get("mem_trace") else None,
+        diagnostics=raw.get("diagnostics", []),
+        degraded=raw.get("degraded", False),
     )
 
 
@@ -169,10 +213,22 @@ def run_app(
     scale: str = "bench",
     cache: ResultCache | None = None,
     verify: bool = False,
+    on_error: str = "degrade",
 ) -> AppResult:
-    """Simulate ``app`` under ``scheme`` and return (cached) results."""
+    """Simulate ``app`` under ``scheme`` and return (cached) results.
+
+    With ``on_error="degrade"`` (the default) a failed cell — frontend,
+    compile, or simulation crash — returns a zero-cycle ``AppResult`` with
+    ``degraded=True`` and the failure recorded in ``diagnostics``, so a full
+    sweep always completes; the degraded cell is memoized in-process only and
+    will be retried by a fresh sweep.  Pass ``on_error="raise"`` to debug the
+    underlying failure.
+    """
     if scheme not in SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}; options: {SCHEMES}")
+    if on_error not in ("degrade", "raise"):
+        raise ValueError(f"on_error must be 'degrade' or 'raise', "
+                         f"got {on_error!r}")
     spec = SPECS[spec_name]
     cache = cache or default_cache()
     key = ResultCache.key(app, scheme, spec_name, scale)
@@ -180,6 +236,38 @@ def run_app(
     if cached is not None:
         return cached
 
+    t0 = time.perf_counter()
+    try:
+        result = _run_scheme(app, scheme, spec, spec_name, scale, verify)
+    except Exception as exc:
+        if on_error == "raise":
+            raise
+        diag = Diagnostic(
+            code=E_SIM, stage="sim",
+            message=f"({app}, {scheme}, {spec_name}, {scale}) failed: {exc}",
+            kernel=None, severity="error",
+            elapsed_seconds=time.perf_counter() - t0,
+            exception=repr(exc),
+        )
+        result = AppResult(
+            app, scheme, spec_name, scale, total_cycles=0, kernels={},
+            diagnostics=[diag.to_dict()], degraded=True,
+        )
+        cache.put_transient(key, result)
+        return result
+    cache.put(key, result)
+    return result
+
+
+def _run_scheme(
+    app: str,
+    scheme: str,
+    spec: GPUSpec,
+    spec_name: str,
+    scale: str,
+    verify: bool,
+) -> AppResult:
+    """Execute one (app, scheme) cell; may raise — ``run_app`` degrades."""
     if scheme == "baseline":
         wl = get_workload(app, scale)
         run = run_workload(wl, spec, verify=verify)
@@ -208,12 +296,16 @@ def run_app(
         comp = catt_compile(wl.unit(), dict(wl.launch_configs()), spec)
         run = run_workload(get_workload(app, scale), spec, unit=comp.unit,
                            verify=verify)
+        # Kernels whose compilation degraded (analysis is None) pass through
+        # untransformed; their diagnostics ride along on the result.
+        analyzed = {name: t for name, t in comp.transforms.items()
+                    if t.analysis is not None}
         loop_tlps = {
             name: [(la.loop_id, la.decision.tlp) for la in t.analysis.loops]
-            for name, t in comp.transforms.items()
+            for name, t in analyzed.items()
         }
         kernel_tlps = {}
-        for name, t in comp.transforms.items():
+        for name, t in analyzed.items():
             occ = t.analysis.occupancy
             # Kernel-level TLP: the most throttled loop's choice (Table 3
             # lists per-loop rows; this is the per-kernel summary).
@@ -226,6 +318,7 @@ def run_app(
         result = AppResult(
             app, scheme, spec_name, scale, run.total_cycles,
             _kernel_stats(run, kernel_tlps), loop_tlps=loop_tlps,
+            diagnostics=[d.to_dict() for d in comp.diagnostics],
         )
     elif scheme == "bftt":
         res = bftt_search(lambda: get_workload(app, scale), spec,
@@ -254,5 +347,4 @@ def run_app(
             app, scheme, spec_name, scale, run.total_cycles,
             _kernel_stats(run),
         )
-    cache.put(key, result)
     return result

@@ -35,7 +35,10 @@ def build_fig7(
         normalized[app] = {}
         for scheme in schemes:
             res = run_app(app, scheme, spec_name, scale, cache)
-            norm = res.total_cycles / base.total_cycles if base.total_cycles else 1.0
+            # A degraded cell carries no timing: chart it as neutral (1.0)
+            # rather than 0.0, which would read as infinitely fast.
+            norm = (res.total_cycles / base.total_cycles
+                    if base.total_cycles and res.total_cycles else 1.0)
             normalized[app][scheme] = round(norm, 4)
             speedups[scheme].append(base.total_cycles / res.total_cycles
                                     if res.total_cycles else 1.0)

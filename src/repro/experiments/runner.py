@@ -60,8 +60,13 @@ def _compile_file(args) -> str:
     report = []
     for name, t in comp.transforms.items():
         report.append(f"// CATT report for {name}:")
-        for line in format_analysis(t.analysis).splitlines():
-            report.append(f"//   {line}")
+        if t.analysis is None:
+            report.append("//   kernel passed through untransformed")
+        else:
+            for line in format_analysis(t.analysis).splitlines():
+                report.append(f"//   {line}")
+        for d in comp.diagnostics_for(name):
+            report.append(f"//   {d.code} [{d.stage}] {d.message}")
     transformed = emit(comp.unit)
     out_text = "\n".join(report) + "\n\n" + transformed
     if args.output:

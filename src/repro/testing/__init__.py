@@ -1,0 +1,25 @@
+"""Test-support infrastructure: deterministic fault injection.
+
+Production code calls the (near-zero-cost) :func:`repro.testing.faults.
+check_fault` hooks at the frontend/analysis/transform/sim boundaries; tests
+arm them with :func:`repro.testing.faults.inject_faults` to exercise every
+degradation path of the resilient driver.
+"""
+
+from .faults import (
+    BOUNDARIES,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    check_fault,
+    inject_faults,
+)
+
+__all__ = [
+    "BOUNDARIES",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "check_fault",
+    "inject_faults",
+]

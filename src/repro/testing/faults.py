@@ -1,0 +1,146 @@
+"""Deterministic fault injection at the CATT pipeline boundaries.
+
+The resilient driver promises that a failure anywhere in the stack degrades
+to a diagnostic instead of a crash.  That promise is only testable if every
+failure site can actually be made to fail on demand, so the pipeline exposes
+four injection boundaries:
+
+``frontend``
+    kernel source parsing (``Workload.unit``) and kernel lookup;
+``analysis``
+    the per-kernel static analysis in :func:`repro.transform.pipeline.
+    catt_compile`;
+``transform``
+    each per-loop rewrite (site ``"kernel:loopN"``) and the TB-level pass
+    (site ``"kernel:tb"``);
+``sim``
+    workload execution (:func:`repro.workloads.base.run_workload`).
+
+Usage — targeted::
+
+    with inject_faults(FaultSpec(stage="analysis", match="atax_kernel1")):
+        comp = catt_compile(unit, launches, spec)   # degrades, never raises
+
+Usage — seeded random sweep (the CI smoke job)::
+
+    with inject_faults(seed=1234, rate=0.3):
+        run_app("GSMV", "catt", scale="test", cache=cache)
+
+Randomness is derived from ``blake2b(seed, stage, site, hit_index)``, so a
+given seed reproduces the exact same fault pattern on every platform and
+every run — no global RNG state is consumed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+BOUNDARIES = ("frontend", "analysis", "transform", "sim")
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by an armed fault (unless a custom one is set)."""
+
+    def __init__(self, stage: str, site: str):
+        self.stage = stage
+        self.site = site
+        super().__init__(f"injected fault at {stage} boundary (site {site!r})")
+
+
+@dataclass
+class FaultSpec:
+    """One deliberate failure: fire at ``stage`` whenever ``match`` is a
+    substring of the site name (``None`` matches every site)."""
+
+    stage: str
+    match: str | None = None
+    exc: Exception | type[Exception] | None = None   # default: InjectedFault
+    count: int | None = None                         # fire at most N times
+
+    def __post_init__(self) -> None:
+        if self.stage not in BOUNDARIES:
+            raise ValueError(
+                f"unknown fault boundary {self.stage!r}; options: {BOUNDARIES}")
+
+    def matches(self, stage: str, site: str) -> bool:
+        if stage != self.stage:
+            return False
+        return self.match is None or self.match in site
+
+    def make_exc(self, stage: str, site: str) -> Exception:
+        if self.exc is None:
+            return InjectedFault(stage, site)
+        if isinstance(self.exc, type):
+            return self.exc(f"injected {stage} fault at {site!r}")
+        return self.exc
+
+
+class FaultInjector:
+    """Holds armed :class:`FaultSpec` rules and/or a seeded random firing
+    policy, and records every fault it raised in ``fired``."""
+
+    def __init__(self, specs: tuple[FaultSpec, ...] = (),
+                 seed: int | None = None, rate: float = 0.0):
+        self.specs = list(specs)
+        self.seed = seed
+        self.rate = rate
+        self.fired: list[tuple[str, str]] = []
+        self._hits: dict[int, int] = {}    # spec index -> times fired
+        self._visits: dict[tuple[str, str], int] = {}
+
+    def check(self, stage: str, site: str = "") -> None:
+        for i, spec in enumerate(self.specs):
+            if not spec.matches(stage, site):
+                continue
+            if spec.count is not None and self._hits.get(i, 0) >= spec.count:
+                continue
+            self._hits[i] = self._hits.get(i, 0) + 1
+            self.fired.append((stage, site))
+            raise spec.make_exc(stage, site)
+        if self.seed is not None and self.rate > 0.0:
+            visit = self._visits.get((stage, site), 0)
+            self._visits[(stage, site)] = visit + 1
+            if self._roll(stage, site, visit) < self.rate:
+                self.fired.append((stage, site))
+                raise InjectedFault(stage, site)
+
+    def _roll(self, stage: str, site: str, visit: int) -> float:
+        key = f"{self.seed}:{stage}:{site}:{visit}".encode()
+        digest = hashlib.blake2b(key, digest_size=4).digest()
+        return int.from_bytes(digest, "big") / 2**32
+
+
+_ACTIVE: FaultInjector | None = None
+
+
+def check_fault(stage: str, site: str = "") -> None:
+    """Production-side hook: raise if a fault is armed for (stage, site).
+
+    A no-op (one global ``is None`` test) when no injector is installed.
+    """
+    if _ACTIVE is not None:
+        _ACTIVE.check(stage, site)
+
+
+def active_injector() -> FaultInjector | None:
+    return _ACTIVE
+
+
+@contextmanager
+def inject_faults(*specs: FaultSpec, seed: int | None = None,
+                  rate: float = 0.0):
+    """Install a :class:`FaultInjector` for the duration of the block.
+
+    Yields the injector so tests can assert on ``injector.fired``.  Nesting
+    restores the previous injector on exit.
+    """
+    global _ACTIVE
+    injector = FaultInjector(tuple(specs), seed=seed, rate=rate)
+    previous = _ACTIVE
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,68 @@
+"""Fault-injection smoke sweep — the CI job ``python -m repro.testing.smoke``.
+
+Runs the full ``run_app`` matrix (every scheme) once per injection boundary
+with an always-firing targeted fault, then once more under seeded random
+injection, and asserts that **no cell raises**: every failure must degrade to
+an :class:`~repro.experiments.common.AppResult` (possibly ``degraded=True``
+with diagnostics attached).  Exit status 0 means the resilience contract
+held; 1 means a cell leaked an exception.
+
+The seed makes the random sweep reproducible: a CI failure can be replayed
+locally with the same ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from ..experiments.common import SCHEMES, ResultCache, run_app
+from .faults import BOUNDARIES, FaultSpec, inject_faults
+
+
+def run_smoke(app: str = "GSMV", scale: str = "test", seed: int = 1234,
+              rate: float = 0.35, verbose: bool = True) -> int:
+    """Return the number of cells that leaked an exception (0 = pass)."""
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="catt-smoke-") as tmp:
+        plans = [(stage, dict(specs=(FaultSpec(stage=stage),)))
+                 for stage in BOUNDARIES]
+        plans.append(("seeded", dict(seed=seed, rate=rate)))
+        for label, kwargs in plans:
+            cache = ResultCache(Path(tmp) / f"cache-{label}.json")
+            with inject_faults(*kwargs.pop("specs", ()), **kwargs) as inj:
+                for scheme in SCHEMES:
+                    try:
+                        result = run_app(app, scheme, "max", scale, cache)
+                        status = "degraded" if result.degraded else (
+                            "diagnosed" if result.diagnostics else "clean")
+                    except Exception as exc:   # the contract was broken
+                        failures += 1
+                        status = f"LEAKED {type(exc).__name__}: {exc}"
+                    if verbose:
+                        print(f"[{label:9s}] {app} / {scheme:8s}: {status}")
+                if verbose:
+                    print(f"[{label:9s}] faults fired: {len(inj.fired)}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="CATT resilience smoke sweep under fault injection")
+    parser.add_argument("--app", default="GSMV")
+    parser.add_argument("--scale", default="test", choices=["test", "bench"])
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--rate", type=float, default=0.35)
+    args = parser.parse_args(argv)
+    failures = run_smoke(args.app, args.scale, args.seed, args.rate)
+    if failures:
+        print(f"FAIL: {failures} cell(s) leaked an exception")
+        return 1
+    print("OK: all cells degraded gracefully")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

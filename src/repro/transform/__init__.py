@@ -1,5 +1,6 @@
 """CATT code transformations (§4.3): warp-level and TB-level throttling."""
 
+from .diagnostics import Diagnostic, DiagnosticLog
 from .pipeline import (
     CattCompilation,
     KernelTransform,
@@ -9,12 +10,17 @@ from .pipeline import (
 )
 from .tb_throttle import DUMMY_NAME, add_dummy_shared, dummy_bytes_in
 from .utils import linear_warp_id_expr, replace_stmt, with_body, with_function
+from .validate import ValidationReport, differential_validate
 from .warp_throttle import split_loop_for_warp_groups
 
 __all__ = [
     "CattCompilation",
+    "Diagnostic",
+    "DiagnosticLog",
     "KernelTransform",
+    "ValidationReport",
     "catt_compile",
+    "differential_validate",
     "force_throttle",
     "specialize_kernel",
     "DUMMY_NAME",

@@ -1,4 +1,4 @@
-"""The CATT source-to-source compiler pipeline (§4).
+"""The CATT source-to-source compiler pipeline (§4) — resilient driver.
 
 ``catt_compile`` = static analysis (§4.1–4.2) + code transformation (§4.3):
 
@@ -12,6 +12,21 @@
 ``force_throttle`` applies a *fixed* (N, M) to every top-level loop — the
 building block of the BFTT baseline (§5), which searches fixed TLPs with
 "warp-level throttling and TB-level throttling methods".
+
+Resilience contract
+-------------------
+The paper builds graceful degradation into the design (§4.2: when even the
+minimum TLP cannot fit the L1D, the loop is left untouched — the CORR case).
+The driver extends that posture to *failures*: with ``resilient=True`` (the
+default), any frontend/analysis/transform exception degrades the affected
+kernel (or loop) to its untransformed form and is recorded as a structured
+:class:`~repro.transform.diagnostics.Diagnostic` on
+``CattCompilation.diagnostics`` — one bad kernel can no longer abort a
+translation unit or an experiment sweep.  ``validate=True`` additionally runs
+every transformed kernel through the differential gate
+(:mod:`repro.transform.validate`) and reverts provably unsafe transforms.
+``budget`` caps analysis cost with partial-result degradation.  See
+docs/ROBUSTNESS.md for the full degradation-mode catalogue.
 """
 
 from __future__ import annotations
@@ -27,11 +42,26 @@ from ..analysis.kernel_info import (
     tb_throttle_plan,
 )
 from ..analysis.occupancy import shared_usage_bytes
-from ..analysis.throttle import candidate_ns
+from ..analysis.throttle import SearchBudget, candidate_ns
+from ..errors import ThrottleSearchError, WarpSplitError
 from ..frontend.ast_nodes import FunctionDef, TranslationUnit
+from ..frontend.errors import FrontendError
 from ..sim.arch import GPUSpec
+from ..testing.faults import check_fault
+from .diagnostics import (
+    E_ANALYSIS,
+    E_FRONTEND,
+    E_TRANSFORM,
+    I_SKIP_LOOP,
+    I_VALIDATE_SKIP,
+    W_BUDGET,
+    W_REVERTED,
+    W_SEARCH,
+    DiagnosticLog,
+)
 from .tb_throttle import add_dummy_shared
 from .utils import with_function
+from .validate import INCONCLUSIVE, ValidationReport, differential_validate
 from .warp_throttle import split_loop_for_warp_groups
 
 
@@ -40,28 +70,49 @@ class KernelTransform:
     """What CATT did to one kernel."""
 
     kernel_name: str
-    analysis: KernelAnalysis
+    analysis: KernelAnalysis | None
     warp_splits: list[tuple[int, int]] = field(default_factory=list)  # (loop_id, N)
     tb_plan: TBThrottlePlan | None = None
     tiles: list[tuple[int, int]] = field(default_factory=list)  # (loop_id, T)
     analysis_seconds: float = 0.0
+    reverted: bool = False                      # validation gate said no
+    validation: ValidationReport | None = None
+
+    @property
+    def changed(self) -> bool:
+        """A rewrite was *attempted* (whether or not it survived the gate)."""
+        return bool(self.warp_splits) or self.tb_plan is not None \
+            or bool(self.tiles)
 
     @property
     def transformed(self) -> bool:
-        return bool(self.warp_splits) or self.tb_plan is not None \
-            or bool(self.tiles)
+        """The emitted unit actually carries this kernel's rewrite."""
+        return self.changed and not self.reverted
 
 
 @dataclass
 class CattCompilation:
-    """Result of compiling a translation unit with CATT."""
+    """Result of compiling a translation unit with CATT.
+
+    ``diagnostics`` records every degradation the resilient driver took; an
+    empty log means every kernel compiled cleanly.
+    """
 
     original: TranslationUnit
     unit: TranslationUnit
     transforms: dict[str, KernelTransform]
+    diagnostics: DiagnosticLog = field(default_factory=DiagnosticLog)
 
     def transform_for(self, kernel_name: str) -> KernelTransform:
         return self.transforms[kernel_name]
+
+    @property
+    def ok(self) -> bool:
+        """True when no kernel degraded with an error-severity diagnostic."""
+        return not self.diagnostics.errors
+
+    def diagnostics_for(self, kernel_name: str):
+        return self.diagnostics.for_kernel(kernel_name)
 
 
 def _select_loops(analysis: KernelAnalysis) -> list[LoopAnalysis]:
@@ -91,6 +142,10 @@ def catt_compile(
     spec: GPUSpec,
     enable_tiling: bool = False,
     irregular_req: int = 1,
+    resilient: bool = True,
+    validate: bool = False,
+    budget: SearchBudget | None = None,
+    validate_seed: int = 0,
 ) -> CattCompilation:
     """Compile every kernel in ``launches`` (name -> (grid, block)) with CATT.
 
@@ -99,29 +154,90 @@ def catt_compile(
     unresolvable — the paper's CORR case.  Off by default, as in the paper.
     ``irregular_req`` is §4.2's conservative request count for irregular
     accesses (1); the A2 ablation passes 32.
+
+    ``resilient`` (default) isolates faults per kernel and per stage: the
+    failing kernel passes through untransformed with a structured diagnostic
+    instead of aborting the unit (pass ``False`` to re-raise, for debugging).
+    ``validate`` runs every transformed kernel through the differential gate
+    and reverts divergent/deadlocking transforms.  ``budget`` bounds the
+    throttle search (wall clock + candidate count); on exhaustion the
+    remaining work degrades to pass-through with ``CATT-W-BUDGET`` records.
     """
     from .tiling import try_tile_unresolvable
 
+    log = DiagnosticLog()
     out = unit
     transforms: dict[str, KernelTransform] = {}
     for name, (grid, block) in launches.items():
         t0 = time.perf_counter()
-        analysis = analyze_kernel(out, name, block, spec, grid=grid,
-                                  irregular_req=irregular_req)
-        record = KernelTransform(name, analysis)
-        kernel = out.kernel(name)
 
+        if budget is not None and budget.expired:
+            log.emit(W_BUDGET, "budget",
+                     "compile budget exhausted before this kernel; it passes "
+                     "through untransformed", kernel=name)
+            transforms[name] = KernelTransform(name, None)
+            continue
+
+        # -- stage: frontend (kernel lookup) -----------------------------
+        try:
+            check_fault("frontend", name)
+            kernel = out.kernel(name)
+        except Exception as exc:
+            if not resilient:
+                raise
+            log.emit(E_FRONTEND, "frontend",
+                     f"kernel unavailable: {exc}", kernel=name,
+                     elapsed=time.perf_counter() - t0, exc=exc)
+            transforms[name] = KernelTransform(name, None)
+            continue
+
+        # -- stage: analysis ---------------------------------------------
+        try:
+            check_fault("analysis", name)
+            analysis = analyze_kernel(out, name, block, spec, grid=grid,
+                                      irregular_req=irregular_req,
+                                      budget=budget)
+        except Exception as exc:
+            if not resilient:
+                raise
+            code = E_FRONTEND if isinstance(exc, FrontendError) else E_ANALYSIS
+            log.emit(code, "analysis",
+                     f"static analysis failed: {exc}", kernel=name,
+                     elapsed=time.perf_counter() - t0, exc=exc)
+            transforms[name] = KernelTransform(name, None)
+            continue
+        if analysis.budget_exhausted:
+            log.emit(W_BUDGET, "budget",
+                     f"throttle-search budget ran out; loops "
+                     f"{analysis.budget_exhausted_loops} left untouched",
+                     kernel=name)
+
+        record = KernelTransform(name, analysis)
+
+        # -- stage: transform (tiling, optional) -------------------------
         if enable_tiling:
             for la in analysis.loops:
-                if la.decision.needed and not la.decision.fits:
+                if not (la.decision.needed and not la.decision.fits):
+                    continue
+                try:
+                    check_fault("transform", f"{name}:tiling{la.loop_id}")
                     l1d_lines = analysis.occupancy.l1d_bytes // spec.cache_line
                     tiled = try_tile_unresolvable(kernel, la, l1d_lines)
-                    if tiled is not None:
-                        kernel, tile = tiled
-                        record.tiles.append((la.loop_id, tile))
+                except Exception as exc:
+                    if not resilient:
+                        raise
+                    log.emit(E_TRANSFORM, "transform",
+                             f"reduction tiling failed: {exc}", kernel=name,
+                             loop_id=la.loop_id, exc=exc)
+                    continue
+                if tiled is not None:
+                    kernel, tile = tiled
+                    record.tiles.append((la.loop_id, tile))
 
+        # -- stage: transform (Fig. 4 warp splits, per loop) -------------
         for la in _select_loops(analysis):
             try:
+                check_fault("transform", f"{name}:loop{la.record.loop_id}")
                 kernel = split_loop_for_warp_groups(
                     kernel,
                     la.record.stmt,
@@ -130,28 +246,71 @@ def catt_compile(
                     analysis.block_dim,
                     spec.warp_size,
                 )
-            except ValueError:
-                # The loop object was restructured by an earlier transform
-                # (tiling) — its footprint has changed anyway; skip.
+            except WarpSplitError as exc:
+                # Expected degradation: the loop object was restructured by
+                # an earlier transform (tiling) — its footprint has changed
+                # anyway; skip this loop only.
+                log.emit(I_SKIP_LOOP, "transform",
+                         f"warp split skipped: {exc}", kernel=name,
+                         loop_id=la.record.loop_id)
+                continue
+            except Exception as exc:
+                if not resilient:
+                    raise
+                log.emit(E_TRANSFORM, "transform",
+                         f"warp split failed: {exc}", kernel=name,
+                         loop_id=la.record.loop_id, exc=exc)
                 continue
             record.warp_splits.append((la.record.loop_id, la.decision.n))
 
+        # -- stage: transform (Fig. 5 dummy shared) ----------------------
         tb_m = analysis.tb_m
         if tb_m > 0:
-            plan = tb_throttle_plan(
-                spec,
-                shared_usage_bytes(out.kernel(name)),
-                analysis.occupancy.tb_sm - tb_m,
-            )
-            if plan is not None and plan.dummy_bytes > 0:
-                kernel = add_dummy_shared(kernel, plan.dummy_bytes)
-                record.tb_plan = plan
+            try:
+                check_fault("transform", f"{name}:tb")
+                plan = tb_throttle_plan(
+                    spec,
+                    shared_usage_bytes(out.kernel(name)),
+                    analysis.occupancy.tb_sm - tb_m,
+                )
+                if plan is not None and plan.dummy_bytes > 0:
+                    kernel = add_dummy_shared(kernel, plan.dummy_bytes)
+                    record.tb_plan = plan
+            except Exception as exc:
+                if not resilient:
+                    raise
+                log.emit(E_TRANSFORM, "transform",
+                         f"TB-level throttle failed: {exc}", kernel=name,
+                         exc=exc)
+
+        # -- stage: validate (differential gate) -------------------------
+        if validate and record.changed:
+            try:
+                report = differential_validate(
+                    out, with_function(out, kernel), name, grid, block,
+                    seed=validate_seed,
+                )
+            except Exception as exc:
+                if not resilient:
+                    raise
+                report = ValidationReport(
+                    name, INCONCLUSIVE, f"validator crashed: {exc!r}")
+            record.validation = report
+            if report.must_revert:
+                record.reverted = True
+                log.emit(W_REVERTED, "validate",
+                         f"transform reverted ({report.status}): "
+                         f"{report.detail}", kernel=name)
+            elif report.status == INCONCLUSIVE:
+                log.emit(I_VALIDATE_SKIP, "validate", report.detail,
+                         kernel=name)
 
         record.analysis_seconds = time.perf_counter() - t0
         if record.transformed:
             out = with_function(out, kernel)
         transforms[name] = record
-    return CattCompilation(original=unit, unit=out, transforms=transforms)
+    return CattCompilation(original=unit, unit=out, transforms=transforms,
+                           diagnostics=log)
 
 
 def force_throttle(
@@ -162,36 +321,76 @@ def force_throttle(
     n: int,
     m: int,
     grid=None,
+    on_error: str = "raise",
+    diagnostics: DiagnosticLog | None = None,
 ) -> TranslationUnit:
     """Apply a fixed (N, M) throttle to every top-level loop of one kernel.
 
     This is the mechanism BFTT (and the Fig. 9 sensitivity sweep) uses to
     realize an arbitrary TLP: the same Fig. 4 / Fig. 5 transformations, with
     factors chosen by search instead of analysis.
+
+    Invalid factors raise :class:`repro.errors.ThrottleSearchError` (a
+    ``ValueError`` subclass) when ``on_error="raise"`` (the default); with
+    ``on_error="degrade"`` the offending throttling level is skipped per loop
+    and recorded on ``diagnostics`` instead — the returned unit is always
+    runnable.
     """
+    if on_error not in ("raise", "degrade"):
+        raise ValueError(f"on_error must be 'raise' or 'degrade', "
+                         f"got {on_error!r}")
+    log = diagnostics if diagnostics is not None else DiagnosticLog()
     analysis = analyze_kernel(unit, kernel_name, block, spec, grid=grid)
     warps = analysis.occupancy.warps_per_tb
     if n not in candidate_ns(warps):
-        raise ValueError(f"N={n} not a valid division of {warps} warps")
+        if on_error == "raise":
+            raise ThrottleSearchError(
+                f"N={n} not a valid division of {warps} warps",
+                kernel=kernel_name)
+        log.emit(W_SEARCH, "analysis",
+                 f"N={n} not a valid division of {warps} warps; warp-level "
+                 f"throttling skipped", kernel=kernel_name)
+        n = 1
     kernel = unit.kernel(kernel_name)
     if n > 1:
         for la in analysis.loops:
             if la.record.depth != 0:
                 continue
-            kernel = split_loop_for_warp_groups(
-                kernel, la.record.stmt, n, warps, analysis.block_dim,
-                spec.warp_size,
-            )
+            try:
+                kernel = split_loop_for_warp_groups(
+                    kernel, la.record.stmt, n, warps, analysis.block_dim,
+                    spec.warp_size,
+                )
+            except WarpSplitError as exc:
+                if on_error == "raise":
+                    raise
+                log.emit(W_SEARCH, "transform",
+                         f"warp split skipped: {exc}", kernel=kernel_name,
+                         loop_id=la.record.loop_id)
+                continue
     if m > 0:
         target = analysis.occupancy.tb_sm - m
+        plan = None
         if target < 1:
-            raise ValueError(f"M={m} leaves no resident TBs")
-        plan = tb_throttle_plan(
-            spec, shared_usage_bytes(unit.kernel(kernel_name)), target
-        )
-        if plan is None:
-            raise ValueError(f"cannot express a {target}-TB limit via carveout")
-        if plan.dummy_bytes > 0:
+            if on_error == "raise":
+                raise ThrottleSearchError(
+                    f"M={m} leaves no resident TBs", kernel=kernel_name)
+            log.emit(W_SEARCH, "analysis",
+                     f"M={m} leaves no resident TBs; TB-level throttling "
+                     f"skipped", kernel=kernel_name)
+        else:
+            plan = tb_throttle_plan(
+                spec, shared_usage_bytes(unit.kernel(kernel_name)), target
+            )
+            if plan is None:
+                if on_error == "raise":
+                    raise ThrottleSearchError(
+                        f"cannot express a {target}-TB limit via carveout",
+                        kernel=kernel_name)
+                log.emit(W_SEARCH, "analysis",
+                         f"cannot express a {target}-TB limit via carveout; "
+                         f"TB-level throttling skipped", kernel=kernel_name)
+        if plan is not None and plan.dummy_bytes > 0:
             kernel = add_dummy_shared(kernel, plan.dummy_bytes)
     return with_function(unit, kernel)
 

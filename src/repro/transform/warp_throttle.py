@@ -14,6 +14,7 @@ transformation adds no intra-warp control divergence (§4.3).
 
 from __future__ import annotations
 
+from ..errors import WarpSplitError
 from ..frontend.ast_nodes import (
     BinOp,
     Block,
@@ -37,12 +38,13 @@ def split_loop_for_warp_groups(
     """Return ``kernel`` with ``loop_stmt`` split into ``n`` warp groups.
 
     ``loop_stmt`` must be a statement object from ``kernel``'s body (identity
-    matching).  ``n`` must divide ``warps_per_tb``.
+    matching).  ``n`` must divide ``warps_per_tb``; violations raise
+    :class:`repro.errors.WarpSplitError` (a ``ValueError`` subclass).
     """
     if n <= 1:
         return kernel
     if warps_per_tb % n != 0:
-        raise ValueError(f"N={n} does not divide warps/TB={warps_per_tb}")
+        raise WarpSplitError(f"N={n} does not divide warps/TB={warps_per_tb}")
     group = warps_per_tb // n
     wid = linear_warp_id_expr(block_dim, warp_size)
     pieces: list[Stmt] = []
@@ -55,7 +57,12 @@ def split_loop_for_warp_groups(
         )
         pieces.append(IfStmt(cond, _as_block(loop_stmt)))
         pieces.append(SyncthreadsStmt())
-    new_body = replace_stmt(kernel.body, loop_stmt, pieces)
+    try:
+        new_body = replace_stmt(kernel.body, loop_stmt, pieces)
+    except ValueError as exc:
+        # The loop object is no longer in the body — an earlier transform
+        # (e.g. tiling) restructured it.
+        raise WarpSplitError(str(exc)) from exc
     assert isinstance(new_body, Block)
     return with_body(kernel, new_body)
 

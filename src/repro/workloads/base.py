@@ -22,6 +22,7 @@ from ..frontend import TranslationUnit, parse
 from ..runtime import Device, DeviceArray
 from ..sim.arch import TITAN_V_SIM, GPUSpec
 from ..sim.launch import LaunchResult
+from ..testing.faults import check_fault
 
 Dim = int | tuple[int, ...]
 
@@ -101,6 +102,7 @@ class Workload(abc.ABC):
 
     # -- derived -------------------------------------------------------------
     def unit(self) -> TranslationUnit:
+        check_fault("frontend", self.name)
         return parse(self.source())
 
     def launch_configs(self) -> dict[str, tuple[Dim, Dim]]:
@@ -140,6 +142,7 @@ def run_workload(
     ``unit`` overrides the source (pass a CATT-compiled or BFTT-forced unit);
     it must contain kernels with the baseline names.
     """
+    check_fault("sim", workload.name)
     dev = Device(spec, scheduler=scheduler)
     buffers = workload.setup(dev)
     if unit is None:

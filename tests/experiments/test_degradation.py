@@ -1,0 +1,105 @@
+"""Experiment-harness robustness: atomic cache writes, corrupt-cache
+recovery, and figure sweeps that keep going past degraded cells."""
+
+import json
+
+import pytest
+
+from repro.experiments.common import AppResult, ResultCache, run_app
+from repro.experiments.fig7 import build_fig7
+from repro.testing import FaultSpec, inject_faults
+
+
+def _result(app="GSMV", scheme="baseline", cycles=100):
+    return AppResult(app=app, scheme=scheme, spec="max", scale="test",
+                     total_cycles=cycles, kernels={})
+
+
+# ---------------------------------------------------------------------------
+# ResultCache
+# ---------------------------------------------------------------------------
+
+
+def test_cache_write_is_atomic_no_stragglers(tmp_path):
+    cache = ResultCache(tmp_path / "cache.json")
+    for i in range(5):
+        cache.put(f"k{i}", _result(cycles=i + 1))
+    # Every put replaced the file whole; no temp files survive.
+    assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+    reloaded = ResultCache(tmp_path / "cache.json")
+    assert reloaded.get("k4").total_cycles == 5
+
+
+def test_corrupt_cache_archived_and_recovered(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text('{"results": {"k": {"app": truncated')
+    with pytest.warns(RuntimeWarning, match="corrupt"):
+        cache = ResultCache(path)
+    # Fresh start: the bad file is preserved for forensics, not deleted.
+    assert cache.get("k") is None
+    assert (tmp_path / "cache.json.corrupt").exists()
+    assert not path.exists()
+    # The cache is fully usable afterwards.
+    cache.put("k", _result())
+    assert ResultCache(path).get("k").total_cycles == 100
+
+
+def test_wrong_shape_cache_also_archived(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text(json.dumps(
+        {"version": ResultCache.VERSION, "results": [1, 2, 3]}))  # not a dict
+    with pytest.warns(RuntimeWarning):
+        cache = ResultCache(path)
+    assert cache.get("anything") is None
+
+
+def test_put_transient_is_memory_only(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = ResultCache(path)
+    cache.put_transient("temp", _result())
+    assert cache.get("temp") is not None
+    assert not path.exists()                  # nothing written to disk
+    assert ResultCache(path).get("temp") is None
+
+
+def test_degraded_result_round_trips_diagnostics(tmp_path):
+    diag = {"code": "CATT-E-SIM", "stage": "sim", "message": "boom",
+            "severity": "error", "elapsed_seconds": 0.1}
+    res = AppResult(app="A", scheme="catt", spec="max", scale="test",
+                    total_cycles=0, kernels={}, diagnostics=[diag],
+                    degraded=True)
+    cache = ResultCache(tmp_path / "c.json")
+    cache.put("k", res)
+    back = ResultCache(tmp_path / "c.json").get("k")
+    assert back.degraded and back.diagnostics == [diag]
+
+
+# ---------------------------------------------------------------------------
+# Sweeps continue past degraded cells
+# ---------------------------------------------------------------------------
+
+
+def test_fig7_completes_with_degraded_cells(tmp_path):
+    cache = ResultCache(tmp_path / "cache.json")
+    # Kill only the CATT cell: its compile still works under a transform
+    # fault (resilient), so break the sim boundary for one scheme by
+    # pre-running the others clean.
+    for scheme in ("baseline", "bftt"):
+        run_app("GSMV", scheme, "max", "test", cache)
+    with inject_faults(FaultSpec(stage="sim")):
+        degraded = run_app("GSMV", "catt", "max", "test", cache)
+    assert degraded.degraded
+    data = build_fig7(apps=["GSMV"], scale="test", cache=cache)
+    # The figure still materializes; the dead cell contributes neutrally.
+    assert data["normalized_time"]["GSMV"]["catt"] == 1.0
+    assert data["normalized_time"]["GSMV"]["bftt"] < 1.0
+
+
+def test_fig7_completes_with_dead_baseline(tmp_path):
+    cache = ResultCache(tmp_path / "cache.json")
+    with inject_faults(FaultSpec(stage="sim")):
+        for scheme in ("baseline", "bftt", "catt"):
+            run_app("GSMV", scheme, "max", "test", cache)
+        data = build_fig7(apps=["GSMV"], scale="test", cache=cache)
+    assert set(data["normalized_time"]["GSMV"]) == {"bftt", "catt"}
+    assert data["geomean_speedup"]["catt"] == 1.0
