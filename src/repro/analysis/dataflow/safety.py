@@ -1,0 +1,751 @@
+"""Static transform-safety verifier and lint findings (``catt lint``).
+
+CATT's warp-level transform (Fig. 4) serializes the warps of a TB into
+guarded groups.  That is semantics-preserving exactly when no two warps of a
+TB communicate through memory inside the split region: the loop holds no
+barrier, every guard on the path to it is warp-convergent, and each thread's
+writes stay inside a private index range.  The differential gate
+(:mod:`repro.transform.validate`) checks this *dynamically* on one input;
+this module proves it *statically* from the dataflow fixpoint, in two
+halves:
+
+* **Semantic legality** (:func:`verify_warp_split`) — per split loop, using
+  the affine forms of :class:`~repro.analysis.dataflow.affineprop.AffineFlow`
+  plus value-range reasoning over thread/block/iterator symbols:
+
+  1. the loop contains no ``__syncthreads()``;
+  2. every enclosing ``if`` guard is TB-uniform, or provably true for every
+     thread of every launched block (range analysis);
+  3. for every global array the loop writes, the interval of indexes one
+     thread touches is disjoint from every other thread's interval
+     (``|C_tid|`` exceeds the per-thread span over all enclosed iterations);
+  4. the loop writes no ``__shared__`` array.
+
+* **Structural translation validation** (:func:`split_shape_matches`) — the
+  emitted kernel must be the original with each split loop replaced by the
+  exact Fig. 4 pattern (guards partitioning ``[0, warps_per_tb)``, original
+  loop object reused, barrier after every group) and at most the Fig. 5
+  dummy-shared prologue prepended.  The matcher is independent of the
+  transform implementation, so a buggy rewrite fails the match and falls
+  back to the dynamic gate.
+
+A transform that passes both halves is reported
+``CATT-I-STATIC-SAFE`` and skips the lockstep interpreter run entirely
+(:mod:`repro.transform.pipeline`).
+
+The same per-access machinery powers the ``catt lint`` CLI findings:
+irregular indexes, fully diverged references (``REQ_warp = 32``), divergent
+barriers, and a shared-memory race heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...frontend.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    DeclStmt,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FunctionDef,
+    Ident,
+    IfStmt,
+    IntLit,
+    Stmt,
+    SyncthreadsStmt,
+    WhileStmt,
+    path_to_stmt,
+    statements_in,
+    walk_expr,
+)
+from ..affine import (
+    BIDX,
+    BIDY,
+    BIDZ,
+    TIDX,
+    TIDY,
+    TIDZ,
+    AffineForm,
+    SymbolicEnv,
+    analyze_expr,
+)
+
+_THREAD_AXES = {TIDX: 0, TIDY: 1, TIDZ: 2}
+_BLOCK_AXES = {BIDX: 0, BIDY: 1, BIDZ: 2}
+
+
+@dataclass(frozen=True)
+class SafetyVerdict:
+    """Outcome of the static safety proof for one kernel's transform."""
+
+    safe: bool
+    reasons: tuple[str, ...] = ()   # why the proof failed (empty when safe)
+
+    @staticmethod
+    def unsafe(*reasons: str) -> "SafetyVerdict":
+        return SafetyVerdict(False, tuple(reasons))
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One ``catt lint`` finding with provenance."""
+
+    code: str                  # CATT-{E,W}-* diagnostic code
+    kernel: str
+    message: str
+    array: str | None = None
+    loop_id: int | None = None
+    line: int | None = None    # 1-based source line, when known
+
+    def __str__(self) -> str:
+        where = self.kernel
+        if self.line is not None:
+            where += f":{self.line}"
+        if self.loop_id is not None:
+            where += f" loop#{self.loop_id}"
+        return f"[{self.code}] {where}: {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Value-range analysis over affine forms
+# ---------------------------------------------------------------------------
+
+
+def form_range(
+    form: AffineForm,
+    block_dim: tuple[int, int, int] | None,
+    grid_dim: tuple[int, int, int] | None,
+    trips: dict[str, int] | None = None,
+) -> tuple[int, int] | None:
+    """Inclusive [lo, hi] of ``form`` over every thread of every block.
+
+    Thread symbols range over ``[0, blockDim-1]``, block symbols over
+    ``[0, gridDim-1]``, loop iterators over ``[0, trips[name]-1]``.  Any
+    other symbol (params, unknown iterators) or an irregular form defeats
+    the range — returns None.
+    """
+    if form.irregular:
+        return None
+    lo = hi = form.const
+    for sym, c in form.coeffs:
+        if sym in _THREAD_AXES:
+            if block_dim is None:
+                return None
+            span = block_dim[_THREAD_AXES[sym]] - 1
+        elif sym in _BLOCK_AXES:
+            if grid_dim is None:
+                return None
+            span = grid_dim[_BLOCK_AXES[sym]] - 1
+        elif trips is not None and sym in trips:
+            span = trips[sym] - 1
+        else:
+            return None
+        if span < 0:
+            span = 0
+        if c >= 0:
+            hi += c * span
+        else:
+            lo += c * span
+    return lo, hi
+
+
+def _sides(cond: Expr) -> tuple[Expr, Expr, str] | None:
+    if isinstance(cond, BinOp) and cond.op in ("<", "<=", ">", ">=",
+                                               "==", "!="):
+        return cond.left, cond.right, cond.op
+    return None
+
+
+def cond_always_true(
+    cond: Expr,
+    env: SymbolicEnv,
+    block_dim: tuple[int, int, int] | None,
+    grid_dim: tuple[int, int, int] | None,
+    trips: dict[str, int] | None = None,
+) -> bool:
+    """Prove ``cond`` holds for every thread of every launched block.
+
+    Handles ``&&`` conjunctions of order comparisons whose ``left - right``
+    range is conclusive; anything else is "not provable" (False).
+    """
+    if isinstance(cond, BinOp) and cond.op == "&&":
+        return (cond_always_true(cond.left, env, block_dim, grid_dim, trips)
+                and cond_always_true(cond.right, env, block_dim, grid_dim,
+                                     trips))
+    parts = _sides(cond)
+    if parts is None:
+        return False
+    left, right, op = parts
+    diff = analyze_expr(left, env) - analyze_expr(right, env)
+    rng = form_range(diff, block_dim, grid_dim, trips)
+    if rng is None:
+        return False
+    lo, hi = rng
+    if op == "<":
+        return hi < 0
+    if op == "<=":
+        return hi <= 0
+    if op == ">":
+        return lo > 0
+    if op == ">=":
+        return lo >= 0
+    return False  # ==, != : no useful proof from a range
+
+
+def cond_tb_uniform(cond: Expr, env: SymbolicEnv) -> bool:
+    """True when every thread of a TB evaluates ``cond`` identically —
+    i.e. no thread symbol (and nothing irregular) feeds the comparison."""
+    for node in walk_expr(cond):
+        if isinstance(node, (Assign,)):
+            return False
+    for side in _cond_leaves(cond):
+        form = analyze_expr(side, env)
+        if form.irregular:
+            return False
+        if any(sym in _THREAD_AXES for sym in form.symbols()):
+            return False
+    return True
+
+
+def _cond_leaves(cond: Expr):
+    """Comparison operands under a boolean combinator tree."""
+    if isinstance(cond, BinOp) and cond.op in ("&&", "||"):
+        yield from _cond_leaves(cond.left)
+        yield from _cond_leaves(cond.right)
+        return
+    parts = _sides(cond)
+    if parts is not None:
+        yield parts[0]
+        yield parts[1]
+    else:
+        yield cond
+
+
+# ---------------------------------------------------------------------------
+# Semantic legality of one warp split
+# ---------------------------------------------------------------------------
+
+
+def _iterator_trips(kernel_loops) -> dict[str, int]:
+    """iterator name -> constant trip count (max on collisions; absent when
+    any same-named loop has an unknown count)."""
+    trips: dict[str, int] = {}
+    unknown: set[str] = set()
+    for rec in kernel_loops.loops:
+        if rec.iterator is None:
+            continue
+        t = rec.trip_count()
+        if t is None:
+            unknown.add(rec.iterator)
+        else:
+            trips[rec.iterator] = max(trips.get(rec.iterator, 0), t)
+    for name in unknown:
+        trips.pop(name, None)
+    return trips
+
+
+def _guard_env(flow, cond: Expr,
+               block_dim, grid_dim) -> SymbolicEnv:
+    if flow is not None:
+        env = flow.env_sites.get(id(cond))
+        if env is not None:
+            return env
+    return SymbolicEnv(block_dim=block_dim, grid_dim=grid_dim)
+
+
+def _shared_writes_in(stmt: Stmt, shared: set[str]) -> list[str]:
+    out = []
+    from ...frontend.ast_nodes import expressions_in
+
+    for e in expressions_in(stmt):
+        if isinstance(e, Assign) and isinstance(e.target, ArrayRef):
+            base = e.target.base
+            if isinstance(base, Ident) and base.name in shared:
+                out.append(base.name)
+    return out
+
+
+def _thread_exclusive(accesses, trips: dict[str, int]) -> str | None:
+    """Check that no two threads of a TB touch a common element through any
+    of ``accesses`` (all referencing one written array).  Returns a reason
+    string when the proof fails, None when exclusive.
+
+    Proof obligation: with a common thread coefficient ``ct`` and identical
+    block coefficients, thread ``t`` touches indexes inside
+    ``[ct*t + lo, ct*t + hi]``; the intervals are pairwise disjoint iff
+    ``hi - lo < |ct|``.
+    """
+    cts: set[int] = set()
+    blocks: set[tuple] = set()
+    spans: list[tuple[int, int]] = []
+    for acc in accesses:
+        form = acc.index
+        if form.irregular:
+            return "irregular index on a written array"
+        lo = hi = form.const
+        bcoeffs = {}
+        for sym, c in form.coeffs:
+            if sym == TIDX:
+                continue
+            if sym in (TIDY, TIDZ):
+                return f"{sym} appears in a written index (2-D TB)"
+            if sym in _BLOCK_AXES:
+                bcoeffs[sym] = c
+                continue
+            if sym not in trips:
+                return f"unbounded symbol {sym!r} in a written index"
+            span = max(trips[sym] - 1, 0)
+            if c >= 0:
+                hi += c * span
+            else:
+                lo += c * span
+        cts.add(form.coeff(TIDX) or 0)
+        blocks.add(tuple(sorted(bcoeffs.items())))
+        spans.append((lo, hi))
+    if len(cts) != 1:
+        return "accesses disagree on the thread coefficient"
+    if len(blocks) != 1:
+        return "accesses disagree on block coefficients"
+    ct = abs(next(iter(cts)))
+    if ct == 0:
+        return "thread coefficient is 0 (every thread hits the same element)"
+    lo = min(s[0] for s in spans)
+    hi = max(s[1] for s in spans)
+    if hi - lo >= ct:
+        return (f"per-thread index span {hi - lo} is not covered by the "
+                f"thread stride {ct}")
+    return None
+
+
+def verify_warp_split(analysis, la) -> SafetyVerdict:
+    """Prove that splitting loop ``la`` into warp groups preserves semantics.
+
+    ``analysis`` is a :class:`~repro.analysis.kernel_info.KernelAnalysis`;
+    ``la`` one of its :class:`LoopAnalysis` entries.
+    """
+    rec = la.record
+    kernel = analysis.kernel
+    kl = analysis.kernel_loops
+    flow = getattr(kl, "flow", None)
+    block_dim = analysis.block_dim
+    grid_dim = getattr(flow, "grid_dim", None) if flow is not None else None
+    trips = _iterator_trips(kl)
+    reasons: list[str] = []
+
+    # 1. No barrier inside the region being serialized.
+    if rec.contains_sync:
+        reasons.append("loop contains __syncthreads()")
+
+    # 2. Enclosing guards must be warp-convergent for the barrier the split
+    #    inserts after each group: TB-uniform, or provably always true.
+    path = path_to_stmt(kernel.body, rec.stmt)
+    if path is None:
+        reasons.append("loop statement not found in the kernel body")
+        path = ()
+    for node, child in zip(path, path[1:]):
+        if not isinstance(node, IfStmt):
+            continue
+        env = _guard_env(flow, node.cond, block_dim, grid_dim)
+        if child is node.otherwise:
+            # else-branch: a range proof of the *negation* is not attempted.
+            if not cond_tb_uniform(node.cond, env):
+                reasons.append("loop guarded by the else-branch of a "
+                               "thread-dependent condition")
+            continue
+        if cond_tb_uniform(node.cond, env):
+            continue
+        if cond_always_true(node.cond, env, block_dim, grid_dim, trips):
+            continue
+        reasons.append("enclosing guard is thread-dependent and not "
+                       "provably true for the launch")
+
+    # 3. Written global arrays must be thread-exclusive.
+    by_array: dict[str, list] = {}
+    for acc in rec.unique_accesses():
+        by_array.setdefault(acc.array, []).append(acc)
+    for array, accs in sorted(by_array.items()):
+        if not any(a.is_write for a in accs):
+            continue
+        why = _thread_exclusive(accs, trips)
+        if why is not None:
+            reasons.append(f"array {array!r}: {why}")
+
+    # 4. No shared-memory writes inside the loop (cross-warp channel).
+    for name in sorted(set(_shared_writes_in(rec.stmt, kl.shared_arrays))):
+        reasons.append(f"loop writes __shared__ array {name!r}")
+
+    return SafetyVerdict(not reasons, tuple(reasons))
+
+
+# ---------------------------------------------------------------------------
+# Structural translation validation (Fig. 4 / Fig. 5 shape)
+# ---------------------------------------------------------------------------
+
+
+def _expected_guard(wid: Expr, lo: int, hi: int) -> Expr:
+    return BinOp("&&", BinOp(">=", wid, IntLit(lo)),
+                 BinOp("<", wid, IntLit(hi)))
+
+
+def _match_pieces(orig: Stmt, pieces: tuple[Stmt, ...], n: int,
+                  warps_per_tb: int, wid: Expr) -> bool:
+    """``pieces`` must be the Fig. 4 expansion of ``orig`` for factor n."""
+    if n <= 1 or warps_per_tb % n != 0 or len(pieces) != 2 * n:
+        return False
+    group = warps_per_tb // n
+    for g in range(n):
+        guard, sync = pieces[2 * g], pieces[2 * g + 1]
+        if not isinstance(guard, IfStmt) or guard.otherwise is not None:
+            return False
+        if guard.cond != _expected_guard(wid, g * group, (g + 1) * group):
+            return False
+        body = guard.then
+        if not (isinstance(body, Block) and len(body.statements) == 1
+                and body.statements[0] is orig):
+            return False
+        if not isinstance(sync, SyncthreadsStmt):
+            return False
+    return True
+
+
+def _match_stmt(orig: Stmt, trans: Stmt, splits: dict[int, int],
+                warps_per_tb: int, wid: Expr) -> bool:
+    if id(orig) in splits:
+        # replace_stmt wraps the spliced pieces when the target was not a
+        # direct Block member.
+        return (isinstance(trans, Block)
+                and _match_pieces(orig, trans.statements, splits[id(orig)],
+                                  warps_per_tb, wid))
+    if trans is orig:
+        return True
+    if isinstance(orig, Block) and isinstance(trans, Block):
+        return _match_stmts(orig.statements, trans.statements, splits,
+                            warps_per_tb, wid)
+    if isinstance(orig, IfStmt) and isinstance(trans, IfStmt):
+        if orig.cond != trans.cond:
+            return False
+        if (orig.otherwise is None) != (trans.otherwise is None):
+            return False
+        if not _match_stmt(orig.then, trans.then, splits, warps_per_tb, wid):
+            return False
+        return orig.otherwise is None or _match_stmt(
+            orig.otherwise, trans.otherwise, splits, warps_per_tb, wid)
+    if isinstance(orig, ForStmt) and isinstance(trans, ForStmt):
+        return (orig.init == trans.init and orig.cond == trans.cond
+                and orig.step == trans.step
+                and _match_stmt(orig.body, trans.body, splits,
+                                warps_per_tb, wid))
+    if isinstance(orig, WhileStmt) and isinstance(trans, WhileStmt):
+        return orig.cond == trans.cond and _match_stmt(
+            orig.body, trans.body, splits, warps_per_tb, wid)
+    if isinstance(orig, DoWhileStmt) and isinstance(trans, DoWhileStmt):
+        return orig.cond == trans.cond and _match_stmt(
+            orig.body, trans.body, splits, warps_per_tb, wid)
+    return orig == trans
+
+
+def _match_stmts(orig: tuple[Stmt, ...], trans: tuple[Stmt, ...],
+                 splits: dict[int, int], warps_per_tb: int,
+                 wid: Expr) -> bool:
+    j = 0
+    for o in orig:
+        n = splits.get(id(o))
+        if n is not None:
+            if j + 2 * n > len(trans):
+                return False
+            if not _match_pieces(o, tuple(trans[j:j + 2 * n]), n,
+                                 warps_per_tb, wid):
+                return False
+            j += 2 * n
+            continue
+        if j >= len(trans):
+            return False
+        if not _match_stmt(o, trans[j], splits, warps_per_tb, wid):
+            return False
+        j += 1
+    return j == len(trans)
+
+
+def _is_dummy_prologue(stmts: tuple[Stmt, ...]) -> bool:
+    from ...transform.tb_throttle import DUMMY_NAME
+
+    if len(stmts) < 2:
+        return False
+    decl, init = stmts[0], stmts[1]
+    if not (isinstance(decl, DeclStmt) and decl.is_shared
+            and len(decl.declarators) == 1
+            and decl.declarators[0].name == DUMMY_NAME):
+        return False
+    if not (isinstance(init, ExprStmt) and isinstance(init.expr, Assign)
+            and isinstance(init.expr.target, ArrayRef)
+            and isinstance(init.expr.target.base, Ident)
+            and init.expr.target.base.name == DUMMY_NAME):
+        return False
+    return True
+
+
+def split_shape_matches(
+    original: FunctionDef,
+    transformed: FunctionDef,
+    splits: dict[int, int],
+    warps_per_tb: int,
+    block_dim: tuple[int, int, int],
+    expect_dummy: bool = False,
+    warp_size: int = 32,
+) -> bool:
+    """Translation-validate the emitted kernel against the Fig. 4/5 shape.
+
+    ``splits`` maps ``id(loop_stmt)`` (objects from ``original``) to the
+    split factor.  Matching is structural and implementation-independent:
+    every non-split statement must be the identical (shared) subtree or an
+    equal spine rebuild, and every split loop must appear exactly as ``n``
+    guarded copies of the *original loop object* with barriers between the
+    groups, the guards partitioning ``[0, warps_per_tb)``.
+    """
+    from ...transform.utils import linear_warp_id_expr
+
+    wid = linear_warp_id_expr(block_dim, warp_size)
+    trans_stmts = transformed.body.statements
+    if expect_dummy:
+        if not _is_dummy_prologue(trans_stmts):
+            return False
+        trans_stmts = trans_stmts[2:]
+    elif _is_dummy_prologue(trans_stmts):
+        return False  # an unexpected prologue is not the claimed shape
+    return _match_stmts(original.body.statements, trans_stmts, splits,
+                        warps_per_tb, wid)
+
+
+def verify_transform_static(analysis, record,
+                            original: FunctionDef,
+                            transformed: FunctionDef) -> SafetyVerdict:
+    """Full static proof for one kernel's transform record.
+
+    ``record`` is the pipeline's ``KernelTransform``: warp splits are proven
+    semantically (per loop) and the emitted kernel is translation-validated
+    structurally; the Fig. 5 dummy-shared array is dead weight by
+    construction.  Reduction tiling restructures loop bodies and carries no
+    static proof — its presence defers to the dynamic gate.
+    """
+    if record.tiles:
+        return SafetyVerdict.unsafe(
+            "reduction tiling applied (no static proof)")
+    reasons: list[str] = []
+    splits: dict[int, int] = {}
+    for loop_id, n in record.warp_splits:
+        la = analysis.loop(loop_id)
+        splits[id(la.record.stmt)] = n
+        verdict = verify_warp_split(analysis, la)
+        for why in verdict.reasons:
+            reasons.append(f"loop #{loop_id}: {why}")
+    if not split_shape_matches(
+        original, transformed, splits,
+        analysis.occupancy.warps_per_tb, analysis.block_dim,
+        expect_dummy=record.tb_plan is not None,
+    ):
+        reasons.append("emitted kernel does not match the Fig. 4/5 shape")
+    return SafetyVerdict(not reasons, tuple(reasons))
+
+
+# ---------------------------------------------------------------------------
+# Lint findings (shared by `catt lint` and the analysis report)
+# ---------------------------------------------------------------------------
+
+
+def _line_of(loc) -> int | None:
+    return getattr(loc, "line", None)
+
+
+def findings_for_analysis(analysis) -> list[LintFinding]:
+    """Per-access and whole-kernel findings for one analyzed launch."""
+    from ...transform.diagnostics import (
+        E_DIVERGENT_BARRIER,
+        E_SHARED_RACE,
+        W_IRREGULAR_INDEX,
+        W_UNCOALESCED,
+    )
+
+    name = analysis.kernel.name
+    out: list[LintFinding] = []
+    seen: set[tuple] = set()
+    for la in analysis.loops:
+        for af in la.footprint.per_access:
+            acc = af.locality.access
+            if acc.loop_id != la.record.loop_id:
+                continue  # report each access under its innermost loop only
+            key = (acc.array, acc.key(), _line_of(acc.loc))
+            if key in seen:
+                continue
+            seen.add(key)
+            if acc.index.irregular:
+                out.append(LintFinding(
+                    W_IRREGULAR_INDEX, name,
+                    f"data-dependent index into {acc.array!r}; conservative "
+                    f"C_tid=1 assumed",
+                    array=acc.array, loop_id=la.record.loop_id,
+                    line=_line_of(acc.loc)))
+            elif af.req_warp >= 32:
+                out.append(LintFinding(
+                    W_UNCOALESCED, name,
+                    f"reference to {acc.array!r} is fully diverged "
+                    f"(REQ_warp={af.req_warp})",
+                    array=acc.array, loop_id=la.record.loop_id,
+                    line=_line_of(acc.loc)))
+    out.extend(_barrier_findings(analysis, E_DIVERGENT_BARRIER))
+    out.extend(_shared_race_findings(analysis, E_SHARED_RACE))
+    return out
+
+
+def _barrier_findings(analysis, code: str) -> list[LintFinding]:
+    kernel = analysis.kernel
+    kl = analysis.kernel_loops
+    flow = getattr(kl, "flow", None)
+    block_dim = analysis.block_dim
+    grid_dim = getattr(flow, "grid_dim", None) if flow is not None else None
+    trips = _iterator_trips(kl)
+    recs_by_stmt = {id(r.stmt): r for r in kl.loops}
+    out: list[LintFinding] = []
+    for stmt in statements_in(kernel.body):
+        if not isinstance(stmt, SyncthreadsStmt):
+            continue
+        path = path_to_stmt(kernel.body, stmt) or ()
+        for node, child in zip(path, path[1:]):
+            if isinstance(node, IfStmt):
+                env = _guard_env(flow, node.cond, block_dim, grid_dim)
+                if cond_tb_uniform(node.cond, env):
+                    continue
+                if child is node.then and cond_always_true(
+                        node.cond, env, block_dim, grid_dim, trips):
+                    continue
+                out.append(LintFinding(
+                    code, kernel.name,
+                    "__syncthreads() under a thread-dependent guard",
+                    line=_line_of(stmt.loc)))
+                break
+            rec = recs_by_stmt.get(id(node))
+            if rec is not None and rec.bound is not None:
+                tid_dep = rec.bound.irregular or any(
+                    s in _THREAD_AXES for s in rec.bound.symbols())
+                if tid_dep:
+                    out.append(LintFinding(
+                        code, kernel.name,
+                        "__syncthreads() inside a loop with a "
+                        "thread-dependent trip count",
+                        loop_id=rec.loop_id, line=_line_of(stmt.loc)))
+                    break
+    return out
+
+
+def _expr_key(expr: Expr):
+    """Location-insensitive structural key of an expression tree."""
+    from ...frontend.ast_nodes import children_of_expr
+
+    label = type(expr).__name__
+    for attr in ("name", "op", "value", "member", "func"):
+        v = getattr(expr, attr, None)
+        if isinstance(v, (str, int, float, bool)):
+            label += f":{v}"
+    return (label,) + tuple(_expr_key(c) for c in children_of_expr(expr))
+
+
+def _shared_ref_key(node: ArrayRef, shared: set[str],
+                    env: SymbolicEnv) -> tuple[str, tuple] | None:
+    """(shared array name, per-dimension index keys) of a subscript chain
+    like ``tile[ty][tx]``, or None when the root base is not a shared
+    array.  Regular indexes key by affine form (so distinct spellings of
+    the same index compare equal); irregular ones fall back to the
+    structural :func:`_expr_key`."""
+    indexes: list[Expr] = []
+    base: Expr = node
+    while isinstance(base, ArrayRef):
+        indexes.append(base.index)
+        base = base.base
+    if not (isinstance(base, Ident) and base.name in shared):
+        return None
+    keys = []
+    for idx in reversed(indexes):
+        form = analyze_expr(idx, env)
+        keys.append(("form", form.coeffs, form.const)
+                    if not form.irregular
+                    else ("expr",) + _expr_key(idx))
+    return base.name, tuple(keys)
+
+
+def _shared_race_findings(analysis, code: str) -> list[LintFinding]:
+    """Epoch heuristic: a shared array written and read at *different*
+    indexes with no ``__syncthreads()`` between the accesses (in source
+    order) is flagged as a potential cross-warp race."""
+    kernel = analysis.kernel
+    shared = analysis.kernel_loops.shared_arrays
+    if not shared:
+        return []
+    flow = getattr(analysis.kernel_loops, "flow", None)
+    fallback = SymbolicEnv(block_dim=analysis.block_dim)
+
+    # (epoch, array) -> {"r": set of index keys, "w": ...}, source order.
+    epoch = 0
+    sites: dict[tuple[int, str], dict[str, set]] = {}
+    lines: dict[tuple[int, str], int | None] = {}
+
+    def visit(site_expr: Expr) -> None:
+        env = fallback
+        if flow is not None:
+            env = flow.env_sites.get(id(site_expr), fallback)
+        writes = set()
+        inner = set()   # ArrayRefs that are the base of an outer subscript
+        for node in walk_expr(site_expr):
+            if isinstance(node, Assign) and \
+                    isinstance(node.target, ArrayRef):
+                writes.add(id(node.target))
+            if isinstance(node, ArrayRef) and \
+                    isinstance(node.base, ArrayRef):
+                inner.add(id(node.base))
+        for node in walk_expr(site_expr):
+            if not isinstance(node, ArrayRef) or id(node) in inner:
+                continue
+            ref = _shared_ref_key(node, shared, env)
+            if ref is None:
+                continue
+            name, key = ref
+            kind = "w" if id(node) in writes else "r"
+            slot = sites.setdefault((epoch, name), {"r": set(), "w": set()})
+            slot[kind].add(key)
+            lines.setdefault((epoch, name), _line_of(node.loc))
+
+    for stmt in statements_in(kernel.body):
+        if isinstance(stmt, SyncthreadsStmt):
+            epoch += 1
+        elif isinstance(stmt, ExprStmt):
+            visit(stmt.expr)
+        elif isinstance(stmt, DeclStmt):
+            for d in stmt.declarators:
+                if d.init is not None:
+                    visit(d.init)
+        elif isinstance(stmt, IfStmt):
+            visit(stmt.cond)
+        elif isinstance(stmt, ForStmt):
+            if stmt.cond is not None:
+                visit(stmt.cond)
+            if stmt.step is not None:
+                visit(stmt.step)
+        elif isinstance(stmt, (WhileStmt, DoWhileStmt)):
+            visit(stmt.cond)
+
+    out: list[LintFinding] = []
+    flagged: set[str] = set()
+    for (ep, array), slot in sorted(sites.items()):
+        if array in flagged:
+            continue
+        if slot["w"] and (slot["r"] - slot["w"]):
+            flagged.add(array)
+            out.append(LintFinding(
+                code, kernel.name,
+                f"__shared__ array {array!r} is written and read at "
+                f"different indexes with no barrier in between",
+                array=array, line=lines.get((ep, array))))
+    return out

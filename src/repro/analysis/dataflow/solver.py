@@ -1,0 +1,53 @@
+"""Forward worklist solver over a :class:`~.cfg.CFG`.
+
+Generic over the abstract state: the client supplies ``transfer``, ``join``,
+``initial`` and (optionally) ``widen``.  Blocks are visited in reverse
+postorder so loop preheaders are always evaluated before their headers —
+the affine-propagation client relies on this to pin induction variables to
+closed forms on the header's first visit.
+
+Termination: the client's header pinning makes almost every kernel converge
+in two or three sweeps.  As a backstop, any block transferred more than
+``max_visits`` times has its output widened (the client's ``widen`` maps
+changed facts to ⊤), after which outputs can only move down the lattice.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG
+
+
+def solve_forward(cfg: CFG, transfer, join, initial,
+                  max_visits: int = 24, widen=None):
+    """Run a forward dataflow analysis to fixpoint.
+
+    ``transfer(block, in_state, outs)`` returns the block's out-state (it
+    receives the current ``outs`` mapping read-only, so loop headers can
+    consult their preheader's out-state).  ``join(states)`` merges a
+    non-empty list of predecessor states.  ``initial()`` produces the
+    boundary state used for the entry block and any pred-less (dead-code)
+    block.  Returns ``(ins, outs)`` keyed by block id.
+    """
+    order = cfg.rpo()
+    position = {b: i for i, b in enumerate(order)}
+    ins: dict[int, object] = {}
+    outs: dict[int, object] = {}
+    visits: dict[int, int] = {}
+
+    work = set(order)
+    while work:
+        bid = min(work, key=position.__getitem__)
+        work.discard(bid)
+        block = cfg.blocks[bid]
+        pred_outs = [outs[p] for p in block.preds if p in outs]
+        in_state = join(pred_outs) if pred_outs else initial()
+        ins[bid] = in_state
+        out = transfer(block, in_state, outs)
+        if bid in outs and out == outs[bid]:
+            continue
+        visits[bid] = visits.get(bid, 0) + 1
+        if visits[bid] > max_visits and widen is not None:
+            out = widen(out, outs.get(bid))
+        outs[bid] = out
+        work.update(block.succs)
+    return ins, outs

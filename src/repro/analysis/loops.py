@@ -52,10 +52,16 @@ class MemAccess:
     is_read: bool
     is_write: bool
     loop_id: int              # innermost enclosing loop
+    loc: object = None        # SourceLocation of the reference, if known
 
     def key(self) -> tuple:
+        # Direction is part of the identity: a read-modify-write (one memory
+        # instruction issuing a load *and* a store) must never collapse with
+        # a pure load of the same (array, index form, width) triple from a
+        # sibling statement — they are distinct references in Eq. 7/8.
         return (self.array, self.index.coeffs, self.index.const,
-                self.index.irregular, self.element_size)
+                self.index.irregular, self.element_size,
+                self.is_read, self.is_write)
 
 
 @dataclass
@@ -76,16 +82,7 @@ class LoopRecord:
     def unique_accesses(self) -> list[MemAccess]:
         seen: dict[tuple, MemAccess] = {}
         for acc in self.accesses:
-            k = acc.key()
-            if k in seen:
-                prev = seen[k]
-                seen[k] = MemAccess(
-                    prev.array, prev.index, prev.element_size,
-                    prev.is_read or acc.is_read, prev.is_write or acc.is_write,
-                    prev.loop_id,
-                )
-            else:
-                seen[k] = acc
+            seen.setdefault(acc.key(), acc)
         return list(seen.values())
 
     def trip_count(self) -> int | None:
@@ -107,6 +104,7 @@ class KernelLoops:
     global_pointers: dict[str, int]   # name -> element size
     shared_arrays: set[str]
     local_arrays: set[str]
+    flow: object | None = None        # AffineFlow when dataflow mode was used
 
     def top_level(self) -> list[LoopRecord]:
         return [l for l in self.loops if l.depth == 0]
@@ -122,9 +120,20 @@ class KernelLoops:
 
 
 class _Walker:
-    def __init__(self, kernel: FunctionDef, env: SymbolicEnv):
+    """Collects loops and accesses.
+
+    In *dataflow mode* (``flow`` is an
+    :class:`~repro.analysis.dataflow.affineprop.AffineFlow`), index forms are
+    resolved against the fixpoint environment snapshot of each evaluation
+    site and loop headers come from the flow's induction recognition; the
+    walker's own single-pass ``env`` is left untouched.  Without ``flow``
+    the legacy one-pass symbolic walk is used.
+    """
+
+    def __init__(self, kernel: FunctionDef, env: SymbolicEnv, flow=None):
         self.kernel = kernel
         self.env = env
+        self.flow = flow
         self.loops: list[LoopRecord] = []
         self.stack: list[LoopRecord] = []
         self.global_pointers: dict[str, int] = {
@@ -146,14 +155,17 @@ class _Walker:
             self._apply_assignment(stmt.expr)
         elif isinstance(stmt, IfStmt):
             self._collect(stmt.cond, store_target=None)
-            assigned = _assigned_names(stmt.then)
-            if stmt.otherwise is not None:
-                assigned |= _assigned_names(stmt.otherwise)
             self.walk_stmt(stmt.then)
             if stmt.otherwise is not None:
                 self.walk_stmt(stmt.otherwise)
-            for name in assigned:
-                self.env.poison(name)
+            if self.flow is None:
+                # Legacy: anything assigned in either arm is unknown after
+                # the join.  (Dataflow mode joins pointwise instead.)
+                assigned = _assigned_names(stmt.then)
+                if stmt.otherwise is not None:
+                    assigned |= _assigned_names(stmt.otherwise)
+                for name in assigned:
+                    self.env.poison(name)
         elif isinstance(stmt, (ForStmt, WhileStmt, DoWhileStmt)):
             self._walk_loop(stmt)
         elif isinstance(stmt, SyncthreadsStmt):
@@ -174,22 +186,27 @@ class _Walker:
                 continue
             if stmt.type.is_pointer:
                 # Pointer locals: treat as an alias of the root array when
-                # initialized from one; otherwise unknown.
+                # initialized from one; otherwise unknown.  (Dataflow mode
+                # additionally tracks the element offset via PtrState.)
                 if d.init is not None:
                     self._collect(d.init, store_target=None)
                     root = _root_pointer(d.init)
                     if root is not None and root in self.global_pointers:
                         self.global_pointers[d.name] = self.global_pointers[root]
-                self.env.poison(d.name)
+                if self.flow is None:
+                    self.env.poison(d.name)
                 continue
             if d.init is not None:
                 self._collect(d.init, store_target=None)
-                self.env.bind(d.name, analyze_expr(d.init, self.env))
-            else:
+                if self.flow is None:
+                    self.env.bind(d.name, analyze_expr(d.init, self.env))
+            elif self.flow is None:
                 self.env.poison(d.name)
 
     def _apply_assignment(self, expr: Expr) -> None:
-        """Update the symbolic env for scalar assignments."""
+        """Update the symbolic env for scalar assignments (legacy mode)."""
+        if self.flow is not None:
+            return  # dataflow transfer functions own the environment
         if isinstance(expr, Assign) and isinstance(expr.target, Ident):
             name = expr.target.name
             if expr.op == "=":
@@ -226,7 +243,13 @@ class _Walker:
         if isinstance(stmt, ForStmt):
             if stmt.init is not None:
                 self.walk_stmt(stmt.init)
-            iterator, step, start, bound = self._for_header(stmt)
+            if self.flow is None:
+                iterator, step, start, bound = self._for_header(stmt)
+        if self.flow is not None:
+            meta = self.flow.loop_meta.get(id(stmt))
+            if meta is not None:
+                iterator, step = meta.iterator, meta.step
+                start, bound = meta.start, meta.bound
 
         loop_id = len(self.loops)
         rec = LoopRecord(
@@ -241,33 +264,35 @@ class _Walker:
         )
         self.loops.append(rec)
 
-        assigned = _assigned_names(body)
-        inductions = _induction_steps(body) if iterator is not None else {}
-        saved = {}
-        if iterator is not None:
-            saved[iterator] = self.env.bindings.get(iterator)
-            base = start if start is not None else AffineForm.unknown()
-            self.env.bind(
-                iterator,
-                base + AffineForm.symbol(iterator, 1) * AffineForm.constant(step or 1)
-                if step is not None else AffineForm.symbol(iterator),
-            )
-        # Secondary induction variables: x += c once per iteration means
-        # x = x0 + iter * c inside the body.
-        for name, inc in inductions.items():
-            if name == iterator or name not in assigned:
-                continue
-            saved.setdefault(name, self.env.bindings.get(name))
-            base = self.env.lookup(name)
-            self.env.bind(
-                name, base + AffineForm.symbol(iterator or "?iter") * inc
-            )
-        # Everything else assigned in the body is loop-variant: poison.
-        for name in assigned:
-            if name == iterator or name in inductions:
-                continue
-            saved.setdefault(name, self.env.bindings.get(name))
-            self.env.poison(name)
+        saved: dict[str, AffineForm | None] = {}
+        assigned: set[str] = set()
+        if self.flow is None:
+            assigned = _assigned_names(body)
+            inductions = _induction_steps(body) if iterator is not None else {}
+            if iterator is not None:
+                saved[iterator] = self.env.bindings.get(iterator)
+                base = start if start is not None else AffineForm.unknown()
+                self.env.bind(
+                    iterator,
+                    base + AffineForm.symbol(iterator, 1) * AffineForm.constant(step or 1)
+                    if step is not None else AffineForm.symbol(iterator),
+                )
+            # Secondary induction variables: x += c once per iteration means
+            # x = x0 + iter * c inside the body.
+            for name, inc in inductions.items():
+                if name == iterator or name not in assigned:
+                    continue
+                saved.setdefault(name, self.env.bindings.get(name))
+                base = self.env.lookup(name)
+                self.env.bind(
+                    name, base + AffineForm.symbol(iterator or "?iter") * inc
+                )
+            # Everything else assigned in the body is loop-variant: poison.
+            for name in assigned:
+                if name == iterator or name in inductions:
+                    continue
+                saved.setdefault(name, self.env.bindings.get(name))
+                self.env.poison(name)
 
         self.stack.append(rec)
         # Loop conditions and steps re-execute every iteration: their memory
@@ -280,8 +305,9 @@ class _Walker:
         self.stack.pop()
 
         # After the loop every assigned variable has an unknown final value.
-        for name in set(saved) | assigned:
-            self.env.poison(name)
+        if self.flow is None:
+            for name in set(saved) | assigned:
+                self.env.poison(name)
 
     def _for_header(self, stmt: ForStmt):
         iterator = None
@@ -312,6 +338,7 @@ class _Walker:
     # -- expression scanning -------------------------------------------------
     def _collect(self, expr: Expr, store_target: Expr | None = None) -> None:
         """Record every off-chip array reference in ``expr``."""
+        env = self._env_at(expr)
         store_targets: dict[int, bool] = {}
         for node in walk_expr(expr):
             if isinstance(node, Assign) and isinstance(node.target, ArrayRef):
@@ -320,18 +347,41 @@ class _Walker:
             if isinstance(node, ArrayRef):
                 if id(node) in store_targets:
                     self._record(node, is_read=store_targets[id(node)],
-                                 is_write=True)
+                                 is_write=True, env=env)
                 else:
-                    self._record(node, is_read=True, is_write=False)
+                    self._record(node, is_read=True, is_write=False, env=env)
 
-    def _record(self, ref: ArrayRef, is_read: bool, is_write: bool) -> None:
+    def _env_at(self, expr: Expr) -> SymbolicEnv:
+        """Environment in force at an evaluation site (dataflow snapshot when
+        available, the walker's single-pass env otherwise)."""
+        if self.flow is not None:
+            site = self.flow.env_sites.get(id(expr))
+            if site is not None:
+                return site
+        return self.env
+
+    def _record(self, ref: ArrayRef, is_read: bool, is_write: bool,
+                env: SymbolicEnv | None = None) -> None:
+        env = env if env is not None else self.env
         root, index_expr = _flatten_ref(ref)
+        form = None
+        if self.flow is not None and not isinstance(ref.base, ArrayRef):
+            # Dataflow mode: resolve the base through pointer states, so a
+            # strength-reduced `pivot[0]` lands on its root array with the
+            # accumulated element offset.
+            from .dataflow.affineprop import ptr_state_of
+
+            ps = ptr_state_of(ref.base, env)
+            if ps is not None and ps.root is not None:
+                root = ps.root
+                form = ps.offset + analyze_expr(ref.index, env)
         if root is None or root not in self.global_pointers:
             return
         if not self.stack:
             return  # paper: only loop bodies are optimization targets
-        form = analyze_expr(index_expr, self.env) if index_expr is not None \
-            else AffineForm.unknown()
+        if form is None:
+            form = analyze_expr(index_expr, env) if index_expr is not None \
+                else AffineForm.unknown()
         access = MemAccess(
             array=root,
             index=form,
@@ -339,6 +389,7 @@ class _Walker:
             is_read=is_read,
             is_write=is_write,
             loop_id=self.stack[-1].loop_id,
+            loc=ref.loc,
         )
         for rec in self.stack:
             rec.accesses.append(access)
@@ -463,10 +514,26 @@ def find_loops(
     kernel: FunctionDef,
     block_dim: tuple[int, int, int] | None = None,
     grid_dim: tuple[int, int, int] | None = None,
+    dataflow: bool = True,
 ) -> KernelLoops:
-    """Walk ``kernel`` and return its loops with collected accesses."""
+    """Walk ``kernel`` and return its loops with collected accesses.
+
+    With ``dataflow=True`` (the default), index forms come from the forward
+    dataflow fixpoint of :class:`repro.analysis.dataflow.AffineFlow`, which
+    follows intermediate scalars, if-join-equal values, strength-reduced
+    secondary inductions and pointer bumps.  Any failure in the dataflow
+    engine falls back to the legacy single-pass walk.
+    """
+    flow = None
+    if dataflow:
+        try:
+            from .dataflow.affineprop import AffineFlow
+
+            flow = AffineFlow(kernel, block_dim=block_dim, grid_dim=grid_dim)
+        except Exception:
+            flow = None  # degrade to the legacy walk
     env = SymbolicEnv(block_dim=block_dim, grid_dim=grid_dim)
-    walker = _Walker(kernel, env)
+    walker = _Walker(kernel, env, flow=flow)
     walker.walk_stmt(kernel.body)
     return KernelLoops(
         kernel=kernel,
@@ -474,4 +541,5 @@ def find_loops(
         global_pointers=walker.global_pointers,
         shared_arrays=walker.shared_arrays,
         local_arrays=walker.local_arrays,
+        flow=flow,
     )

@@ -6,7 +6,16 @@ from __future__ import annotations
 from .kernel_info import KernelAnalysis
 
 
+def _dist(elems: int | None, byts: int | None) -> str:
+    """``C=<elems> (<bytes>B)`` fragment, or ``irregular``."""
+    if elems is None:
+        return "irregular"
+    return f"{elems} ({byts}B)"
+
+
 def format_analysis(analysis: KernelAnalysis) -> str:
+    from .dataflow.safety import findings_for_analysis
+
     occ = analysis.occupancy
     lines = [
         f"kernel {analysis.kernel.name}  block={analysis.block_dim}",
@@ -16,17 +25,23 @@ def format_analysis(analysis: KernelAnalysis) -> str:
         f"L1D {occ.l1d_bytes // 1024} KB, "
         f"regs/thread ~{occ.registers_per_thread}",
     ]
+    findings = findings_for_analysis(analysis)
+    by_loop: dict[int | None, list] = {}
+    for f in findings:
+        by_loop.setdefault(f.loop_id, []).append(f)
     for la in analysis.loops:
         rec, dec, fp = la.record, la.decision, la.footprint
+        codes = sorted({f.code for f in by_loop.get(rec.loop_id, [])})
+        suffix = f"  [{', '.join(codes)}]" if codes else ""
         lines.append(
             f"  loop #{rec.loop_id} depth={rec.depth} iter={rec.iterator!r} "
-            f"step={rec.step} reuse={la.has_reuse}"
+            f"step={rec.step} reuse={la.has_reuse}{suffix}"
         )
         for af in fp.per_access:
             loc = af.locality
             rw = ("R" if loc.access.is_read else "") + ("W" if loc.access.is_write else "")
-            c_tid = "irregular" if loc.inter_thread_elems is None else loc.inter_thread_elems
-            c_i = "irregular" if loc.intra_thread_elems is None else loc.intra_thread_elems
+            c_tid = _dist(loc.inter_thread_elems, loc.inter_thread_bytes)
+            c_i = _dist(loc.intra_thread_elems, loc.intra_thread_bytes)
             lines.append(
                 f"    {loc.access.array}[{rw}] C_tid={c_tid} C_i={c_i} "
                 f"REQ_warp={af.req_warp}"
@@ -39,4 +54,9 @@ def format_analysis(analysis: KernelAnalysis) -> str:
             f"    SIZE_req={fp.size_req_lines} lines vs L1D={dec.l1d_lines} "
             f"lines: {status}"
         )
+    # Findings not tied to any analysed loop (barriers, shared races).
+    extra = [f for f in findings if f.loop_id is None
+             or all(f.loop_id != la.record.loop_id for la in analysis.loops)]
+    for f in sorted(extra, key=lambda f: (f.code, f.line or 0)):
+        lines.append(f"  {f}")
     return "\n".join(lines)

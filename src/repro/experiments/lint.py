@@ -1,0 +1,96 @@
+"""``catt lint`` — static per-access findings over the workload registry.
+
+Runs the CATT static analysis (no simulation) for every kernel launch of the
+selected workloads and prints the :mod:`repro.analysis.dataflow.safety`
+findings: irregular indexes, fully diverged references, divergent barriers,
+and shared-memory race heuristics, each with a CATT diagnostic code and
+file/line provenance into the generated kernel source.
+
+A committed *baseline* makes the command CI-enforceable: known findings are
+accepted, and the run fails (exit 1) only when a **new error-severity**
+finding appears — the same newest-regression-only contract as compiler
+``-Werror`` promotion.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..analysis import analyze_kernel
+from ..analysis.dataflow.safety import LintFinding, findings_for_analysis
+from ..sim.arch import TITAN_V_SIM
+from ..workloads import WORKLOADS, get_workload
+
+
+def lint_workload(app: str, scale: str = "bench",
+                  spec=TITAN_V_SIM) -> list[tuple[str, LintFinding]]:
+    """All findings for one workload, as ``(app, finding)`` pairs."""
+    wl = get_workload(app, scale)
+    unit = wl.unit()
+    out: list[tuple[str, LintFinding]] = []
+    for kernel, (grid, block) in wl.launch_configs().items():
+        analysis = analyze_kernel(unit, kernel, block, spec, grid=grid)
+        out.extend((app, f) for f in findings_for_analysis(analysis))
+    return out
+
+
+def lint_registry(apps: list[str] | None = None, scale: str = "bench",
+                  spec=TITAN_V_SIM) -> list[tuple[str, LintFinding]]:
+    out: list[tuple[str, LintFinding]] = []
+    for app in (apps if apps else sorted(WORKLOADS)):
+        out.extend(lint_workload(app, scale, spec))
+    return out
+
+
+def _finding_key(app: str, f: LintFinding) -> tuple:
+    # Stable across message-wording and line-number drift.
+    return (app, f.code, f.kernel, f.array, f.loop_id)
+
+
+def to_baseline(findings: list[tuple[str, LintFinding]]) -> list[dict]:
+    return [
+        {"app": app, "code": f.code, "kernel": f.kernel, "array": f.array,
+         "loop_id": f.loop_id, "line": f.line, "message": f.message}
+        for app, f in findings
+    ]
+
+
+def new_errors(
+    findings: list[tuple[str, LintFinding]], baseline: list[dict],
+) -> list[tuple[str, LintFinding]]:
+    """Error-severity findings not present in the committed baseline."""
+    known = {(b["app"], b["code"], b["kernel"], b.get("array"),
+              b.get("loop_id")) for b in baseline}
+    return [(app, f) for app, f in findings
+            if f.code.split("-")[1] == "E"
+            and _finding_key(app, f) not in known]
+
+
+def run_lint(app: str | None, scale: str,
+             baseline_path: str | None = None,
+             write_baseline: str | None = None) -> tuple[str, int]:
+    """Lint the registry (or one workload); returns (report text, exit code)."""
+    apps = [app] if app else None
+    findings = lint_registry(apps, scale)
+    lines = [f"{a}: {f}" for a, f in findings]
+    if not lines:
+        lines = ["no findings"]
+    code = 0
+    if write_baseline:
+        with open(write_baseline, "w") as fh:
+            json.dump(to_baseline(findings), fh, indent=2)
+        lines.append(f"baseline written: {write_baseline} "
+                     f"({len(findings)} findings)")
+    elif baseline_path:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        fresh = new_errors(findings, baseline)
+        if fresh:
+            lines.append(f"FAIL: {len(fresh)} new error-severity finding(s) "
+                         f"not in baseline {baseline_path}:")
+            lines.extend(f"  {a}: {f}" for a, f in fresh)
+            code = 1
+        else:
+            lines.append(f"OK: no new error-severity findings vs "
+                         f"{baseline_path}")
+    return "\n".join(lines), code

@@ -89,10 +89,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table2", "table3", "fig2", "fig3", "fig6", "fig7", "fig8",
-                 "fig9", "fig10", "overhead", "analyze", "compile", "all"],
+                 "fig9", "fig10", "overhead", "analyze", "compile", "lint",
+                 "all"],
     )
     parser.add_argument("app", nargs="?",
-                        help="workload for 'analyze' / source file for 'compile'")
+                        help="workload for 'analyze'/'lint' / source file "
+                             "for 'compile'")
     parser.add_argument("--scale", default="bench", choices=["bench", "test"])
     parser.add_argument("--no-bftt", action="store_true",
                         help="skip the BFTT sweep (table3)")
@@ -106,6 +108,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("-o", "--output", help="compile: output file")
     parser.add_argument("--emit-ptx", metavar="PATH",
                         help="compile: also write PTX-like lowering")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="lint: fail on new error-severity findings "
+                             "missing from this baseline JSON")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="lint: write the current findings as a baseline")
     args = parser.parse_args(argv)
 
     data = None
@@ -113,6 +120,17 @@ def main(argv: list[str] | None = None) -> int:
         if not args.app:
             parser.error("compile requires a source file")
         text = _compile_file(args)
+    elif args.experiment == "lint":
+        from .lint import run_lint
+
+        if args.app and args.app not in WORKLOADS:
+            parser.error(f"lint requires a workload name from "
+                         f"{sorted(WORKLOADS)} (or none for all)")
+        text, code = run_lint(args.app, args.scale,
+                              baseline_path=args.baseline,
+                              write_baseline=args.write_baseline)
+        print(text)
+        return code
     elif args.experiment == "table2":
         text, data = _print_table2(), table2_rows()
     elif args.experiment == "analyze":

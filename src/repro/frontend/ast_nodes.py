@@ -376,6 +376,34 @@ def statements_in(stmt: Stmt):
         yield from statements_in(stmt.body)
 
 
+def path_to_stmt(root: Stmt, target: Stmt) -> tuple[Stmt, ...] | None:
+    """Statement chain from ``root`` down to ``target`` (identity match),
+    inclusive on both ends; None when ``target`` is not under ``root``.
+
+    The path exposes the enclosing control structure of a statement — e.g.
+    the guards an ``if`` chain puts around a loop — without the caller
+    re-implementing the traversal.
+    """
+    if root is target:
+        return (root,)
+    children: tuple[Stmt, ...] = ()
+    if isinstance(root, Block):
+        children = root.statements
+    elif isinstance(root, IfStmt):
+        children = (root.then,) if root.otherwise is None \
+            else (root.then, root.otherwise)
+    elif isinstance(root, ForStmt):
+        children = (root.body,) if root.init is None \
+            else (root.init, root.body)
+    elif isinstance(root, (WhileStmt, DoWhileStmt)):
+        children = (root.body,)
+    for child in children:
+        sub = path_to_stmt(child, target)
+        if sub is not None:
+            return (root,) + sub
+    return None
+
+
 def expressions_in(stmt: Stmt):
     """Yield every expression appearing in ``stmt`` (recursively)."""
     for s in statements_in(stmt):

@@ -9,10 +9,13 @@ Method
 ------
 1. Find loop regions: a backwards ``bra`` at position p to a label at h < p
    delimits the region [h, p].
-2. Find induction registers per region: registers whose only definitions in
-   the region are a single self-increment (``add r, r, imm``) — they become
-   ``iter:<label>`` symbols with that step, like the source analysis's
-   secondary-induction rule.
+2. Find induction candidates per region: registers defined exactly once in
+   the region whose next-iteration value, followed through single-definition
+   copy chains (``add %r12, %r7, 1; mov %r7, %r12``), is ``self + step`` for
+   a symbolically affine ``step`` over loop-invariant registers.  When the
+   loop header is reached, each step is folded against the live environment;
+   candidates with a constant step become ``iter:<label>`` symbols (the
+   source analysis's secondary-induction rule), the rest are poisoned.
 3. Abstract-interpret the instruction list in order, mapping each register
    to an :class:`~repro.analysis.affine.AffineForm` over special registers,
    parameters and loop iterators.  Any register otherwise re-defined inside
@@ -134,20 +137,95 @@ def _defs_in_region(kernel: PTXKernel, region: LoopRegion) -> dict[Reg, list[Ins
     return defs
 
 
-def _induction_registers(kernel: PTXKernel,
-                         region: LoopRegion) -> dict[Reg, int]:
-    """Registers updated exactly once per iteration by a constant step."""
-    out: dict[Reg, int] = {}
-    for reg, instrs in _defs_in_region(kernel, region).items():
-        if len(instrs) != 1:
+_SELF = "self"          # the candidate register's value at iteration entry
+_CHAIN_DEPTH = 6        # max def-chain length followed per candidate
+
+
+def _induction_candidates(kernel: PTXKernel,
+                          region: LoopRegion) -> dict[Reg, AffineForm]:
+    """Registers updated once per iteration by a (symbolically) affine step.
+
+    For each register with a single in-region definition, evaluate its
+    next-iteration value as an :class:`AffineForm` over ``self`` (its own
+    value at iteration entry) and ``reg:%rN`` symbols (registers the region
+    never redefines, i.e. loop invariants), following single-definition
+    copy chains like the strength-reduced ``add %r12, %r7, 1`` /
+    ``mov %r7, %r12`` pair a while-style ``f = f + 1`` lowers to.  A
+    candidate whose next value is exactly ``self + step`` is an induction
+    register; the step form is resolved against the live environment when
+    the loop header is reached (see :func:`_resolve_step`), and candidates
+    whose step does not resolve to a constant are poisoned there.
+    """
+    defs = _defs_in_region(kernel, region)
+    single = {reg: instrs[0] for reg, instrs in defs.items()
+              if len(instrs) == 1}
+    multi = {reg for reg, instrs in defs.items() if len(instrs) > 1}
+    out: dict[Reg, AffineForm] = {}
+    for reg, ins in single.items():
+        form = _chain_value(ins, reg, single, multi, _CHAIN_DEPTH)
+        if form.irregular or form.coeff(_SELF) != 1:
             continue
-        ins = instrs[0]
-        if ins.opcode not in ("add", "sub") or len(ins.srcs) != 2:
-            continue
-        a, b = ins.srcs
-        if a == reg and isinstance(b, Imm) and isinstance(b.value, int):
-            out[reg] = b.value if ins.opcode == "add" else -b.value
+        step = form - AffineForm.symbol(_SELF)
+        out[reg] = step
     return out
+
+
+def _chain_value(ins: Instr, cand: Reg, single: dict[Reg, Instr],
+                 multi: set[Reg], depth: int) -> AffineForm:
+    """Value computed by ``ins`` in terms of ``self`` and invariant regs."""
+    if depth <= 0:
+        return AffineForm.unknown()
+
+    def val(op: Operand) -> AffineForm:
+        if isinstance(op, Imm):
+            if isinstance(op.value, int):
+                return AffineForm.constant(op.value)
+            return AffineForm.unknown()
+        if isinstance(op, Reg):
+            if op == cand:
+                return AffineForm.symbol(_SELF)
+            if op in multi:
+                return AffineForm.unknown()
+            if op in single:
+                return _chain_value(single[op], cand, single, multi, depth - 1)
+            return AffineForm.symbol(f"reg:{op}")  # loop-invariant
+        return AffineForm.unknown()  # Special/ParamRef never step a counter
+
+    op = ins.opcode
+    if op in ("mov", "cvt"):
+        return val(ins.srcs[0])
+    if op == "add":
+        return val(ins.srcs[0]) + val(ins.srcs[1])
+    if op == "sub":
+        return val(ins.srcs[0]) - val(ins.srcs[1])
+    if op in ("mul.lo", "mul"):
+        return val(ins.srcs[0]) * val(ins.srcs[1])
+    if op == "mad.lo":
+        return val(ins.srcs[0]) * val(ins.srcs[1]) + val(ins.srcs[2])
+    if op == "neg":
+        return -val(ins.srcs[0])
+    if op == "shl":
+        b = val(ins.srcs[1])
+        if b.is_constant:
+            return val(ins.srcs[0]) * AffineForm.constant(1 << b.const)
+        return AffineForm.unknown()
+    return AffineForm.unknown()
+
+
+def _resolve_step(step: AffineForm, env: dict[Reg, AffineForm],
+                  regs: dict[str, Reg]) -> int | None:
+    """Fold a candidate step form to a constant using the header-time values
+    of its invariant registers; None when any of them is not a constant."""
+    total = step.const
+    for sym, coeff in step.coeffs:
+        reg = regs.get(sym)
+        if reg is None:
+            return None
+        value = env.get(reg)
+        if value is None or not value.is_constant:
+            return None
+        total += coeff * value.const
+    return total
 
 
 def analyze_ptx_kernel(
@@ -163,7 +241,16 @@ def analyze_ptx_kernel(
     source-level analysis without a block size).
     """
     regions = find_loop_regions(kernel)
-    inductions = {r: _induction_registers(kernel, r) for r in regions}
+    candidates = {r: _induction_candidates(kernel, r) for r in regions}
+    # Candidates whose step resolved to a constant at their region header;
+    # only these keep their symbolic form through in-region redefinitions.
+    active: dict[LoopRegion, set[Reg]] = {r: set() for r in regions}
+    regmap: dict[str, Reg] = {}
+    for item in kernel.body:
+        if isinstance(item, Instr):
+            for op in (item.dst, *item.srcs):
+                if isinstance(op, Reg):
+                    regmap[f"reg:{op}"] = op
     # Loop-carried registers: defined in the region and read at (or before)
     # their first in-region definition — e.g. accumulators.  Their value
     # varies per iteration in a non-affine way, so they are poisoned at
@@ -183,7 +270,7 @@ def analyze_ptx_kernel(
                 first_def.setdefault(item.dst, idx)
         carried = set()
         for reg, d in first_def.items():
-            if reg in inductions[r]:
+            if reg in candidates[r]:
                 continue
             if first_use.get(reg, d + 1) <= d:
                 carried.add(reg)
@@ -216,11 +303,17 @@ def analyze_ptx_kernel(
             if isinstance(item, Label):
                 for r in regions:
                     if r.header == idx:
-                        # Bind induction registers symbolically ...
-                        for reg, step in inductions[r].items():
+                        # Resolve candidate steps against the live env and
+                        # bind constant-step inductions symbolically ...
+                        for reg, step_form in candidates[r].items():
+                            step = _resolve_step(step_form, env, regmap)
+                            if step is None:
+                                env[reg] = AffineForm.unknown()
+                                continue
                             base = env.get(reg, AffineForm.unknown())
                             env[reg] = base + AffineForm.symbol(
                                 f"iter:{r.label}") * AffineForm.constant(step)
+                            active[r].add(reg)
                         # ... and poison loop-carried values.
                         for reg in carried_in[r]:
                             env[reg] = AffineForm.unknown()
@@ -240,9 +333,10 @@ def analyze_ptx_kernel(
             continue
         if ins.dst is None:
             continue
-        # Skip re-binding induction registers (their symbolic form stands).
+        # Skip re-binding resolved induction registers (their symbolic form
+        # stands); unresolved candidates fall through to the normal transfer.
         in_region_induction = any(
-            r.contains(idx) and ins.dst in inductions[r] for r in regions
+            r.contains(idx) and ins.dst in active[r] for r in regions
         )
         if in_region_induction:
             continue

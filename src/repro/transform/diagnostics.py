@@ -9,20 +9,29 @@ aborting the translation unit.
 
 Error-code catalogue (see docs/ROBUSTNESS.md):
 
-=====================  ========  =========================================
-code                   severity  meaning
-=====================  ========  =========================================
-CATT-E-FRONTEND        error     kernel missing / outside the CUDA subset
-CATT-E-ANALYSIS        error     static analysis crashed; kernel untouched
-CATT-E-TRANSFORM       error     a rewrite failed; loop/kernel untouched
-CATT-E-SIM             error     simulation of an (app, scheme) cell failed
-CATT-E-INTERNAL        error     unexpected exception (a real bug — report)
-CATT-W-SEARCH          warning   throttle search degraded for one loop
-CATT-W-BUDGET          warning   analysis budget exhausted; partial results
-CATT-W-REVERTED        warning   validation gate reverted a transform
-CATT-I-SKIP-LOOP       info      loop skipped (restructured by a prior pass)
-CATT-I-VALIDATE-SKIP   info      validation inconclusive; transform kept
-=====================  ========  =========================================
+=========================  ========  =====================================
+code                       severity  meaning
+=========================  ========  =====================================
+CATT-E-FRONTEND            error     kernel missing / outside the CUDA subset
+CATT-E-ANALYSIS            error     static analysis crashed; kernel untouched
+CATT-E-TRANSFORM           error     a rewrite failed; loop/kernel untouched
+CATT-E-SIM                 error     simulation of an (app, scheme) cell failed
+CATT-E-INTERNAL            error     unexpected exception (a real bug — report)
+CATT-E-DIVERGENT-BARRIER   error     __syncthreads() under a thread-dependent
+                                     guard or bound (UB on hardware)
+CATT-E-SHARED-RACE         error     shared array written and read at distinct
+                                     indexes with no barrier in between
+CATT-W-SEARCH              warning   throttle search degraded for one loop
+CATT-W-BUDGET              warning   analysis budget exhausted; partial results
+CATT-W-REVERTED            warning   validation gate reverted a transform
+CATT-W-IRREGULAR-INDEX     warning   data-dependent index; conservative
+                                     C_tid = 1 assumed (§4.2)
+CATT-W-UNCOALESCED         warning   fully diverged reference (REQ_warp = 32)
+CATT-I-SKIP-LOOP           info      loop skipped (restructured by a prior pass)
+CATT-I-VALIDATE-SKIP       info      validation inconclusive; transform kept
+CATT-I-STATIC-SAFE         info      transform statically proven safe; the
+                                     differential gate was skipped
+=========================  ========  =====================================
 """
 
 from __future__ import annotations
@@ -43,11 +52,16 @@ E_ANALYSIS = "CATT-E-ANALYSIS"
 E_TRANSFORM = "CATT-E-TRANSFORM"
 E_SIM = "CATT-E-SIM"
 E_INTERNAL = "CATT-E-INTERNAL"
+E_DIVERGENT_BARRIER = "CATT-E-DIVERGENT-BARRIER"
+E_SHARED_RACE = "CATT-E-SHARED-RACE"
 W_SEARCH = "CATT-W-SEARCH"
 W_BUDGET = "CATT-W-BUDGET"
 W_REVERTED = "CATT-W-REVERTED"
+W_IRREGULAR_INDEX = "CATT-W-IRREGULAR-INDEX"
+W_UNCOALESCED = "CATT-W-UNCOALESCED"
 I_SKIP_LOOP = "CATT-I-SKIP-LOOP"
 I_VALIDATE_SKIP = "CATT-I-VALIDATE-SKIP"
+I_STATIC_SAFE = "CATT-I-STATIC-SAFE"
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,7 @@ from .diagnostics import (
     E_FRONTEND,
     E_TRANSFORM,
     I_SKIP_LOOP,
+    I_STATIC_SAFE,
     I_VALIDATE_SKIP,
     W_BUDGET,
     W_REVERTED,
@@ -61,7 +62,12 @@ from .diagnostics import (
 )
 from .tb_throttle import add_dummy_shared
 from .utils import with_function
-from .validate import INCONCLUSIVE, ValidationReport, differential_validate
+from .validate import (
+    INCONCLUSIVE,
+    STATIC_SAFE,
+    ValidationReport,
+    differential_validate,
+)
 from .warp_throttle import split_loop_for_warp_groups
 
 
@@ -283,8 +289,30 @@ def catt_compile(
                          f"TB-level throttle failed: {exc}", kernel=name,
                          exc=exc)
 
-        # -- stage: validate (differential gate) -------------------------
+        # -- stage: validate (static proof, then differential gate) ------
         if validate and record.changed:
+            # Statically proven-safe transforms skip the lockstep run: the
+            # semantic legality of every warp split plus a structural match
+            # against the Fig. 4/5 shape is a proof, not a spot check.
+            verdict = None
+            try:
+                from ..analysis.dataflow.safety import verify_transform_static
+
+                verdict = verify_transform_static(
+                    analysis, record, out.kernel(name), kernel)
+            except Exception:
+                verdict = None  # fall back to the dynamic gate
+            if verdict is not None and verdict.safe:
+                record.validation = ValidationReport(
+                    name, STATIC_SAFE,
+                    "warp-split legality proven statically; differential "
+                    "gate skipped")
+                log.emit(I_STATIC_SAFE, "validate",
+                         record.validation.detail, kernel=name)
+                record.analysis_seconds = time.perf_counter() - t0
+                out = with_function(out, kernel)
+                transforms[name] = record
+                continue
             try:
                 report = differential_validate(
                     out, with_function(out, kernel), name, grid, block,

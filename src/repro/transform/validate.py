@@ -48,7 +48,10 @@ from ..testing.faults import check_fault
 
 WARP_SIZE = 32
 
-# Statuses, from best to worst.
+# Statuses, from best to worst.  STATIC_SAFE means the static verifier
+# (:mod:`repro.analysis.dataflow.safety`) proved the transform without
+# running the lockstep interpreter at all.
+STATIC_SAFE = "static-safe"
 PASS = "pass"
 INCONCLUSIVE = "inconclusive"
 DIVERGED = "diverged"
@@ -57,15 +60,16 @@ DEADLOCK = "deadlock"
 
 @dataclass(frozen=True)
 class ValidationReport:
-    """Outcome of differentially validating one transformed kernel."""
+    """Outcome of validating one transformed kernel (statically proven or
+    differentially executed)."""
 
     kernel: str
-    status: str            # PASS | INCONCLUSIVE | DIVERGED | DEADLOCK
+    status: str            # STATIC_SAFE | PASS | INCONCLUSIVE | DIVERGED | DEADLOCK
     detail: str = ""
 
     @property
     def ok(self) -> bool:
-        return self.status == PASS
+        return self.status in (PASS, STATIC_SAFE)
 
     @property
     def must_revert(self) -> bool:

@@ -47,8 +47,13 @@ __global__ void gram_rdot(float *a, float *r) {{
 __global__ void gram_update(float *a, float *r) {{
     int j = blockIdx.x * blockDim.x + threadIdx.x;
     if (j < COLS && j > K) {{
+        int stride = COLS;
+        float *pivot = a + K;
+        int idx = j;
         for (int i = 0; i < ROWS; i++) {{
-            a[i * COLS + j] -= r[j] * a[i * COLS + K];
+            a[idx] -= r[j] * pivot[0];
+            idx += stride;
+            pivot += stride;
         }}
     }}
 }}

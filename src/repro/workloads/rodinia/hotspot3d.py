@@ -35,19 +35,21 @@ class Hotspot3D(Workload):
 __global__ void hotspot_kernel(float *tIn, float *tOut, float *power) {{
     int x = blockIdx.x * blockDim.x + threadIdx.x;
     int y = blockIdx.y * blockDim.y + threadIdx.y;
+    int xy = NX * NY;
     if (x < NX && y < NY) {{
+        int c = x + y * NX;
         for (int z = 0; z < NZ; z++) {{
-            int c = x + y * NX + z * NX * NY;
             int w = x == 0 ? c : c - 1;
             int e = x == NX - 1 ? c : c + 1;
             int n = y == 0 ? c : c - NX;
             int s = y == NY - 1 ? c : c + NX;
-            int b = z == 0 ? c : c - NX * NY;
-            int t = z == NZ - 1 ? c : c + NX * NY;
+            int b = z == 0 ? c : c - xy;
+            int t = z == NZ - 1 ? c : c + xy;
             tOut[c] = {self.CC}f * tIn[c] + {self.CW}f * tIn[w]
                 + {self.CE}f * tIn[e] + {self.CN}f * tIn[n]
                 + {self.CS_}f * tIn[s] + {self.CT}f * tIn[t]
                 + {self.CB}f * tIn[b] + power[c];
+            c += xy;
         }}
     }}
 }}

@@ -60,8 +60,10 @@ __global__ void kmeans_assign(float *feature, float *clusters, int *membership) 
 __global__ void kmeans_swap(float *feature, float *feature_swap) {{
     int tid = blockIdx.x * blockDim.x + threadIdx.x;
     if (tid < NPOINTS) {{
-        for (int f = 0; f < NFEATURES; f++) {{
+        int f = 0;
+        while (f < NFEATURES) {{
             feature_swap[tid * NFEATURES + f] = feature[f * NPOINTS + tid];
+            f = f + 1;
         }}
     }}
 }}

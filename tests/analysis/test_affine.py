@@ -112,6 +112,74 @@ def test_zero_coefficient_dropped():
     assert f.symbols() == ()
 
 
+# -- poisoning edge cases in index position ---------------------------------
+
+
+def _index_form(src, block=(256, 1, 1)):
+    """Index form of the single in-loop global store in ``src``."""
+    from repro.analysis.loops import find_loops
+    from repro.frontend import parse_kernel
+
+    kl = find_loops(parse_kernel(src), block_dim=block)
+    writes = [a for a in kl.loops[0].unique_accesses() if a.is_write]
+    assert len(writes) == 1
+    return writes[0].index
+
+
+def test_ternary_in_index_poisons():
+    # Data-dependent select: neither arm can be chosen statically.
+    form = _index_form("""
+__global__ void k(float *a, int p) {
+    int t = threadIdx.x;
+    for (int j = 0; j < 8; j++) {
+        a[p > 0 ? t : t + j] = 0.0f;
+    }
+}
+""")
+    assert form.irregular
+
+
+def test_cast_in_index_is_transparent():
+    # Width-changing casts preserve the affine form (all widths the frontend
+    # models are wide enough for in-bounds indexes).
+    for ty in ("int", "long", "unsigned", "short"):
+        form = _index_form(f"""
+__global__ void k(float *a) {{
+    int t = threadIdx.x;
+    for (int j = 0; j < 8; j++) {{
+        a[({ty})(t * 2 + j)] = 0.0f;
+    }}
+}}
+""")
+        assert not form.irregular
+        assert form.coeff(TIDX) == 2 and form.coeff("j") == 1
+
+
+def test_postincdec_in_index_poisons():
+    # `a[t++]` evaluates with a side effect the affine lattice cannot order.
+    form = _index_form("""
+__global__ void k(float *a) {
+    int t = threadIdx.x;
+    for (int j = 0; j < 8; j++) {
+        a[t++] = 0.0f;
+    }
+}
+""")
+    assert form.irregular
+
+
+def test_symbol_times_symbol_index_poisons():
+    form = _index_form("""
+__global__ void k(float *a) {
+    int t = threadIdx.x;
+    for (int j = 0; j < 8; j++) {
+        a[t * j] = 0.0f;
+    }
+}
+""")
+    assert form.irregular
+
+
 # -- property: extraction matches evaluation --------------------------------
 
 @settings(max_examples=80, deadline=None)

@@ -29,7 +29,25 @@ __global__ void k(float *A, float *B, float *tmp) {
     assert refs["B"].index.coeff(TIDX) == 0
 
 
-def test_rmw_deduplicated():
+def test_rmw_counted_once():
+    # A compound assignment is one read-modify-write reference.
+    kl = loops_of("""
+__global__ void k(float *a) {
+    int i = threadIdx.x;
+    for (int j = 0; j < 8; j++) {
+        a[i] += 1.0f;
+    }
+}
+""")
+    refs = kl.loops[0].unique_accesses()
+    assert len(refs) == 1
+    assert refs[0].is_read and refs[0].is_write
+
+
+def test_direction_in_dedup_key():
+    # An explicit re-load plus store are two memory instructions (a load and
+    # a store), and a pure load never collapses with an RMW of the same
+    # (array, index, width) triple.
     kl = loops_of("""
 __global__ void k(float *a) {
     int i = threadIdx.x;
@@ -39,8 +57,22 @@ __global__ void k(float *a) {
 }
 """)
     refs = kl.loops[0].unique_accesses()
-    assert len(refs) == 1
-    assert refs[0].is_read and refs[0].is_write
+    assert sorted((r.is_read, r.is_write) for r in refs) == \
+        [(False, True), (True, False)]
+
+    kl = loops_of("""
+__global__ void k(float *a, float *b) {
+    int i = threadIdx.x;
+    for (int j = 0; j < 8; j++) {
+        a[i] += b[j];
+        b[j] = a[i];
+    }
+}
+""")
+    a_refs = [r for r in kl.loops[0].unique_accesses() if r.array == "a"]
+    # RMW a[i] (+=) and the pure load a[i] stay distinct references.
+    assert sorted((r.is_read, r.is_write) for r in a_refs) == \
+        [(True, False), (True, True)]
 
 
 def test_nested_loops_parentage():
@@ -167,7 +199,21 @@ __global__ void k(float *a) {
 }
 """)
     assert len(kl.loops) == 1
-    assert kl.loops[0].iterator is None  # while loops have no for-header
+    # Dataflow induction recognition identifies the while-style iterator.
+    loop = kl.loops[0]
+    assert loop.iterator == "j" and loop.step == 1
+    assert loop.trip_count() == 8
+    ref = loop.unique_accesses()[0]
+    assert ref.index.coeff("j") == 1
+
+    # The legacy single-pass walk has no while-header recognition.
+    legacy = find_loops(parse_kernel("""
+__global__ void k(float *a) {
+    int j = 0;
+    while (j < 8) { a[j] = 0.0f; j++; }
+}
+"""), block_dim=(256, 1, 1), dataflow=False)
+    assert legacy.loops[0].iterator is None
 
 
 def test_contains_sync_flag():

@@ -1,0 +1,87 @@
+"""`catt lint` tests: findings, baseline round-trip, and the
+new-error-only failure contract."""
+
+import json
+
+from repro.experiments.lint import (
+    lint_workload,
+    new_errors,
+    run_lint,
+    to_baseline,
+)
+from repro.experiments.runner import main as catt_main
+
+
+def test_lint_workload_reports_known_findings():
+    findings = lint_workload("ATAX", scale="test")
+    codes = {f.code for _, f in findings}
+    assert "CATT-W-UNCOALESCED" in codes
+    # provenance reaches back into the generated kernel source
+    assert all(f.kernel for _, f in findings)
+
+
+def test_shared_race_error_on_backprop():
+    findings = lint_workload("BP", scale="test")
+    assert any(f.code == "CATT-E-SHARED-RACE" and f.array == "weight_matrix"
+               for _, f in findings)
+
+
+def test_baseline_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    text, code = run_lint("BP", "test", write_baseline=str(path))
+    assert code == 0 and "baseline written" in text
+    baseline = json.loads(path.read_text())
+    assert any(b["code"] == "CATT-E-SHARED-RACE" for b in baseline)
+    # the same findings against their own baseline: clean
+    text, code = run_lint("BP", "test", baseline_path=str(path))
+    assert code == 0 and "OK: no new error-severity findings" in text
+
+
+def test_new_error_fails(tmp_path):
+    findings = lint_workload("BP", scale="test")
+    baseline = [b for b in to_baseline(findings)
+                if not b["code"].startswith("CATT-E-")]
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(baseline))
+    text, code = run_lint("BP", "test", baseline_path=str(path))
+    assert code == 1 and "FAIL" in text
+
+
+def test_warnings_never_fail(tmp_path):
+    # ATAX has only W-level findings; an empty baseline still passes.
+    path = tmp_path / "baseline.json"
+    path.write_text("[]")
+    text, code = run_lint("ATAX", "test", baseline_path=str(path))
+    assert code == 0
+
+
+def test_new_errors_keyed_stably():
+    findings = lint_workload("BP", scale="test")
+    base = to_baseline(findings)
+    for b in base:
+        b["line"] = (b["line"] or 0) + 5     # line drift must not matter
+        b["message"] = "reworded"
+    assert not new_errors(findings, base)
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    assert catt_main(["lint", "ATAX", "--scale", "test"]) == 0
+    path = tmp_path / "b.json"
+    path.write_text("[]")
+    assert catt_main(["lint", "BP", "--scale", "test",
+                      "--baseline", str(path)]) == 1
+    capsys.readouterr()
+
+
+def test_committed_baseline_covers_registry_errors():
+    """The committed CI baseline must contain every current E-level finding
+    (otherwise the lint job would fail on an untouched tree)."""
+    from pathlib import Path
+
+    baseline = json.loads(
+        Path(__file__).resolve().parents[1]
+        .joinpath("baselines", "lint_baseline.json").read_text())
+    apps = {b["app"] for b in baseline if b["code"].startswith("CATT-E-")}
+    for app in sorted(apps):
+        findings = lint_workload(app, scale="bench")
+        assert not new_errors(findings, baseline), app

@@ -82,3 +82,84 @@ def test_ptx_request_counts_match_source_analysis(app, kernel, grid, block):
     assert sorted(src_reqs) == sorted(ptx_reqs), (
         f"{app}:{kernel} source={sorted(src_reqs)} ptx={sorted(ptx_reqs)}"
     )
+
+
+# ---------------------------------------------------------------------------
+# Coefficient-level cross-check on strength-reduced microbenches
+# ---------------------------------------------------------------------------
+
+MICROBENCHES = {
+    "secondary_induction": """
+__global__ void k(float *a) {
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    int stride = 256;
+    int idx = t;
+    for (int j = 0; j < 16; j++) {
+        a[idx] = 0.0f;
+        idx += stride;
+    }
+}
+""",
+    "while_increment": """
+__global__ void k(float *a) {
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    int f = 0;
+    while (f < 8) {
+        a[f * 256 + t] = a[f * 256 + t] + 1.0f;
+        f = f + 1;
+    }
+}
+""",
+    "diverged_row_walk": """
+__global__ void k(float *a, float *x) {
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    int row = t * 64;
+    for (int j = 0; j < 64; j++) {
+        a[row + j] = x[j];
+    }
+}
+""",
+}
+
+
+@pytest.mark.parametrize("name", sorted(MICROBENCHES))
+def test_ast_and_ptx_agree_on_distances(name):
+    """The AST dataflow and the PTX induction recognizer must recover the
+    same (C_tid, C_i) element distances for every in-loop reference."""
+    from repro.frontend import parse
+
+    block = 256
+    unit = parse(MICROBENCHES[name])
+    analysis = analyze_kernel(unit, "k", block, TITAN_V_SIM, grid=4)
+    src_pairs = []
+    for la in analysis.loops:
+        for af in la.footprint.per_access:
+            loc = af.locality
+            pair = (abs(loc.inter_thread_elems)
+                    if loc.inter_thread_elems is not None else None,
+                    abs(loc.intra_thread_elems)
+                    if loc.intra_thread_elems is not None else None)
+            if loc.access.is_read:
+                src_pairs.append(pair)
+            if loc.access.is_write:
+                src_pairs.append(pair)
+
+    ptx = lower_kernel(unit, "k")
+    ptx_pairs = []
+    seen = set()
+    for a in analyze_ptx_kernel(ptx, block_dim=(block, 1, 1)):
+        if not a.loop_labels:
+            continue
+        key = (a.opcode.startswith("st"), a.width, str(a.address))
+        if key in seen:
+            continue
+        seen.add(key)
+        ct = a.c_tid_elems
+        ci = a.c_iter_bytes()
+        ptx_pairs.append((abs(ct) if ct is not None else None,
+                          abs(ci) // a.width if ci is not None else None))
+
+    assert sorted(src_pairs, key=str) == sorted(ptx_pairs, key=str), (
+        f"{name}: src={sorted(src_pairs, key=str)} "
+        f"ptx={sorted(ptx_pairs, key=str)}"
+    )

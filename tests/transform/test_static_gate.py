@@ -1,0 +1,96 @@
+"""Static validation pre-gate: verifier-proven-safe kernels skip the
+lockstep differential run, and the gate changes no transform decisions."""
+
+from repro.frontend import emit, parse
+from repro.sim.arch import TITAN_V_SIM, TITAN_V_SIM_32K
+from repro.transform import catt_compile
+from repro.transform import pipeline as pipeline_mod
+from repro.transform.diagnostics import I_STATIC_SAFE
+from repro.transform.validate import STATIC_SAFE
+
+ATAX = """
+#define NX 1024
+#define NY 64
+__global__ void atax_kernel1(float *A, float *x, float *tmp) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NX) {
+        for (int j = 0; j < NY; j++) {
+            tmp[i] += A[i * NY + j] * x[j];
+        }
+    }
+}
+"""
+
+LAUNCHES = {"atax_kernel1": (4, 256)}
+
+# A kernel the throttle decision fires on but the verifier cannot prove:
+# the guard bound is a runtime parameter.
+UNPROVABLE = """
+__global__ void k(float *A, float *x, float *tmp, int nx) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < nx) {
+        for (int j = 0; j < 64; j++) {
+            tmp[i] += A[i * 64 + j] * x[j];
+        }
+    }
+}
+"""
+
+
+def _count_differential(monkeypatch):
+    calls = []
+    real = pipeline_mod.differential_validate
+
+    def counting(*args, **kwargs):
+        calls.append(args)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(pipeline_mod, "differential_validate", counting)
+    return calls
+
+
+def test_proven_safe_kernel_skips_differential(monkeypatch):
+    calls = _count_differential(monkeypatch)
+    comp = catt_compile(parse(ATAX), LAUNCHES, TITAN_V_SIM, validate=True)
+    t = comp.transforms["atax_kernel1"]
+    assert t.warp_splits == [(0, 2)]          # the transform still happened
+    assert t.validation is not None
+    assert t.validation.status == STATIC_SAFE
+    assert t.validation.ok
+    assert not calls                           # interpreter never ran
+    codes = {d.code for d in comp.diagnostics_for("atax_kernel1")}
+    assert I_STATIC_SAFE in codes
+
+
+def test_unprovable_kernel_falls_back_to_differential(monkeypatch):
+    calls = _count_differential(monkeypatch)
+    comp = catt_compile(parse(UNPROVABLE), {"k": (4, 256)}, TITAN_V_SIM,
+                        validate=True)
+    t = comp.transforms["k"]
+    assert t.warp_splits                       # the decision did throttle
+    assert calls                               # dynamic gate did run
+    assert t.validation.status != STATIC_SAFE
+    # And the dynamic gate is not decorative: with `i < nx` unprovable, warps
+    # whose threads all fail the guard never reach the inserted barrier —
+    # the gate detects the hazard and reverts.
+    assert t.validation.must_revert
+
+
+def test_decisions_unchanged_across_gate_modes():
+    """validate=True (static gate active) must transform exactly what
+    validate=False transforms, for every cache scheme."""
+    for spec in (TITAN_V_SIM, TITAN_V_SIM_32K):
+        plain = catt_compile(parse(ATAX), LAUNCHES, spec)
+        gated = catt_compile(parse(ATAX), LAUNCHES, spec, validate=True)
+        for name in LAUNCHES:
+            tp, tg = plain.transforms[name], gated.transforms[name]
+            assert tp.warp_splits == tg.warp_splits
+            assert (tp.tb_plan is None) == (tg.tb_plan is None)
+            assert emit(plain.unit.kernel(name)) == emit(gated.unit.kernel(name))
+
+
+def test_static_safe_report_counts_as_ok():
+    from repro.transform.validate import ValidationReport
+
+    r = ValidationReport("k", STATIC_SAFE, "proven")
+    assert r.ok and not r.must_revert
