@@ -1,0 +1,198 @@
+"""``catt bench`` — record simulator throughput and sweep wall-clock.
+
+Two measurements, both at a caller-chosen scale (CI uses ``--scale test``):
+
+* **Engine throughput** — warp-instructions/second of the AST-walk
+  interpreter vs the closure-compiled engine (with and without
+  homogeneous-block dedup) over a fixed probe set of registry workloads.
+* **Sweep wall-clock** — the full ``catt all`` pipeline (cell sweep plus
+  every figure/table builder) against a cold, memory-only cache, i.e. the
+  honest end-to-end number with no disk cache to hide behind.
+
+Results are written to ``BENCH_sim.json`` so the perf trajectory is
+recorded per commit; ``check_regression`` compares a fresh payload against
+a committed baseline (``benchmarks/BENCH_baseline.json``) and reports
+anything more than ``factor`` times slower.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from ..sim.launch import DEDUP_ENV, ENGINE_ENV
+from ..workloads import get_workload
+from ..workloads.base import run_workload
+from .common import ResultCache
+from .sweep import all_cells, run_sweep
+
+# Seed repo reference: `catt all --scale test`, AST-walk interpreter, one
+# process, cold cache.  The acceptance target for this PR is >= 3x off this.
+SEED_SWEEP_SECONDS = 129.8
+
+# Probe workloads for the throughput measurement: one dedup-eligible
+# CS app, one irregular app (falls back to per-warp execution), one CI app.
+PROBE_APPS = ("ATAX", "BFS", "BP")
+
+#: (label, REPRO_SIM_ENGINE, REPRO_SIM_DEDUP) rows measured by bench_engines.
+ENGINE_CONFIGS = (
+    ("interp", "interp", "0"),
+    ("compiled", "compiled", "0"),
+    ("compiled+dedup", "compiled", "1"),
+)
+
+
+def _with_engine(engine: str, dedup: str, fn):
+    saved = {k: os.environ.get(k) for k in (ENGINE_ENV, DEDUP_ENV)}
+    os.environ[ENGINE_ENV] = engine
+    os.environ[DEDUP_ENV] = dedup
+    try:
+        return fn()
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+
+def bench_engines(scale: str = "test", apps: tuple[str, ...] = PROBE_APPS) -> dict:
+    """Warp-instructions/sec per engine configuration over ``apps``."""
+    out: dict[str, dict] = {}
+    for label, engine, dedup in ENGINE_CONFIGS:
+        def probe() -> dict:
+            instructions = 0
+            t0 = time.perf_counter()
+            for app in apps:
+                run = run_workload(get_workload(app, scale))
+                instructions += sum(r.metrics.instructions for r in run.results)
+            dt = time.perf_counter() - t0
+            return {
+                "seconds": round(dt, 3),
+                "warp_instructions": instructions,
+                "warp_instructions_per_sec": round(instructions / dt) if dt else 0,
+            }
+
+        out[label] = _with_engine(engine, dedup, probe)
+    interp_rate = out["interp"]["warp_instructions_per_sec"]
+    for label in ("compiled", "compiled+dedup"):
+        rate = out[label]["warp_instructions_per_sec"]
+        out[label]["speedup_vs_interp"] = (
+            round(rate / interp_rate, 2) if interp_rate else 0.0
+        )
+    return out
+
+
+def bench_sweep(scale: str = "test", jobs: int = 1) -> dict:
+    """Wall-clock of the full ``catt all`` pipeline, cold memory-only cache."""
+    # Imported here so `catt bench` startup stays cheap.
+    from .fig2 import build_fig2
+    from .fig3 import build_fig3
+    from .fig6 import build_fig6
+    from .fig7 import build_fig7
+    from .fig8 import build_fig8
+    from .fig9 import build_fig9
+    from .fig10 import build_fig10
+    from .overhead import build_overhead
+    from .table3 import build_table3
+
+    cache = ResultCache("")
+    t0 = time.perf_counter()
+    report = run_sweep(all_cells(scale), jobs=jobs, cache=cache)
+    build_table3(scale=scale, cache=cache)
+    build_fig2(scale=scale, cache=cache)
+    build_fig3()
+    build_fig6(scale=scale, cache=cache)
+    build_fig7(scale=scale, cache=cache)
+    build_fig8(scale=scale, cache=cache)
+    build_fig9(scale=scale, cache=cache)
+    build_fig10(scale=scale, cache=cache)
+    build_overhead(scale=scale)
+    seconds = time.perf_counter() - t0
+    payload = {
+        "seconds": round(seconds, 2),
+        "cells": report.cells,
+        "computed": report.computed,
+        "degraded": report.degraded,
+        "jobs": jobs,
+    }
+    if scale == "test":
+        payload["seed_baseline_seconds"] = SEED_SWEEP_SECONDS
+        payload["speedup_vs_seed"] = (
+            round(SEED_SWEEP_SECONDS / seconds, 2) if seconds else 0.0
+        )
+    return payload
+
+
+def run_bench(scale: str = "test", jobs: int = 1,
+              out: str | Path | None = "BENCH_sim.json") -> dict:
+    payload = {
+        "scale": scale,
+        "jobs": jobs,
+        "engine_throughput": bench_engines(scale),
+        "sweep": bench_sweep(scale, jobs=jobs),
+    }
+    if out:
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def format_bench(payload: dict) -> str:
+    lines = [
+        f"Simulator benchmark — scale={payload['scale']} jobs={payload['jobs']}",
+        "",
+        f"{'engine':16s} {'seconds':>8s} {'warp-inst/s':>12s} {'vs interp':>10s}",
+        "-" * 50,
+    ]
+    for label, row in payload["engine_throughput"].items():
+        speedup = row.get("speedup_vs_interp")
+        lines.append(
+            f"{label:16s} {row['seconds']:8.2f} "
+            f"{row['warp_instructions_per_sec']:12,d} "
+            f"{f'{speedup:.2f}x' if speedup is not None else '-':>10s}"
+        )
+    sweep = payload["sweep"]
+    lines += [
+        "",
+        f"catt-all sweep: {sweep['seconds']:.1f}s "
+        f"({sweep['cells']} cells, {sweep['computed']} computed, "
+        f"jobs={sweep['jobs']})",
+    ]
+    if "speedup_vs_seed" in sweep:
+        lines.append(
+            f"vs seed AST-walk ({sweep['seed_baseline_seconds']:.1f}s): "
+            f"{sweep['speedup_vs_seed']:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def check_regression(payload: dict, baseline_path: str | Path,
+                     factor: float = 2.0) -> list[str]:
+    """Compare ``payload`` against a committed baseline.
+
+    Returns human-readable failure strings for every metric more than
+    ``factor`` times worse than the baseline (empty list = pass).  Only
+    ratios are compared, so the gate tolerates absolute machine-speed
+    differences between the commit host and CI runners up to ``factor``.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())
+    failures = []
+    b_sweep = baseline.get("sweep", {}).get("seconds")
+    n_sweep = payload.get("sweep", {}).get("seconds")
+    if b_sweep and n_sweep and n_sweep > factor * b_sweep:
+        failures.append(
+            f"sweep wall-clock regressed >{factor:g}x: "
+            f"{n_sweep:.1f}s vs baseline {b_sweep:.1f}s"
+        )
+    for label, row in baseline.get("engine_throughput", {}).items():
+        b_rate = row.get("warp_instructions_per_sec")
+        n_rate = (payload.get("engine_throughput", {})
+                  .get(label, {}).get("warp_instructions_per_sec"))
+        if b_rate and n_rate and n_rate * factor < b_rate:
+            failures.append(
+                f"{label} throughput regressed >{factor:g}x: "
+                f"{n_rate:,d} vs baseline {b_rate:,d} warp-inst/s"
+            )
+    return failures

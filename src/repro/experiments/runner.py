@@ -51,7 +51,8 @@ def _compile_file(args) -> str:
     from ..frontend import emit, parse
     from ..transform import catt_compile
 
-    source = open(args.app).read()
+    with open(args.app, encoding="utf-8") as fh:
+        source = fh.read()
     unit = parse(source)
     spec = TITAN_V_SIM_32K if args.l1d == "32k" else TITAN_V_SIM
     kernels = [args.kernel] if args.kernel else [k.name for k in unit.kernels()]
@@ -90,12 +91,18 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=["table2", "table3", "fig2", "fig3", "fig6", "fig7", "fig8",
                  "fig9", "fig10", "overhead", "analyze", "compile", "lint",
-                 "all"],
+                 "bench", "all"],
     )
     parser.add_argument("app", nargs="?",
                         help="workload for 'analyze'/'lint' / source file "
                              "for 'compile'")
     parser.add_argument("--scale", default="bench", choices=["bench", "test"])
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the simulation sweep "
+                             "('all' and 'bench')")
+    parser.add_argument("--no-dedup", action="store_true",
+                        help="disable homogeneous-block dedup in the "
+                             "simulator (sets REPRO_SIM_DEDUP=0)")
     parser.add_argument("--no-bftt", action="store_true",
                         help="skip the BFTT sweep (table3)")
     parser.add_argument("--json", metavar="PATH",
@@ -110,10 +117,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="compile: also write PTX-like lowering")
     parser.add_argument("--baseline", metavar="PATH",
                         help="lint: fail on new error-severity findings "
-                             "missing from this baseline JSON")
+                             "missing from this baseline JSON; "
+                             "bench: fail on >2x regression vs this "
+                             "BENCH_sim.json baseline")
     parser.add_argument("--write-baseline", metavar="PATH",
                         help="lint: write the current findings as a baseline")
     args = parser.parse_args(argv)
+
+    if args.no_dedup:
+        import os
+
+        os.environ["REPRO_SIM_DEDUP"] = "0"
 
     data = None
     if args.experiment == "compile":
@@ -182,7 +196,25 @@ def main(argv: list[str] | None = None) -> int:
 
         rows = build_overhead(scale=args.scale)
         text, data = format_overhead(rows), [r.__dict__ for r in rows]
+    elif args.experiment == "bench":
+        from .bench import check_regression, format_bench, run_bench
+
+        payload = run_bench(scale=args.scale, jobs=args.jobs,
+                            out=args.output or "BENCH_sim.json")
+        print(format_bench(payload))
+        if args.baseline:
+            failures = check_regression(payload, args.baseline)
+            for f in failures:
+                print(f"REGRESSION: {f}", file=sys.stderr)
+            return 1 if failures else 0
+        return 0
     else:  # all
+        if args.jobs > 1:
+            # Populate the shared cache in parallel up front; the per-figure
+            # builders below then run entirely against warm entries.
+            from .sweep import all_cells, run_sweep
+
+            run_sweep(all_cells(args.scale), jobs=args.jobs)
         chunks = []
         for exp in ("table2", "table3", "fig2", "fig3", "fig6", "fig7",
                     "fig8", "fig9", "fig10", "overhead"):

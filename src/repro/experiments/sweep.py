@@ -1,0 +1,122 @@
+"""Parallel sweep executor: fan (app, scheme, spec, scale) cells across
+worker processes and merge the results into one :class:`ResultCache`.
+
+The experiment layer is embarrassingly parallel at cell granularity — every
+figure/table is a pure function of the cached :class:`AppResult` records —
+so the sweep that feeds ``catt all`` can fan out with ``multiprocessing``
+and leave the figure builders untouched.  Three invariants keep this safe:
+
+* **Workers never touch the shared JSON file.**  Each worker runs its cells
+  against a memory-only ``ResultCache("")`` and ships the picklable
+  ``AppResult`` back to the parent.
+* **Single-writer merge.**  Only the parent calls ``ResultCache.put`` (the
+  PR-1 atomic write-temp + ``os.replace`` path), so a killed sweep still
+  cannot corrupt the cache.
+* **Deterministic ordering.**  Results are merged in the caller's cell
+  order regardless of worker completion order, so the on-disk cache content
+  is independent of scheduling.
+
+Degraded cells (``AppResult.degraded``) are memoized in-process only, same
+as the sequential path — the next sweep retries them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass
+
+from ..workloads import CI_GROUP, CS_GROUP
+from .common import AppResult, ResultCache, default_cache, run_app
+
+#: One simulation cell: (app, scheme, spec, scale).
+Cell = tuple[str, str, str, str]
+
+_SWEEP_SCHEMES = ("baseline", "bftt", "catt")
+
+
+def all_cells(scale: str = "bench") -> list[Cell]:
+    """Every simulation cell ``catt all`` consumes, in deterministic order.
+
+    CS apps feed fig2/6/7/9/table3 at max L1D and fig10/table3 at 32 KB;
+    CI apps only appear in fig8 (max L1D).
+    """
+    cells: list[Cell] = []
+    for app in CS_GROUP:
+        for scheme in _SWEEP_SCHEMES:
+            for spec in ("max", "32k"):
+                cells.append((app, scheme, spec, scale))
+    for app in CI_GROUP:
+        for scheme in _SWEEP_SCHEMES:
+            cells.append((app, scheme, "max", scale))
+    return sorted(set(cells))
+
+
+def _run_cell(cell: Cell) -> tuple[Cell, AppResult]:
+    """Worker entry point: simulate one cell against a memory-only cache."""
+    app, scheme, spec, scale = cell
+    result = run_app(app, scheme, spec, scale, cache=ResultCache(""))
+    return cell, result
+
+
+@dataclass
+class SweepReport:
+    """What one :func:`run_sweep` call did."""
+
+    cells: int       # cells requested
+    computed: int    # cells actually simulated (not already cached)
+    cached: int      # cells served from the cache
+    degraded: int    # computed cells that failed and degraded
+    jobs: int        # worker processes used
+    seconds: float
+
+
+def run_sweep(
+    cells: list[Cell],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> SweepReport:
+    """Populate ``cache`` with every cell in ``cells``.
+
+    ``jobs > 1`` fans the uncached cells out over a process pool; the merge
+    order (and therefore the cache file content) is identical to a
+    sequential run.  Workers inherit the parent's environment, so engine
+    knobs like ``REPRO_SIM_DEDUP=0`` apply to the whole sweep.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    cache = cache or default_cache()
+    cells = list(dict.fromkeys(cells))
+    t0 = time.perf_counter()
+    todo = [c for c in cells if cache.get(ResultCache.key(*c)) is None]
+    results: dict[Cell, AppResult] = {}
+    if jobs > 1 and len(todo) > 1:
+        # fork inherits the warmed import state; fall back to spawn where
+        # fork is unavailable (it re-imports, which is only slower).
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(method)
+        with ctx.Pool(processes=min(jobs, len(todo))) as pool:
+            for cell, result in pool.imap_unordered(_run_cell, todo):
+                results[cell] = result
+    else:
+        for cell in todo:
+            results[cell] = _run_cell(cell)[1]
+    degraded = 0
+    for cell in cells:  # caller order, not completion order
+        result = results.get(cell)
+        if result is None:
+            continue  # served from cache
+        key = ResultCache.key(*cell)
+        if result.degraded:
+            degraded += 1
+            cache.put_transient(key, result)
+        else:
+            cache.put(key, result)
+    return SweepReport(
+        cells=len(cells),
+        computed=len(todo),
+        cached=len(cells) - len(todo),
+        degraded=degraded,
+        jobs=jobs,
+        seconds=round(time.perf_counter() - t0, 3),
+    )

@@ -39,9 +39,20 @@ class CType:
     pointer_depth: int = 0
     is_const: bool = False
 
-    @property
-    def is_pointer(self) -> bool:
-        return self.pointer_depth > 0
+    def __post_init__(self) -> None:
+        # Precomputed plain attributes (not properties/generated methods):
+        # ``is_pointer`` is probed and the hash taken millions of times per
+        # simulation (memoized dtype/promotion lookups key on CType), and the
+        # descriptor-call/tuple-build overhead is measurable there.  Neither
+        # is a dataclass field, so equality/repr still cover only the three
+        # real fields, and the cached hash matches the generated one.
+        object.__setattr__(self, "is_pointer", self.pointer_depth > 0)
+        object.__setattr__(
+            self, "_hash",
+            hash((self.base, self.pointer_depth, self.is_const)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def element_size(self) -> int:

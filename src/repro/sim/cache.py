@@ -10,11 +10,10 @@ right-shifted by the line-size log2); the coalescer produces them.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     accesses: int = 0
     hits: int = 0
@@ -58,9 +57,12 @@ class Cache:
         self.assoc = assoc
         self.num_sets = max(num_lines // assoc, 1)
         self.size_bytes = self.num_sets * assoc * line_size
-        # One OrderedDict per set: line_addr -> True, LRU at the front.
-        self._sets: list[OrderedDict[int, bool]] = [
-            OrderedDict() for _ in range(self.num_sets)
+        # One insertion-ordered dict per set: line_addr -> True, LRU at the
+        # front.  A plain dict beats OrderedDict here: move-to-end becomes
+        # delete + reinsert and eviction pops ``next(iter(set))``, all of
+        # which are faster than the linked-list bookkeeping.
+        self._sets: list[dict[int, bool]] = [
+            {} for _ in range(self.num_sets)
         ]
         # GPU L1/L2 caches hash upper address bits into the set index so
         # power-of-two strides (ubiquitous in row-major GPU arrays) do not
@@ -72,7 +74,7 @@ class Cache:
         self.stats = CacheStats()        # loads
         self.write_stats = CacheStats()  # stores
 
-    def _set_of(self, line_addr: int) -> OrderedDict:
+    def _set_of(self, line_addr: int) -> dict:
         if self.index_hash:
             h = line_addr ^ (line_addr >> self._shift) ^ (line_addr >> (2 * self._shift))
             return self._sets[h % self.num_sets]
@@ -81,16 +83,25 @@ class Cache:
     # ------------------------------------------------------------------
     def access(self, line_addr: int, write: bool = False) -> bool:
         """Probe (and on miss, allocate) one line. Returns True on hit."""
-        s = self._set_of(line_addr)
-        self.stats.accesses += 1
+        # The set-index math is inlined here (and in ``write``): these two
+        # methods run once per transaction and the extra call is measurable.
+        if self.index_hash:
+            sh = self._shift
+            h = line_addr ^ (line_addr >> sh) ^ (line_addr >> (2 * sh))
+            s = self._sets[h % self.num_sets]
+        else:
+            s = self._sets[line_addr % self.num_sets]
+        st = self.stats
+        st.accesses += 1
         if line_addr in s:
-            self.stats.hits += 1
-            s.move_to_end(line_addr)
+            st.hits += 1
+            del s[line_addr]
+            s[line_addr] = True
             return True
-        self.stats.misses += 1
+        st.misses += 1
         if len(s) >= self.assoc:
-            s.popitem(last=False)
-            self.stats.evictions += 1
+            del s[next(iter(s))]
+            st.evictions += 1
         s[line_addr] = True
         return False
 
@@ -104,16 +115,23 @@ class Cache:
         rate (``stats``, what nvprof-style figures report) stays clean.
         Dirty-eviction write-back traffic is not modeled (DESIGN.md §6).
         """
-        s = self._set_of(line_addr)
-        self.write_stats.accesses += 1
+        if self.index_hash:
+            sh = self._shift
+            h = line_addr ^ (line_addr >> sh) ^ (line_addr >> (2 * sh))
+            s = self._sets[h % self.num_sets]
+        else:
+            s = self._sets[line_addr % self.num_sets]
+        st = self.write_stats
+        st.accesses += 1
         if line_addr in s:
-            self.write_stats.hits += 1
-            s.move_to_end(line_addr)
+            st.hits += 1
+            del s[line_addr]
+            s[line_addr] = True
             return True
-        self.write_stats.misses += 1
+        st.misses += 1
         if len(s) >= self.assoc:
-            s.popitem(last=False)
-            self.write_stats.evictions += 1
+            del s[next(iter(s))]
+            st.evictions += 1
         s[line_addr] = True
         return False
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ComputeEvent:
     """``ops`` ALU instructions (plus ``sfu_ops`` transcendental ones)."""
 
@@ -20,13 +20,17 @@ class ComputeEvent:
     sfu_ops: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class MemEvent:
     """One warp-level memory instruction.
 
     ``addresses`` holds byte addresses of the *active* lanes only; the engine
     coalesces them into line transactions.  ``space`` is ``"global"`` (goes
     through L1D/L2/DRAM) or ``"shared"`` (fixed-latency scratchpad).
+
+    Immutable by convention, not enforcement: millions are created per run,
+    and a frozen dataclass pays one ``object.__setattr__`` call per field
+    per instance.
     """
 
     addresses: np.ndarray
@@ -35,9 +39,23 @@ class MemEvent:
     space: str = "global"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SyncEvent:
     """``__syncthreads()`` — the warp parks until its whole TB arrives."""
 
 
 Event = ComputeEvent | MemEvent | SyncEvent
+
+# Events are immutable, and the same small (ops, sfu_ops) combinations recur
+# millions of times per launch, so producers intern them instead of paying a
+# frozen-dataclass construction per statement flush.
+SYNC_EVENT = SyncEvent()
+_CE_CACHE: dict[tuple[int, int], ComputeEvent] = {}
+
+
+def compute_event(ops: int, sfu_ops: int = 0) -> ComputeEvent:
+    key = (ops, sfu_ops)
+    ev = _CE_CACHE.get(key)
+    if ev is None:
+        ev = _CE_CACHE[key] = ComputeEvent(ops, sfu_ops)
+    return ev

@@ -57,10 +57,17 @@ from ..frontend.ast_nodes import (
     UnaryOp,
     WhileStmt,
 )
-from .events import ComputeEvent, Event, MemEvent, SyncEvent
+from .events import SYNC_EVENT, Event, MemEvent, compute_event
 from .memory import GlobalMemory
 
 WARP_SIZE = 32
+
+# CUDA arithmetic never traps: overflow wraps, 1/0 produces inf, 0/0 NaN.
+# The interpreter reproduces that by silencing NumPy's FP error reporting
+# process-wide, once, instead of entering an ``np.errstate`` context around
+# every lane-vector operation — the context-manager protocol alone used to
+# account for several percent of end-to-end simulation time.
+np.seterr(all="ignore")
 
 
 class SimulationError(Exception):
@@ -83,13 +90,27 @@ _NP_TYPES: dict[str, np.dtype] = {
 }
 
 
+_PTR_DTYPE = np.dtype(np.int64)
+
+
 def np_dtype_for(ctype: CType) -> np.dtype:
-    if ctype.is_pointer:
-        return np.dtype(np.int64)
-    try:
-        return _NP_TYPES[ctype.base]
-    except KeyError:
-        raise SimulationError(f"unsupported type {ctype.base!r}") from None
+    # Hottest interpreter path (every binop, cast and memory access).  The
+    # resolved dtype is cached directly on the (frozen) CType instance —
+    # AST nodes reuse the same CType objects for the whole process, so the
+    # fast path is one instance-dict lookup with no hashing of the fields.
+    dt = getattr(ctype, "_np_dtype", None)
+    if dt is not None:
+        return dt
+    if ctype.pointer_depth:
+        dt = _PTR_DTYPE
+    else:
+        try:
+            dt = _NP_TYPES[ctype.base]
+        except KeyError:
+            raise SimulationError(
+                f"unsupported type {ctype.base!r}") from None
+    object.__setattr__(ctype, "_np_dtype", dt)
+    return dt
 
 
 _RANK = {"bool": 0, "char": 1, "short": 2, "int": 3, "unsigned int": 4,
@@ -98,14 +119,27 @@ _RANK = {"bool": 0, "char": 1, "short": 2, "int": 3, "unsigned int": 4,
 
 def promote(a: CType, b: CType) -> CType:
     """C usual arithmetic conversions, reduced to our scalar set."""
-    if a.is_pointer:
-        return a
-    if b.is_pointer:
-        return b
-    base = a.base if _RANK[a.base] >= _RANK[b.base] else b.base
-    if _RANK[base] < _RANK["int"]:
-        base = "int"  # integer promotion
-    return CType(base)
+    # Memoized per left-operand instance, keyed by id(b); the entry keeps a
+    # strong reference to ``b`` so its id cannot be recycled.  This avoids
+    # building and hashing an (a, b) tuple on every binop.
+    memo = getattr(a, "_promote_memo", None)
+    if memo is None:
+        memo = {}
+        object.__setattr__(a, "_promote_memo", memo)
+    ent = memo.get(id(b))
+    if ent is not None:
+        return ent[1]
+    if a.pointer_depth:
+        out = a
+    elif b.pointer_depth:
+        out = b
+    else:
+        base = a.base if _RANK[a.base] >= _RANK[b.base] else b.base
+        if _RANK[base] < _RANK["int"]:
+            base = "int"  # integer promotion
+        out = CType(base)
+    memo[id(b)] = (b, out)
+    return out
 
 
 INT = CType("int")
@@ -113,7 +147,7 @@ FLOAT = CType("float")
 BOOL = CType("bool")
 
 
-@dataclass
+@dataclass(slots=True)
 class TypedValue:
     """A 32-lane vector plus its C type and address-space tag."""
 
@@ -127,16 +161,15 @@ class TypedValue:
         dtype = np_dtype_for(target)
         if self.values.dtype == dtype:
             return TypedValue(self.values, target, self.space, self.dims)
-        with np.errstate(all="ignore"):
-            if dtype.kind in "iu" and self.values.dtype.kind == "f":
-                vals = np.nan_to_num(np.trunc(self.values), nan=0.0,
-                                     posinf=0.0, neginf=0.0).astype(dtype)
-            else:
-                vals = self.values.astype(dtype)
+        if dtype.kind in "iu" and self.values.dtype.kind == "f":
+            vals = np.nan_to_num(np.trunc(self.values), nan=0.0,
+                                 posinf=0.0, neginf=0.0).astype(dtype)
+        else:
+            vals = self.values.astype(dtype)
         return TypedValue(vals, target, self.space, self.dims)
 
 
-@dataclass
+@dataclass(slots=True)
 class Var:
     """A named slot in a warp's environment."""
 
@@ -146,6 +179,10 @@ class Var:
     space: str = "none"
     dims: tuple[int, ...] = ()
     shared_offset: int = 0        # byte offset into the TB's shared block
+    # Cached read view for scalar loads (see compiled ident closure); valid
+    # while ``values``/``space`` are unchanged — assignments write into
+    # ``values`` in place, so the cache survives them.
+    tv: "TypedValue | None" = None
 
 
 # ---------------------------------------------------------------------------
@@ -222,7 +259,7 @@ _BINARY_MATH: dict[str, tuple[Callable, bool]] = {
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class _LoopFrame:
     broke: np.ndarray
     continued: np.ndarray
@@ -308,7 +345,7 @@ class WarpInterpreter:
     def _flush(self) -> Iterator[Event]:
         """Emit queued memory events and the accumulated compute cost."""
         if self.ops or self.sfu_ops:
-            yield ComputeEvent(self.ops, self.sfu_ops)
+            yield compute_event(self.ops, self.sfu_ops)
             self.ops = 0
             self.sfu_ops = 0
         if self.pending:
@@ -381,7 +418,7 @@ class WarpInterpreter:
             frame.continued |= mask
         elif isinstance(stmt, SyncthreadsStmt):
             yield from self._flush()
-            yield SyncEvent()
+            yield SYNC_EVENT
         elif isinstance(stmt, EmptyStmt):
             pass
         else:
@@ -628,13 +665,16 @@ class WarpInterpreter:
             self.ops += 1
             return TypedValue(out, elem)
         active = addr[mask]
+        if active.dtype != np.int64:
+            active = active.astype(np.int64)
         if space == "shared":
-            data = self.shared.load(active.astype(np.int64), dtype)
+            data = self.shared.load(active, dtype)
         else:
-            data = self.memory.load(active.astype(np.int64), dtype)
+            data = self.memory.load(active, dtype)
         out = np.zeros(WARP_SIZE, dtype=dtype)
         out[mask] = data
-        self.pending.append(MemEvent(active.copy(), dtype.itemsize, False, space))
+        # ``active`` is a fresh gather copy; the event may alias it directly.
+        self.pending.append(MemEvent(active, dtype.itemsize, False, space))
         return TypedValue(out, elem)
 
     def _store(self, expr: ArrayRef, value: TypedValue, mask: np.ndarray) -> None:
@@ -646,13 +686,15 @@ class WarpInterpreter:
             var.values[lanes, idx] = value.values[lanes]
             self.ops += 1
             return
-        active = addr[mask].astype(np.int64)
+        active = addr[mask]
+        if active.dtype != np.int64:
+            active = active.astype(np.int64)
         if space == "shared":
             self.shared.store(active, value.values[mask])
         else:
             self.memory.store(active, value.values[mask])
         self.pending.append(
-            MemEvent(active.copy(), np_dtype_for(elem).itemsize, True, space)
+            MemEvent(active, np_dtype_for(elem).itemsize, True, space)
         )
 
     # -- operators -----------------------------------------------------------
@@ -679,19 +721,26 @@ class WarpInterpreter:
         self.ops += 1
         return self._arith(op, left, right)
 
+    _CMP_FNS = {"==": np.equal, "!=": np.not_equal, "<": np.less,
+                ">": np.greater, "<=": np.less_equal, ">=": np.greater_equal}
+
     def _arith(self, op: str, left: TypedValue, right: TypedValue) -> TypedValue:
-        if op in ("==", "!=", "<", ">", "<=", ">="):
+        cmp_fn = self._CMP_FNS.get(op)
+        if cmp_fn is not None:
             ctype = promote(left.ctype, right.ctype)
             dtype = np_dtype_for(ctype)
-            a = left.values.astype(dtype, copy=False)
-            b = right.values.astype(dtype, copy=False)
-            fn = {"==": np.equal, "!=": np.not_equal, "<": np.less,
-                  ">": np.greater, "<=": np.less_equal, ">=": np.greater_equal}[op]
-            return TypedValue(fn(a, b), BOOL)
+            a = left.values
+            if a.dtype != dtype:
+                a = a.astype(dtype)
+            b = right.values
+            if b.dtype != dtype:
+                b = b.astype(dtype)
+            return TypedValue(cmp_fn(a, b), BOOL)
         # pointer arithmetic
-        if left.ctype.is_pointer or right.ctype.is_pointer:
-            ptr, off = (left, right) if left.ctype.is_pointer else (right, left)
-            if op == "-" and left.ctype.is_pointer and right.ctype.is_pointer:
+        if left.ctype.pointer_depth or right.ctype.pointer_depth:
+            lp = left.ctype.pointer_depth
+            ptr, off = (left, right) if lp else (right, left)
+            if op == "-" and lp and right.ctype.pointer_depth:
                 size = np_dtype_for(left.ctype.pointee()).itemsize
                 return TypedValue(
                     ((left.values - right.values) // size).astype(np.int64),
@@ -705,42 +754,45 @@ class WarpInterpreter:
             return TypedValue(vals, ptr.ctype, ptr.space, ptr.dims)
         ctype = promote(left.ctype, right.ctype)
         dtype = np_dtype_for(ctype)
-        a = left.values.astype(dtype, copy=False)
-        b = right.values.astype(dtype, copy=False)
-        with np.errstate(all="ignore"):
-            if op == "+":
-                out = a + b
-            elif op == "-":
-                out = a - b
-            elif op == "*":
-                out = a * b
-            elif op == "/":
-                if dtype.kind in "iu":
-                    bf = b.astype(np.float64)
-                    bf[bf == 0] = 1.0
-                    out = np.trunc(a.astype(np.float64) / bf).astype(dtype)
-                else:
-                    out = a / b
-            elif op == "%":
-                if dtype.kind in "iu":
-                    bb = b.copy()
-                    bb[bb == 0] = 1
-                    q = np.trunc(a.astype(np.float64) / bb.astype(np.float64))
-                    out = (a - q.astype(dtype) * bb).astype(dtype)
-                else:
-                    out = np.fmod(a, b)
-            elif op == "<<":
-                out = a << (b & (dtype.itemsize * 8 - 1))
-            elif op == ">>":
-                out = a >> (b & (dtype.itemsize * 8 - 1))
-            elif op == "&":
-                out = a & b
-            elif op == "|":
-                out = a | b
-            elif op == "^":
-                out = a ^ b
+        a = left.values
+        if a.dtype != dtype:
+            a = a.astype(dtype)
+        b = right.values
+        if b.dtype != dtype:
+            b = b.astype(dtype)
+        if op == "+":
+            out = a + b
+        elif op == "-":
+            out = a - b
+        elif op == "*":
+            out = a * b
+        elif op == "/":
+            if dtype.kind in "iu":
+                bf = b.astype(np.float64)
+                bf[bf == 0] = 1.0
+                out = np.trunc(a.astype(np.float64) / bf).astype(dtype)
             else:
-                raise SimulationError(f"unsupported operator {op!r}")
+                out = a / b
+        elif op == "%":
+            if dtype.kind in "iu":
+                bb = b.copy()
+                bb[bb == 0] = 1
+                q = np.trunc(a.astype(np.float64) / bb.astype(np.float64))
+                out = (a - q.astype(dtype) * bb).astype(dtype)
+            else:
+                out = np.fmod(a, b)
+        elif op == "<<":
+            out = a << (b & (dtype.itemsize * 8 - 1))
+        elif op == ">>":
+            out = a >> (b & (dtype.itemsize * 8 - 1))
+        elif op == "&":
+            out = a & b
+        elif op == "|":
+            out = a | b
+        elif op == "^":
+            out = a ^ b
+        else:
+            raise SimulationError(f"unsupported operator {op!r}")
         return TypedValue(out, ctype)
 
     def _eval_unary(self, expr: UnaryOp, mask: np.ndarray) -> TypedValue:
@@ -812,8 +864,7 @@ class WarpInterpreter:
             out_t = arg.ctype if arg.ctype.base in ("float", "double") else FLOAT
             if name in ("abs",) and arg.ctype.base not in ("float", "double"):
                 out_t = arg.ctype
-            with np.errstate(all="ignore"):
-                vals = fn(arg.values.astype(np_dtype_for(out_t), copy=False))
+            vals = fn(arg.values.astype(np_dtype_for(out_t), copy=False))
             if sfu:
                 self.sfu_ops += 1
             else:
@@ -825,9 +876,8 @@ class WarpInterpreter:
             b = self._eval(expr.args[1], mask)
             ctype = promote(a.ctype, b.ctype)
             dtype = np_dtype_for(ctype)
-            with np.errstate(all="ignore"):
-                vals = fn(a.values.astype(dtype, copy=False),
-                          b.values.astype(dtype, copy=False))
+            vals = fn(a.values.astype(dtype, copy=False),
+                      b.values.astype(dtype, copy=False))
             if sfu:
                 self.sfu_ops += 1
             else:

@@ -8,6 +8,7 @@ assignment), builds per-TB warp interpreters, and runs them on the
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,6 +21,7 @@ from ..analysis.occupancy import (
 )
 from ..frontend.ast_nodes import CType, DeclStmt, FunctionDef, TranslationUnit, statements_in
 from .arch import GPUSpec, SMConfig
+from .compile import CompiledWarp, compile_kernel
 from .interp import (
     KernelArgs,
     SharedBlock,
@@ -29,8 +31,24 @@ from .interp import (
 )
 from .memory import GlobalMemory
 from .metrics import SMMetrics
+from .replay import record_block_streams
 
 Dim3 = tuple[int, int, int]
+
+# Engine selection knobs (also surfaced as CLI flags by the experiment
+# runner).  The closure-compiled engine is the default; the AST-walk
+# interpreter remains available as a reference implementation and fallback.
+ENGINE_ENV = "REPRO_SIM_ENGINE"   # "compiled" (default) | "interp"
+DEDUP_ENV = "REPRO_SIM_DEDUP"     # "1" (default) | "0"
+
+
+def _engine_choice() -> str:
+    value = os.environ.get(ENGINE_ENV, "compiled").strip().lower()
+    return value if value in ("compiled", "interp") else "compiled"
+
+
+def _dedup_enabled() -> bool:
+    return os.environ.get(DEDUP_ENV, "1").strip() != "0"
 
 
 def _as_dim3(value) -> Dim3:
@@ -50,6 +68,9 @@ class LaunchResult:
     grid: Dim3
     block: Dim3
     tbs_simulated: int
+    # Which execution engine produced the event streams: "interp",
+    # "compiled", or "compiled+dedup" (widened homogeneous-block replay).
+    engine: str = "interp"
 
     @property
     def cycles(self) -> int:
@@ -153,19 +174,61 @@ def launch_kernel(
     layout = shared_layout_of(kernel, dynamic_bytes=shared_bytes)
     kargs = KernelArgs(tuple(args))
 
-    def warp_factory(tb_id: int):
-        bx = tb_id % grid3[0]
-        by = (tb_id // grid3[0]) % grid3[1]
-        bz = tb_id // (grid3[0] * grid3[1])
-        shared = SharedBlock(max(occ.shared_usage_tb, 1))
-        gens = []
-        for w in range(warps_per_tb):
-            interp = WarpInterpreter(
-                unit, kernel, memory, shared, layout, kargs,
-                (bx, by, bz), block3, grid3, w,
+    # Engine selection: closure-compile once per launch, falling back to the
+    # AST walk when the kernel uses a construct the compiler does not cover.
+    engine_used = "interp"
+    compiled = None
+    if _engine_choice() == "compiled":
+        try:
+            compiled = compile_kernel(unit, kernel_name)
+            engine_used = "compiled"
+        except (SimulationError, NotImplementedError):
+            compiled = None
+
+    # Homogeneous-block dedup: when the launch provably has no cross-thread
+    # memory dependences, execute every (TB, warp) slot in widened lockstep
+    # once and replay the recorded per-warp event streams into the timing
+    # engine.  Any launch with more than one slot benefits — many TBs, or a
+    # single TB with many warps.
+    dedup_streams = None
+    if compiled is not None and _dedup_enabled() \
+            and total_tbs * warps_per_tb > 1:
+        from ..analysis.dataflow import block_homogeneity
+
+        if block_homogeneity(kernel, block3, grid3, kargs.bindings,
+                             memory).eligible:
+            dedup_streams = record_block_streams(
+                unit, kernel, memory, layout,
+                max(occ.shared_usage_tb, 1), kargs, grid3, block3,
+                warps_per_tb,
             )
-            gens.append(interp.run())
-        return gens
+            engine_used = "compiled+dedup"
+
+    if dedup_streams is not None:
+        def warp_factory(tb_id: int):
+            return [iter(dedup_streams[tb_id][w])
+                    for w in range(warps_per_tb)]
+    else:
+        def warp_factory(tb_id: int):
+            bx = tb_id % grid3[0]
+            by = (tb_id // grid3[0]) % grid3[1]
+            bz = tb_id // (grid3[0] * grid3[1])
+            shared = SharedBlock(max(occ.shared_usage_tb, 1))
+            gens = []
+            for w in range(warps_per_tb):
+                if compiled is not None:
+                    warp = CompiledWarp(
+                        unit, kernel, memory, shared, layout, kargs,
+                        (bx, by, bz), block3, grid3, w,
+                    )
+                    gens.append(warp.run_compiled(compiled))
+                else:
+                    interp = WarpInterpreter(
+                        unit, kernel, memory, shared, layout, kargs,
+                        (bx, by, bz), block3, grid3, w,
+                    )
+                    gens.append(interp.run())
+            return gens
 
     engine = SMEngine(spec, config, scheduler=scheduler, metrics=metrics,
                       governor=governor, l1_bypass=l1_bypass)
@@ -173,14 +236,17 @@ def launch_kernel(
 
     # Functionally execute the TBs not assigned to the simulated SM (or cut
     # by max_tbs) so device memory holds the full kernel result.  They do not
-    # contribute to timing — other SMs run them "in parallel".
-    timed = set(tb_ids)
-    for tb_id in range(total_tbs):
-        if tb_id in timed:
-            continue
-        for gen in warp_factory(tb_id):
-            for _ in gen:
-                pass
+    # contribute to timing — other SMs run them "in parallel".  The widened
+    # dedup pass already performed every TB's memory effects exactly once,
+    # so it must not (and does not) re-execute anything here.
+    if dedup_streams is None:
+        timed = set(tb_ids)
+        for tb_id in range(total_tbs):
+            if tb_id in timed:
+                continue
+            for gen in warp_factory(tb_id):
+                for _ in gen:
+                    pass
 
     return LaunchResult(
         kernel_name=kernel_name,
@@ -189,6 +255,7 @@ def launch_kernel(
         grid=grid3,
         block=block3,
         tbs_simulated=len(tb_ids),
+        engine=engine_used,
     )
 
 

@@ -79,7 +79,7 @@ class GlobalMemory:
         hi = int(addresses.max())
         if hi + itemsize <= alloc.end:
             # Fast path: the whole access hits a single allocation.
-            return self._one_alloc(alloc, addresses, dtype, values)
+            return self._one_alloc(alloc, addresses, dtype, values, lo, hi)
         # Slow path: split per allocation (cross-array warp access).
         out = np.empty(addresses.shape, dtype=dtype) if values is None else None
         idx = np.searchsorted(self._starts, addresses, side="right") - 1
@@ -95,10 +95,17 @@ class GlobalMemory:
         return out
 
     def _one_alloc(self, alloc: Allocation, addresses: np.ndarray,
-                   dtype: np.dtype, values: np.ndarray | None):
+                   dtype: np.dtype, values: np.ndarray | None,
+                   lo: int | None = None, hi: int | None = None):
         itemsize = np.dtype(dtype).itemsize
         offsets = addresses - alloc.start
-        if int(offsets.min()) < 0 or int(offsets.max()) + itemsize > alloc.size:
+        # The caller may pass the address extrema it already computed so the
+        # bounds check needs no extra reductions over the lane vector.
+        if lo is None:
+            lo = int(addresses.min())
+        if hi is None:
+            hi = int(addresses.max())
+        if lo < alloc.start or hi - alloc.start + itemsize > alloc.size:
             raise MemoryError_(
                 f"access outside allocation [{alloc.start:#x}, {alloc.end:#x})"
             )

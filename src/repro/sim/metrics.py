@@ -23,7 +23,9 @@ class MemTrace:
         self.points: list[tuple[int, int]] = []
 
     def record(self, transactions: int) -> None:
-        if self.seq % self.stride == 0:
+        # stride is always a power of two (starts at 1, only ever doubles),
+        # so the decimation test is a bitmask, not a modulo.
+        if not (self.seq & (self.stride - 1)):
             self.points.append((self.seq, transactions))
             if len(self.points) >= self.max_points:
                 # Keep every other point and double the stride.

@@ -26,7 +26,7 @@ from typing import Callable, Iterator
 
 from .arch import GPUSpec, SMConfig
 from .cache import Cache
-from .coalescer import coalesce
+from .coalescer import coalesce_lines
 from .events import ComputeEvent, MemEvent, SyncEvent
 from .metrics import SMMetrics
 
@@ -135,41 +135,54 @@ class SMEngine:
         while pending and len(active) < resident_limit:
             activate(pending.pop(0), 0.0)
 
+        # Hot loop: one iteration per issued event.  Dispatch is on exact
+        # event class (events are final), method lookups are hoisted, and
+        # the GTO tie-break is inlined.
+        gto = self.scheduler == "gto"
+        governor = self.governor
+        do_compute = self._do_compute
+        do_mem = self._do_mem
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         while heap:
-            ready, _tie, slot_idx = heapq.heappop(heap)
+            ready, _tie, slot_idx = heappop(heap)
             warp = slots[slot_idx]
             if warp.done or warp.at_barrier or warp.ready != ready:
                 continue  # stale heap entry
-            if warp.tb_index in self.paused_tbs:
+            if self.paused_tbs and warp.tb_index in self.paused_tbs:
                 live_tbs = {s.tb_index for s in slots if not s.done}
                 if live_tbs <= self.paused_tbs:
                     self.paused_tbs.clear()  # never let pausing deadlock
                 else:
                     # Governor-paused TB: defer this warp by one quantum.
                     warp.ready = max(self.now, ready) + self.pause_quantum
-                    heapq.heappush(heap, (warp.ready, self._tie(warp), slot_idx))
+                    heappush(heap, (warp.ready, self._tie(warp), slot_idx))
                     continue
-            self.now = max(self.now, ready)
-            if self.governor is not None:
+            if ready > self.now:
+                self.now = ready
+            if governor is not None:
                 self._events_since_governor += 1
                 if self._events_since_governor >= self.governor_period:
                     self._events_since_governor = 0
-                    self.governor(self)
+                    governor(self)
             try:
                 event = next(warp.gen)
             except StopIteration:
                 self._retire_warp(warp, active, pending, activate, heap, slots)
                 continue
-            if isinstance(event, ComputeEvent):
-                self._do_compute(warp, event)
-            elif isinstance(event, MemEvent):
-                self._do_mem(warp, event)
-            elif isinstance(event, SyncEvent):
+            cls = event.__class__
+            if cls is ComputeEvent:
+                do_compute(warp, event)
+            elif cls is MemEvent:
+                do_mem(warp, event)
+            elif cls is SyncEvent:
                 self._do_sync(warp, active[warp.tb_index], heap, slots)
                 continue  # parked; re-queued at barrier release
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown event {event!r}")
-            heapq.heappush(heap, (warp.ready, self._tie(warp), slot_idx))
+            heappush(
+                heap,
+                (warp.ready, warp.age if gto else self._tie(warp), slot_idx))
 
         self.metrics.cycles = int(max(self.now, self.issue_free))
         return self.metrics
@@ -198,80 +211,118 @@ class SMEngine:
     # ------------------------------------------------------------------
     def _do_compute(self, warp: WarpSlot, event: ComputeEvent) -> None:
         t = self.spec.timing
-        start = max(self.now, self.issue_free)
-        self.issue_free = start + event.ops * t.issue_cycles \
-            + event.sfu_ops * t.issue_cycles
-        latency = t.compute_cycles if event.ops else 0
-        if event.sfu_ops:
-            latency = max(latency, t.sfu_cycles)
-        warp.ready = self.issue_free + latency
-        self.metrics.instructions += event.ops + event.sfu_ops
+        start = self.issue_free
+        if start < self.now:
+            start = self.now
+        ops = event.ops
+        sfu = event.sfu_ops
+        self.issue_free = free = start + (ops + sfu) * t.issue_cycles
+        latency = t.compute_cycles if ops else 0
+        if sfu and t.sfu_cycles > latency:
+            latency = t.sfu_cycles
+        warp.ready = free + latency
+        self.metrics.instructions += ops + sfu
 
     def _do_mem(self, warp: WarpSlot, event: MemEvent) -> None:
+        # Hot path: one call per warp memory instruction.  Port-availability
+        # state is staged in locals (written back once) and two-way ``max``
+        # calls are spelled as comparisons; the queueing model itself is
+        # unchanged from the straightforward form.
         t = self.spec.timing
-        self.metrics.instructions += 1
-        self.metrics.warp_mem_insts += 1
-        start = max(self.now, self.issue_free)
-        if not event.write and len(warp.outstanding) >= t.mem_pipeline_depth:
+        m = self.metrics
+        m.instructions += 1
+        m.warp_mem_insts += 1
+        write = event.write
+        start = self.issue_free
+        if start < self.now:
+            start = self.now
+        if not write and len(warp.outstanding) >= t.mem_pipeline_depth:
             # MLP window full: the warp stalls on its oldest in-flight load.
             warp.outstanding.sort()
-            start = max(start, warp.outstanding.pop(0))
-        self.issue_free = start + t.issue_cycles
+            oldest = warp.outstanding.pop(0)
+            if oldest > start:
+                start = oldest
+        issue_cycles = t.issue_cycles
+        self.issue_free = start + issue_cycles
         if event.space == "shared":
-            self.metrics.shared_transactions += 1
-            warp.ready = start + (t.issue_cycles if event.write
-                                  else t.shared_latency)
+            m.shared_transactions += 1
+            warp.ready = start + (issue_cycles if write else t.shared_latency)
             return
-        lines = coalesce(event.addresses, event.access_size, self.spec.cache_line)
-        ntxn = int(lines.size)
-        self.metrics.mem_trace.record(ntxn)
-        if event.write:
-            self.metrics.global_store_transactions += ntxn
-        else:
-            self.metrics.global_load_transactions += ntxn
-        finish = start
-        lsu = max(self.lsu_free, start)
-        for line in lines.tolist():
-            txn_start = lsu
-            lsu += t.lsu_txn_cycles
-            if event.write:
-                hit = self.l1.write(line)
-                if hit:
+        lines = coalesce_lines(event.addresses, event.access_size,
+                               self.spec.cache_line)
+        ntxn = len(lines)
+        m.mem_trace.record(ntxn)
+        lsu = self.lsu_free
+        if lsu < start:
+            lsu = start
+        lsu_txn = t.lsu_txn_cycles
+        l2_txn = t.l2_txn_cycles
+        dram_txn = t.dram_txn_cycles
+        l2_free = self.l2_free
+        dram_free = self.dram_free
+        l2_access = self.l2.access
+        dram_txns = 0
+        if write:
+            m.global_store_transactions += ntxn
+            l1_write = self.l1.write
+            hits = misses = 0
+            for line in lines:
+                txn_start = lsu
+                lsu += lsu_txn
+                if l1_write(line):
                     # Store hit: coalesces into the resident line; no
                     # downstream traffic (write-back behaviour).
-                    self.metrics.l1_store_hits += 1
+                    hits += 1
                     continue
-                self.metrics.l1_store_misses += 1
+                misses += 1
                 # Store miss: fire-and-forget past the LSU, but it consumes
                 # L2/DRAM bandwidth.
-                l2_start = max(self.l2_free, txn_start)
-                self.l2_free = l2_start + t.l2_txn_cycles
-                if not self.l2.access(line, write=True):
-                    dram_start = max(self.dram_free, l2_start)
-                    self.dram_free = dram_start + t.dram_txn_cycles
-                    self.metrics.dram_transactions += 1
-                continue
-            if not self.l1_bypass and self.l1.access(line):
-                done = txn_start + t.l1_latency
+                l2_start = l2_free if l2_free > txn_start else txn_start
+                l2_free = l2_start + l2_txn
+                if not l2_access(line, write=True):
+                    dram_start = dram_free if dram_free > l2_start else l2_start
+                    dram_free = dram_start + dram_txn
+                    dram_txns += 1
+            m.l1_store_hits += hits
+            m.l1_store_misses += misses
+            m.dram_transactions += dram_txns
+            self.lsu_free = lsu
+            self.l2_free = l2_free
+            self.dram_free = dram_free
+            warp.ready = self.issue_free
+            return
+        m.global_load_transactions += ntxn
+        l1_lat = t.l1_latency
+        l2_lat = t.l2_latency
+        dram_lat = t.dram_latency
+        bypass = self.l1_bypass
+        l1_access = self.l1.access
+        finish = start
+        for line in lines:
+            txn_start = lsu
+            lsu += lsu_txn
+            if not bypass and l1_access(line):
+                done = txn_start + l1_lat
             else:
-                l2_start = max(self.l2_free, txn_start)
-                self.l2_free = l2_start + t.l2_txn_cycles
-                if self.l2.access(line):
-                    done = l2_start + t.l2_latency
+                l2_start = l2_free if l2_free > txn_start else txn_start
+                l2_free = l2_start + l2_txn
+                if l2_access(line):
+                    done = l2_start + l2_lat
                 else:
-                    dram_start = max(self.dram_free, l2_start)
-                    self.dram_free = dram_start + t.dram_txn_cycles
-                    self.metrics.dram_transactions += 1
-                    done = dram_start + t.dram_latency
-            finish = max(finish, done)
+                    dram_start = dram_free if dram_free > l2_start else l2_start
+                    dram_free = dram_start + dram_txn
+                    dram_txns += 1
+                    done = dram_start + dram_lat
+            if done > finish:
+                finish = done
+        m.dram_transactions += dram_txns
         self.lsu_free = lsu
-        if event.write:
-            warp.ready = self.issue_free
-        else:
-            # The warp keeps issuing; it stalls later when its MLP window
-            # fills (see above) or at a barrier/retire drain point.
-            warp.outstanding.append(finish)
-            warp.ready = self.issue_free
+        self.l2_free = l2_free
+        self.dram_free = dram_free
+        # The warp keeps issuing; it stalls later when its MLP window
+        # fills (see above) or at a barrier/retire drain point.
+        warp.outstanding.append(finish)
+        warp.ready = self.issue_free
 
     def _do_sync(self, warp: WarpSlot, tb: TBSlot,
                  heap: list, slots: list[WarpSlot]) -> None:

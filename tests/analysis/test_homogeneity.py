@@ -1,0 +1,156 @@
+"""Block-homogeneity query unit tests.
+
+``block_homogeneity`` decides whether a launch may use widened-block dedup
+(:mod:`repro.sim.replay`): eligible exactly when no thread can observe a
+value written by a different thread.  GEMM/ATAX-style affine kernels
+qualify; atomics, scatter-through-loaded-index (BFS-style) and cross-thread
+shared-memory reads do not.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import block_homogeneity
+from repro.frontend import parse_kernel
+from repro.frontend.ast_nodes import CType
+
+BLOCK = (64, 1, 1)
+GRID = (4, 1, 1)
+
+
+def verdict(src, block=BLOCK, grid=GRID, scalars=None):
+    kernel = parse_kernel(src)
+    # Synthesize launch bindings: distinct, well-separated device addresses
+    # for pointers; scalar values from ``scalars`` (default 64).
+    args = []
+    addr = 0x1000
+    for p in kernel.params:
+        if p.type.is_pointer:
+            args.append((p.name, addr, p.type))
+            addr += 0x100000
+        else:
+            value = (scalars or {}).get(p.name, 64)
+            args.append((p.name, value, p.type))
+    return block_homogeneity(kernel, block, grid, tuple(args))
+
+
+def test_affine_elementwise_eligible():
+    r = verdict("""
+__global__ void k(float *a, float *b, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) a[i] = b[i] * 2.0f;
+}
+""", scalars={"n": 256})
+    assert r.eligible, r.reasons
+
+
+def test_gemm_style_loop_eligible():
+    r = verdict("""
+__global__ void k(float *a, float *b, float *c, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    float acc = 0.0f;
+    for (int j = 0; j < n; j++) {
+        acc += a[i * n + j] * b[j];
+    }
+    c[i] = acc;
+}
+""", scalars={"n": 64})
+    assert r.eligible, r.reasons
+
+
+def test_scatter_through_loaded_index_ineligible():
+    # BFS-style: the store address comes from data, so two threads may
+    # write different values to the same location — the winner depends on
+    # scheduling.  (Storing a compile-time literal to a never-loaded root
+    # is the one exempt scatter: identical bytes, observed by nobody.)
+    r = verdict("""
+__global__ void k(int *edges, int *out) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    out[edges[i]] = i;
+}
+""")
+    assert not r.eligible
+    assert r.reasons
+
+
+def test_constant_scatter_to_unread_root_eligible():
+    r = verdict("""
+__global__ void k(int *edges, int *out) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    out[edges[i]] = 1;
+}
+""")
+    assert r.eligible, r.reasons
+
+
+def test_atomic_ineligible():
+    r = verdict("""
+__global__ void k(float *a, float *sum) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    atomicAdd(&sum[0], a[i]);
+}
+""")
+    assert not r.eligible
+
+
+def test_cross_thread_shared_read_ineligible():
+    # Each thread reads its neighbour's shared slot: a real cross-thread
+    # data flow that lockstep widening would still get right *here*, but
+    # the analysis must reject the general shape.
+    r = verdict("""
+__global__ void k(float *a, float *b) {
+    __shared__ float buf[64];
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    buf[threadIdx.x] = a[i];
+    __syncthreads();
+    b[i] = buf[(threadIdx.x + 1) % 64];
+}
+""")
+    assert not r.eligible
+
+
+def test_own_slot_shared_roundtrip_eligible():
+    r = verdict("""
+__global__ void k(float *a, float *b) {
+    __shared__ float buf[64];
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    buf[threadIdx.x] = a[i];
+    __syncthreads();
+    b[i] = buf[threadIdx.x] * 2.0f;
+}
+""")
+    assert r.eligible, r.reasons
+
+
+def test_overlapping_stores_ineligible():
+    # All threads store to slot 0 with non-constant values: write-write
+    # races whose winner depends on scheduling.
+    r = verdict("""
+__global__ void k(float *a, float *b) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    b[0] = a[i];
+}
+""")
+    assert not r.eligible
+
+
+def test_constant_store_to_shared_slot_eligible():
+    # The CATT dummy-shared keep-alive pattern: every thread writes the
+    # same literal; overlap deposits identical bytes and nothing loads it.
+    r = verdict("""
+__global__ void k(float *a, float *b) {
+    __shared__ float dummy[1];
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    dummy[0] = 0.0f;
+    b[i] = a[i];
+}
+""")
+    assert r.eligible, r.reasons
+
+
+def test_report_is_truthy_on_eligible():
+    r = verdict("""
+__global__ void k(float *a) {
+    a[blockIdx.x * blockDim.x + threadIdx.x] = 1.0f;
+}
+""")
+    assert bool(r) is r.eligible is True

@@ -1,0 +1,88 @@
+"""Bench harness unit tests: payload formatting and the regression gate.
+
+The expensive measurement paths (``bench_engines``/``bench_sweep``) are
+exercised end-to-end by the CI perf-smoke job; here we pin the pure logic
+they feed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.bench import (
+    ENGINE_CONFIGS,
+    check_regression,
+    format_bench,
+)
+
+
+def payload(sweep_s=40.0, interp=70_000, compiled=100_000, dedup=125_000):
+    return {
+        "scale": "test",
+        "jobs": 2,
+        "engine_throughput": {
+            "interp": {"seconds": 1.0, "warp_instructions": interp,
+                       "warp_instructions_per_sec": interp},
+            "compiled": {"seconds": 1.0, "warp_instructions": compiled,
+                         "warp_instructions_per_sec": compiled,
+                         "speedup_vs_interp": round(compiled / interp, 2)},
+            "compiled+dedup": {"seconds": 1.0, "warp_instructions": dedup,
+                               "warp_instructions_per_sec": dedup,
+                               "speedup_vs_interp": round(dedup / interp, 2)},
+        },
+        "sweep": {"seconds": sweep_s, "cells": 99, "computed": 99,
+                  "degraded": 0, "jobs": 2,
+                  "seed_baseline_seconds": 129.8,
+                  "speedup_vs_seed": round(129.8 / sweep_s, 2)},
+    }
+
+
+@pytest.fixture
+def baseline_file(tmp_path):
+    path = tmp_path / "BENCH_baseline.json"
+    path.write_text(json.dumps(payload()))
+    return path
+
+
+def test_engine_configs_cover_all_three_paths():
+    labels = [label for label, _, _ in ENGINE_CONFIGS]
+    assert labels == ["interp", "compiled", "compiled+dedup"]
+
+
+def test_check_regression_passes_identical(baseline_file):
+    assert check_regression(payload(), baseline_file) == []
+
+
+def test_check_regression_tolerates_up_to_factor(baseline_file):
+    # 1.9x slower sweep and 1.9x lower throughput: within the 2x gate.
+    ok = payload(sweep_s=40.0 * 1.9, interp=int(70_000 / 1.9),
+                 compiled=int(100_000 / 1.9), dedup=int(125_000 / 1.9))
+    assert check_regression(ok, baseline_file) == []
+
+
+def test_check_regression_flags_slow_sweep(baseline_file):
+    bad = payload(sweep_s=40.0 * 2.5)
+    failures = check_regression(bad, baseline_file)
+    assert len(failures) == 1
+    assert "sweep wall-clock" in failures[0]
+
+
+def test_check_regression_flags_throughput_drop(baseline_file):
+    bad = payload(compiled=100_000 // 3)
+    failures = check_regression(bad, baseline_file)
+    assert any("compiled throughput" in f for f in failures)
+
+
+def test_check_regression_custom_factor(baseline_file):
+    bad = payload(sweep_s=40.0 * 1.5)
+    assert check_regression(bad, baseline_file) == []
+    assert check_regression(bad, baseline_file, factor=1.2)
+
+
+def test_format_bench_readable():
+    text = format_bench(payload())
+    assert "interp" in text and "compiled+dedup" in text
+    assert "3.24x" in text or "vs seed" in text
+    assert "99 cells" in text

@@ -119,3 +119,69 @@ def test_small_working_set_always_hits_after_warmup(addresses):
         hit = c.access(a)
         assert hit == (a in seen)
         seen.add(a)
+
+
+# ---------------------------------------------------------------------------
+# LRU edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_lru_order_under_repeated_rereference():
+    """Re-referencing must rotate the victim, not just refresh once: with a
+    4-way set, the eviction order tracks recency exactly."""
+    c = Cache(4 * 128, 128, 4, index_hash=False)  # one set, 4 ways
+    for a in (0, 1, 2, 3):
+        c.access(a)
+    # Recency now 0 < 1 < 2 < 3.  Touch 0 and 1 again -> victim becomes 2.
+    c.access(0)
+    c.access(1)
+    c.access(4)                     # evicts 2
+    assert not c.probe(2)
+    assert all(c.probe(a) for a in (0, 1, 3, 4))
+    c.access(5)                     # next victim is 3
+    assert not c.probe(3)
+    assert all(c.probe(a) for a in (0, 1, 4, 5))
+
+
+def test_single_set_degenerate_config():
+    """Capacity == one set: every address maps to set 0 and the cache
+    behaves as a recency list of ``assoc`` lines."""
+    c = Cache(2 * 128, 128, 2, index_hash=False)
+    assert c.num_sets == 1
+    # Wildly spread addresses still share the single set.
+    c.access(0)
+    c.access(10_000)
+    c.access(123_456)               # evicts 0
+    assert c.resident_lines() == 2
+    assert not c.probe(0)
+    assert c.probe(10_000) and c.probe(123_456)
+    assert c.stats.evictions == 1
+
+
+def test_hit_does_not_evict():
+    c = Cache(2 * 128, 128, 2, index_hash=False)
+    c.access(0)
+    c.access(1)
+    for _ in range(5):
+        c.access(0)
+        c.access(1)
+    assert c.stats.evictions == 0
+    assert c.resident_lines() == 2
+
+
+def test_cachestats_reset():
+    c = make()
+    c.access(0)
+    c.access(0)
+    c.write(0)
+    st_ = c.stats
+    assert (st_.accesses, st_.hits, st_.misses) == (2, 1, 1)
+    st_.reset()
+    assert (st_.accesses, st_.hits, st_.misses, st_.evictions) == (0, 0, 0, 0)
+    assert st_.hit_rate == 0.0      # no division by zero after reset
+    c.write_stats.reset()
+    assert c.write_stats.accesses == 0
+    # Reset clears counters only — residency is untouched.
+    assert c.probe(0)
+    assert c.access(0)              # still a hit
+    assert c.stats.accesses == 1

@@ -1,0 +1,102 @@
+"""Coalescer unit tests: partial-warp masks, straddling, and the memo.
+
+The coalescer receives only the *active* lanes' addresses — partial warps
+(divergent branches, tail warps of a short launch) reach it as short
+address vectors.  These tests pin down that behaviour plus the
+content-keyed memo added for sweep replay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import coalescer
+from repro.sim.coalescer import coalesce, coalesce_lines, transactions_per_warp
+
+
+def addrs(*values):
+    return np.asarray(values, dtype=np.int64)
+
+
+def test_full_warp_unit_stride_is_one_line():
+    a = addrs(*(i * 4 for i in range(32)))   # 32 floats, 128 B
+    assert coalesce_lines(a, 4) == [0]
+    assert transactions_per_warp(a, 4) == 1
+
+
+def test_partial_warp_single_lane():
+    # One active lane (31 masked off) -> exactly one transaction.
+    assert coalesce_lines(addrs(256), 4) == [2]
+
+
+def test_partial_warp_half_mask():
+    # 16 active lanes with unit stride still fit one line.
+    a = addrs(*(i * 4 for i in range(16)))
+    assert coalesce_lines(a, 4) == [0]
+
+
+def test_partial_warp_divergent_lanes():
+    # 3 active lanes, each on its own line -> 3 transactions, sorted.
+    a = addrs(3 * 128, 0, 9 * 128)
+    assert coalesce_lines(a, 4) == [0, 3, 9]
+
+
+def test_partial_warp_matches_full_warp_subset():
+    """Masking lanes off can never *add* transactions: the partial warp's
+    lines are a subset of the full warp's."""
+    full = addrs(*(i * 64 for i in range(32)))    # stride 64 B: 16 lines
+    partial = full[::3]
+    assert set(coalesce_lines(partial, 4)) <= set(coalesce_lines(full, 4))
+
+
+def test_straddling_access_contributes_both_lines():
+    # An 8-byte access at 124 touches lines 0 and 1.
+    assert coalesce_lines(addrs(124), 8) == [0, 1]
+    # The same address with a 4-byte access does not straddle.
+    assert coalesce_lines(addrs(124), 4) == [0]
+
+
+def test_empty_mask_is_zero_transactions():
+    assert coalesce_lines(addrs(), 4) == []
+    assert transactions_per_warp(addrs(), 4) == 0
+
+
+def test_line_size_power_of_two_enforced():
+    with pytest.raises(ValueError):
+        coalesce_lines(addrs(1, 2, 3), 4, line_size=96)
+
+
+def test_coalesce_array_wrapper():
+    out = coalesce(addrs(0, 4, 256), 4)
+    assert out.dtype == np.int64
+    assert out.tolist() == [0, 2]
+
+
+# ---------------------------------------------------------------------------
+# Memo behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_memo_hit_returns_same_result_object():
+    a = addrs(0, 4, 8, 700)
+    first = coalesce_lines(a, 4)
+    again = coalesce_lines(addrs(0, 4, 8, 700), 4)  # equal content, new array
+    assert again is first            # served from the memo
+
+
+def test_memo_distinguishes_access_and_line_size():
+    a = addrs(124)
+    assert coalesce_lines(a, 4) == [0]
+    assert coalesce_lines(a, 8) == [0, 1]            # not the 4-byte entry
+    assert coalesce_lines(a, 4, line_size=64) == [1]
+
+
+def test_memo_limit_clears_wholesale(monkeypatch):
+    monkeypatch.setattr(coalescer, "_CACHE", {})
+    monkeypatch.setattr(coalescer, "_CACHE_LIMIT", 4)
+    for i in range(4):
+        coalesce_lines(addrs(i * 128), 4)
+    assert len(coalescer._CACHE) == 4
+    coalesce_lines(addrs(999 * 128), 4)              # triggers the clear
+    assert len(coalescer._CACHE) == 1
+    # Results stay correct straight after the clear.
+    assert coalesce_lines(addrs(0), 4) == [0]

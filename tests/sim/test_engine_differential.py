@@ -1,0 +1,62 @@
+"""Differential gate: closure-compiled engine vs AST-walk interpreter.
+
+For every workload in the registry at test scale, the closure-compiled
+engine — with and without homogeneous-block dedup — must produce
+bit-identical functional results (``verify`` recomputes the kernel on the
+host and compares the device buffers) and identical cache/IPC metrics to
+the reference AST-walk interpreter.  This is the acceptance gate for the
+compiled engine: any divergence in cycles, hit rates, transaction counts
+or verified output fails the corresponding app's test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.launch import DEDUP_ENV, ENGINE_ENV
+from repro.workloads import WORKLOADS, get_workload
+from repro.workloads.base import run_workload
+
+# label -> (REPRO_SIM_ENGINE, REPRO_SIM_DEDUP)
+CONFIGS = {
+    "interp": ("interp", "0"),
+    "compiled": ("compiled", "0"),
+    "compiled+dedup": ("compiled", "1"),
+}
+
+
+def _run(app: str, monkeypatch, label: str):
+    engine, dedup = CONFIGS[label]
+    monkeypatch.setenv(ENGINE_ENV, engine)
+    monkeypatch.setenv(DEDUP_ENV, dedup)
+    run = run_workload(get_workload(app, scale="test"))
+    signature = [
+        (r.kernel_name, tuple(sorted(r.metrics.summary().items())))
+        for r in run.results
+    ]
+    engines = {r.engine for r in run.results}
+    return signature, run.verified, engines
+
+
+@pytest.mark.parametrize("app", sorted(WORKLOADS))
+def test_compiled_engine_matches_interpreter(app, monkeypatch):
+    ref_sig, ref_verified, ref_engines = _run(app, monkeypatch, "interp")
+    assert ref_verified is True
+    assert ref_engines == {"interp"}
+
+    for label in ("compiled", "compiled+dedup"):
+        sig, verified, engines = _run(app, monkeypatch, label)
+        assert sig == ref_sig, f"{app}: {label} metrics diverge from interp"
+        assert verified is True, f"{app}: {label} functional results diverge"
+        # The compiled configurations must actually exercise the compiled
+        # path — a silent fallback to the interpreter would let the perf
+        # path rot while this gate stays green.
+        assert "interp" not in engines, (
+            f"{app}: {label} fell back to the interpreter"
+        )
+
+
+def test_dedup_engine_label(monkeypatch):
+    """A dedup-eligible multi-TB app reports the widened-replay engine."""
+    _, _, engines = _run("ATAX", monkeypatch, "compiled+dedup")
+    assert "compiled+dedup" in engines
