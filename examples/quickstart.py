@@ -6,12 +6,17 @@ the L1D.  CATT's static analysis finds the footprint, picks a warp-throttling
 factor (Eq. 9), splits the loop into guarded warp groups (Fig. 4), and the
 simulator shows the L1D hit rate and execution time recovering.
 
+Everything goes through one :class:`repro.Session` — the typed facade over
+the whole pipeline.  Its :class:`repro.SimOptions` carries the engine/dedup
+knobs explicitly (no environment variables), and ``trace=True`` records a
+span tree of every phase, printed at the end.
+
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import Device, TITAN_V_SIM, catt_compile, format_analysis, parse
+from repro import Session, SimOptions, format_analysis
 
 SOURCE = """
 #define NX 1024
@@ -30,13 +35,12 @@ __global__ void atax_kernel1(float *A, float *x, float *tmp) {
 GRID, BLOCK = 4, 256
 
 
-def run(unit, label):
+def run(sess, unit, label):
     rng = np.random.default_rng(7)
     A = rng.standard_normal((1024, 192)).astype(np.float32)
     x = rng.standard_normal(192).astype(np.float32)
-    dev = Device(TITAN_V_SIM)
-    dA, dx, dtmp = dev.to_device(A), dev.to_device(x), dev.zeros(1024)
-    res = dev.launch(unit, "atax_kernel1", GRID, BLOCK, [dA, dx, dtmp])
+    dA, dx, dtmp = sess.to_device(A), sess.to_device(x), sess.zeros(1024)
+    res = sess.launch(unit, "atax_kernel1", GRID, BLOCK, [dA, dx, dtmp])
     np.testing.assert_allclose(dtmp.to_host(), A @ x, rtol=1e-3)
     print(f"{label:10s} cycles={res.cycles:>9,}  L1D hit rate={res.l1_hit_rate:6.1%}  "
           f"TLP=({res.occupancy.warps_per_tb} warps/TB x {res.occupancy.tb_sm} TBs)")
@@ -44,18 +48,23 @@ def run(unit, label):
 
 
 def main():
-    unit = parse(SOURCE)
+    sess = Session("max", SimOptions(engine="compiled", dedup=True,
+                                     trace=True, metrics=True))
+    unit = sess.compile(SOURCE)
 
     print("=== CATT static analysis ===")
-    comp = catt_compile(unit, {"atax_kernel1": (GRID, BLOCK)}, TITAN_V_SIM)
+    comp = sess.catt(unit, {"atax_kernel1": (GRID, BLOCK)})
     print(format_analysis(comp.transforms["atax_kernel1"].analysis))
     print()
 
     print("=== Simulated execution (1 SM of a Titan V) ===")
-    base = run(unit, "baseline")
-    catt = run(comp.unit, "CATT")
+    base = run(sess, unit, "baseline")
+    catt = run(sess, comp.unit, "CATT")
     print(f"\nCATT speedup: {base / catt:.2f}x  "
           f"(paper reports up to ~3x for individual CS kernels)")
+
+    print("\n=== Pipeline trace (Session(trace=True)) ===")
+    print(sess.render_trace())
 
 
 if __name__ == "__main__":

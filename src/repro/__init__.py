@@ -9,26 +9,39 @@ Layers
   throttling transforms and the :func:`catt_compile` pipeline;
 * :mod:`repro.sim` — the GPU simulator substrate (single-SM, event-driven);
 * :mod:`repro.runtime` — PyCUDA-style host API (`Device`, `DeviceArray`);
+* :mod:`repro.obs` — tracing/metrics/run-manifest observability layer;
+* :mod:`repro.api` — the :class:`Session` facade tying it all together;
 * :mod:`repro.workloads` — the Table-2 benchmark suite, scaled for simulation;
 * :mod:`repro.baselines` — BFTT / Best-SWL / DynCTA-style comparators;
 * :mod:`repro.experiments` — regenerators for every table and figure.
 
 Quickstart::
 
-    from repro import Device, catt_compile, TITAN_V_SIM
-    dev = Device(TITAN_V_SIM)
-    unit = dev.compile(CUDA_SOURCE)
-    comp = catt_compile(unit, {"my_kernel": (grid, block)}, TITAN_V_SIM)
-    result = dev.launch(comp.unit, "my_kernel", grid, block, args=[...])
+    from repro import Session, SimOptions
+
+    sess = Session("max", SimOptions(engine="compiled", dedup=True))
+    unit = sess.compile(CUDA_SOURCE)
+    comp = sess.catt(unit, {"my_kernel": (grid, block)})
+    result = sess.launch(comp.unit, "my_kernel", grid, block, args=[...])
+    print(result.cycles, result.l1_hit_rate)
+
+``SimOptions`` is the single source of truth for the engine/dedup/cache
+knobs; the legacy ``REPRO_SIM_ENGINE`` / ``REPRO_SIM_DEDUP`` / ``REPRO_CACHE``
+environment variables still work through a deprecation shim.  Enable
+``SimOptions(trace=True, metrics=True)`` (or run ``catt profile <app>``) to
+collect a Perfetto-loadable trace and a signed run manifest — see
+docs/OBSERVABILITY.md.
 """
 
 from .analysis import KernelAnalysis, analyze_kernel, format_analysis
+from .api import Session
 from .frontend import emit, parse, parse_kernel
+from .options import SimOptions, use_options
 from .runtime import Device, DeviceArray
 from .sim import TITAN_V, TITAN_V_32K, TITAN_V_SIM, TITAN_V_SIM_32K, GPUSpec
 from .transform import CattCompilation, catt_compile, force_throttle
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "KernelAnalysis",
@@ -39,6 +52,9 @@ __all__ = [
     "parse_kernel",
     "Device",
     "DeviceArray",
+    "Session",
+    "SimOptions",
+    "use_options",
     "TITAN_V",
     "TITAN_V_32K",
     "TITAN_V_SIM",

@@ -145,25 +145,32 @@ def analyze_kernel(
     budget degrades to "left untouched" (the paper's CORR posture) with
     ``budget_exhausted`` set on the analysis.
     """
+    from ..obs.trace import span
+
     kernel = unit.kernel(kernel_name)
     block3 = _as_dim3(block)
     grid3 = _as_dim3(grid) if grid is not None else None
     threads = block3[0] * block3[1] * block3[2]
 
     shared0 = shared_usage_bytes(kernel)
-    occ = compute_occupancy(
-        spec, threads, shared0, estimate_registers(kernel)
-    )
-    if grid3 is not None:
-        # Residency cannot exceed the grid's per-SM share (e.g. the paper's
-        # ATAX launches 4 TBs per SM even though occupancy allows more).
-        from dataclasses import replace
+    with span("analysis.occupancy", kernel=kernel_name) as sp:
+        occ = compute_occupancy(
+            spec, threads, shared0, estimate_registers(kernel)
+        )
+        if grid3 is not None:
+            # Residency cannot exceed the grid's per-SM share (e.g. the
+            # paper's ATAX launches 4 TBs per SM even though occupancy
+            # allows more).
+            from dataclasses import replace
 
-        total_tbs = grid3[0] * grid3[1] * grid3[2]
-        share = -(-total_tbs // spec.num_sms)
-        if share < occ.tb_sm:
-            occ = replace(occ, tb_sm=max(share, 1))
-    kernel_loops = find_loops(kernel, block_dim=block3, grid_dim=grid3)
+            total_tbs = grid3[0] * grid3[1] * grid3[2]
+            share = -(-total_tbs // spec.num_sms)
+            if share < occ.tb_sm:
+                occ = replace(occ, tb_sm=max(share, 1))
+        sp.set(warps_per_tb=occ.warps_per_tb, tb_sm=occ.tb_sm)
+    with span("analysis.loops", kernel=kernel_name) as sp:
+        kernel_loops = find_loops(kernel, block_dim=block3, grid_dim=grid3)
+        sp.set(loops=len(kernel_loops.loops))
 
     line = spec.cache_line
     l1d_lines_base = occ.l1d_bytes // line
@@ -180,33 +187,44 @@ def analyze_kernel(
     budget_hit: list[int] = []
     loops_by_id = {l.loop_id: l for l in kernel_loops.loops}
     for rec in kernel_loops.loops:
-        localities = classify_loop(rec, line)
-        reuse = loop_has_reuse(localities)
-        fp = loop_footprint(
-            rec, localities, occ.warps_per_tb, occ.tb_sm, block3, line,
-            loops_by_id=loops_by_id, irregular_req=irregular_req,
-        )
-        if reuse and localities:
-            try:
-                decision = find_throttle(fp, l1d_lines_for_tbs, budget=budget)
-            except BudgetExceededError:
-                # Out of search budget: leave the loop untouched, like the
-                # CORR case — never half-apply a throttling decision.
-                budget_hit.append(rec.loop_id)
+        with span("analysis.footprint", kernel=kernel_name,
+                  loop=rec.loop_id) as sp:
+            localities = classify_loop(rec, line)
+            reuse = loop_has_reuse(localities)
+            fp = loop_footprint(
+                rec, localities, occ.warps_per_tb, occ.tb_sm, block3, line,
+                loops_by_id=loops_by_id, irregular_req=irregular_req,
+            )
+            sp.set(reuse=reuse, size_req_lines=fp.size_req_lines)
+        with span("analysis.throttle", kernel=kernel_name,
+                  loop=rec.loop_id) as sp:
+            if reuse and localities:
+                try:
+                    decision = find_throttle(
+                        fp, l1d_lines_for_tbs, budget=budget
+                    )
+                except BudgetExceededError:
+                    # Out of search budget: leave the loop untouched, like
+                    # the CORR case — never half-apply a throttling decision.
+                    budget_hit.append(rec.loop_id)
+                    sp.set(budget_exhausted=True)
+                    decision = ThrottleDecision(
+                        loop_id=rec.loop_id, n=1, m=0,
+                        warps_per_tb=occ.warps_per_tb, tb_sm=occ.tb_sm,
+                        size_req_lines=fp.size_req_lines,
+                        l1d_lines=l1d_lines_base, fits=False, needed=True,
+                    )
+            else:
+                # No reuse to protect (or no off-chip accesses): never
+                # throttle.
                 decision = ThrottleDecision(
                     loop_id=rec.loop_id, n=1, m=0,
                     warps_per_tb=occ.warps_per_tb, tb_sm=occ.tb_sm,
                     size_req_lines=fp.size_req_lines,
-                    l1d_lines=l1d_lines_base, fits=False, needed=True,
+                    l1d_lines=l1d_lines_base, fits=True, needed=False,
                 )
-        else:
-            # No reuse to protect (or no off-chip accesses): never throttle.
-            decision = ThrottleDecision(
-                loop_id=rec.loop_id, n=1, m=0,
-                warps_per_tb=occ.warps_per_tb, tb_sm=occ.tb_sm,
-                size_req_lines=fp.size_req_lines,
-                l1d_lines=l1d_lines_base, fits=True, needed=False,
-            )
+            sp.set(needed=decision.needed, fits=decision.fits,
+                   n=decision.n, m=decision.m)
         analyses.append(LoopAnalysis(rec, localities, reuse, fp, decision))
 
     return KernelAnalysis(

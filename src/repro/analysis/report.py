@@ -60,3 +60,41 @@ def format_analysis(analysis: KernelAnalysis) -> str:
     for f in sorted(extra, key=lambda f: (f.code, f.line or 0)):
         lines.append(f"  {f}")
     return "\n".join(lines)
+
+
+def analysis_summary(analysis: KernelAnalysis) -> dict:
+    """JSON-serialisable digest of a :class:`KernelAnalysis`.
+
+    Used by run manifests (``catt profile``) so a trace artifact records the
+    compile-time decisions alongside the wall-clock phases.
+    """
+    occ = analysis.occupancy
+    loops = []
+    for la in analysis.loops:
+        dec = la.decision
+        loops.append({
+            "loop_id": la.loop_id,
+            "depth": la.record.depth,
+            "iterator": la.record.iterator,
+            "reuse": la.has_reuse,
+            "size_req_lines": la.footprint.size_req_lines,
+            "l1d_lines": dec.l1d_lines,
+            "needed": dec.needed,
+            "fits": dec.fits,
+            "n": dec.n,
+            "m": dec.m,
+            "tlp": list(dec.tlp),
+        })
+    return {
+        "kernel": analysis.kernel.name,
+        "block": list(analysis.block_dim),
+        "occupancy": {
+            "warps_per_tb": occ.warps_per_tb,
+            "tb_sm": occ.tb_sm,
+            "shared_carveout_kb": occ.shared_carveout_kb,
+            "l1d_bytes": occ.l1d_bytes,
+        },
+        "tb_m": analysis.tb_m,
+        "budget_exhausted_loops": list(analysis.budget_exhausted_loops),
+        "loops": loops,
+    }

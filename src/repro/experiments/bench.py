@@ -18,11 +18,11 @@ anything more than ``factor`` times slower.
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 
-from ..sim.launch import DEDUP_ENV, ENGINE_ENV
+from ..obs.trace import NULL_SPAN, Tracer, install as _install_tracer, span
+from ..options import SimOptions, use_options
 from ..workloads import get_workload
 from ..workloads.base import run_workload
 from .common import ResultCache
@@ -36,26 +36,27 @@ SEED_SWEEP_SECONDS = 129.8
 # CS app, one irregular app (falls back to per-warp execution), one CI app.
 PROBE_APPS = ("ATAX", "BFS", "BP")
 
-#: (label, REPRO_SIM_ENGINE, REPRO_SIM_DEDUP) rows measured by bench_engines.
+#: (label, engine, dedup) rows measured by bench_engines.
 ENGINE_CONFIGS = (
-    ("interp", "interp", "0"),
-    ("compiled", "compiled", "0"),
-    ("compiled+dedup", "compiled", "1"),
+    ("interp", "interp", False),
+    ("compiled", "compiled", False),
+    ("compiled+dedup", "compiled", True),
 )
 
+#: CI gate: observability instrumentation, *disabled*, may cost at most
+#: this percentage of a probe workload's wall clock.
+MAX_OBS_OVERHEAD_PCT = 3.0
 
-def _with_engine(engine: str, dedup: str, fn):
-    saved = {k: os.environ.get(k) for k in (ENGINE_ENV, DEDUP_ENV)}
-    os.environ[ENGINE_ENV] = engine
-    os.environ[DEDUP_ENV] = dedup
-    try:
+
+def _with_engine(engine: str, dedup: bool, fn):
+    """Run ``fn`` under an explicit engine configuration.
+
+    Replaced the old ``os.environ`` save/mutate/restore dance: options are
+    scoped through :func:`repro.options.use_options`, so nothing leaks and
+    nothing depends on fork-time environment inheritance.
+    """
+    with use_options(SimOptions(engine=engine, dedup=dedup)):
         return fn()
-    finally:
-        for k, v in saved.items():
-            if v is None:
-                os.environ.pop(k, None)
-            else:
-                os.environ[k] = v
 
 
 def bench_engines(scale: str = "test", apps: tuple[str, ...] = PROBE_APPS) -> dict:
@@ -126,6 +127,58 @@ def bench_sweep(scale: str = "test", jobs: int = 1) -> dict:
     return payload
 
 
+def bench_obs_overhead(scale: str = "test", app: str = "ATAX",
+                       calibration_calls: int = 200_000) -> dict:
+    """Measure the *disabled* observability overhead on a probe workload.
+
+    Three ingredients: (1) the cost of one disabled ``span()`` call,
+    timed over ``calibration_calls`` iterations; (2) the number of span
+    sites one probe workload actually hits, counted by temporarily
+    installing an enabled probe tracer; (3) the workload's wall clock with
+    observability disabled.  ``overhead_pct`` = sites x per-call cost /
+    wall clock — the number CI gates at :data:`MAX_OBS_OVERHEAD_PCT`.
+    """
+    def probe() -> None:
+        run_workload(get_workload(app, scale))
+
+    # (1) disabled per-call cost (span() checks one flag, returns NULL_SPAN).
+    t0 = time.perf_counter()
+    for _ in range(calibration_calls):
+        with span("bench.obs.calibration"):
+            pass
+    per_call = (time.perf_counter() - t0) / calibration_calls
+    assert span("bench.obs.calibration") is NULL_SPAN  # tracing stayed off
+
+    # (2) span sites hit by one probe run (probe tracer, then restored).
+    prev = _install_tracer(Tracer(enabled=True))
+    try:
+        probe()
+        probe_tracer = _install_tracer(prev)
+        n_spans = sum(
+            1 for root in probe_tracer.roots for _ in root.walk()
+        )
+    finally:
+        _install_tracer(prev)
+
+    # (3) wall clock with observability disabled.
+    t0 = time.perf_counter()
+    probe()
+    disabled_seconds = time.perf_counter() - t0
+
+    overhead_pct = (
+        100.0 * n_spans * per_call / disabled_seconds
+        if disabled_seconds else 0.0
+    )
+    return {
+        "app": app,
+        "span_sites": n_spans,
+        "disabled_per_call_ns": round(per_call * 1e9, 1),
+        "probe_seconds": round(disabled_seconds, 3),
+        "overhead_pct": round(overhead_pct, 4),
+        "max_overhead_pct": MAX_OBS_OVERHEAD_PCT,
+    }
+
+
 def run_bench(scale: str = "test", jobs: int = 1,
               out: str | Path | None = "BENCH_sim.json") -> dict:
     payload = {
@@ -133,9 +186,22 @@ def run_bench(scale: str = "test", jobs: int = 1,
         "jobs": jobs,
         "engine_throughput": bench_engines(scale),
         "sweep": bench_sweep(scale, jobs=jobs),
+        "obs_overhead": bench_obs_overhead(scale),
     }
     if out:
-        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+        out = Path(out)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        from ..obs.manifest import (
+            build_manifest,
+            manifest_path_for,
+            write_manifest,
+        )
+
+        manifest = build_manifest(
+            command=f"bench --scale {scale} --jobs {jobs}",
+            config={"scale": scale, "jobs": jobs},
+        )
+        write_manifest(manifest, manifest_path_for(out))
     return payload
 
 
@@ -165,20 +231,39 @@ def format_bench(payload: dict) -> str:
             f"vs seed AST-walk ({sweep['seed_baseline_seconds']:.1f}s): "
             f"{sweep['speedup_vs_seed']:.2f}x"
         )
+    obs = payload.get("obs_overhead")
+    if obs:
+        lines.append(
+            f"observability disabled overhead: {obs['overhead_pct']:.3f}% "
+            f"({obs['span_sites']} span sites x "
+            f"{obs['disabled_per_call_ns']:.0f}ns over "
+            f"{obs['probe_seconds']:.2f}s; gate "
+            f"{obs.get('max_overhead_pct', MAX_OBS_OVERHEAD_PCT):g}%)"
+        )
     return "\n".join(lines)
 
 
 def check_regression(payload: dict, baseline_path: str | Path,
-                     factor: float = 2.0) -> list[str]:
+                     factor: float = 2.0,
+                     max_overhead_pct: float = MAX_OBS_OVERHEAD_PCT
+                     ) -> list[str]:
     """Compare ``payload`` against a committed baseline.
 
     Returns human-readable failure strings for every metric more than
     ``factor`` times worse than the baseline (empty list = pass).  Only
     ratios are compared, so the gate tolerates absolute machine-speed
     differences between the commit host and CI runners up to ``factor``.
+    The observability gate is absolute: disabled-instrumentation overhead
+    (``obs_overhead.overhead_pct``) may not exceed ``max_overhead_pct``.
     """
     baseline = json.loads(Path(baseline_path).read_text())
     failures = []
+    obs_pct = payload.get("obs_overhead", {}).get("overhead_pct")
+    if obs_pct is not None and obs_pct > max_overhead_pct:
+        failures.append(
+            f"observability disabled overhead exceeds "
+            f"{max_overhead_pct:g}%: {obs_pct:.3f}%"
+        )
     b_sweep = baseline.get("sweep", {}).get("seconds")
     n_sweep = payload.get("sweep", {}).get("seconds")
     if b_sweep and n_sweep and n_sweep > factor * b_sweep:

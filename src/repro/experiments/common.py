@@ -17,6 +17,9 @@ from pathlib import Path
 
 from ..baselines.bftt import bftt_search
 from ..baselines.dyncta import run_with_dyncta
+from ..obs.metrics_registry import registry as _registry
+from ..obs.trace import span as _span
+from ..options import resolve_cache_path
 from ..sim.arch import TITAN_V_SIM, TITAN_V_SIM_32K, GPUSpec
 from ..transform import catt_compile
 from ..transform.diagnostics import E_SIM, Diagnostic
@@ -85,8 +88,8 @@ class ResultCache:
 
     def __init__(self, path: str | Path | None = None):
         if path is None:
-            path = os.environ.get(
-                "REPRO_CACHE", str(Path.cwd() / ".bench_cache" / "results.json")
+            path = resolve_cache_path(
+                str(Path.cwd() / ".bench_cache" / "results.json")
             )
         self.path = Path(path) if path else None
         self._mem: dict[str, AppResult] = {}
@@ -232,31 +235,53 @@ def run_app(
     spec = SPECS[spec_name]
     cache = cache or default_cache()
     key = ResultCache.key(app, scheme, spec_name, scale)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
+    with _span("experiment.cell", app=app, scheme=scheme, spec=spec_name,
+               scale=scale) as sp:
+        cached = cache.get(key)
+        if cached is not None:
+            sp.set(cached=True)
+            reg = _registry()
+            if reg.enabled:
+                reg.counter("experiment.cells.cached").inc()
+            return cached
 
-    t0 = time.perf_counter()
-    try:
-        result = _run_scheme(app, scheme, spec, spec_name, scale, verify)
-    except Exception as exc:
-        if on_error == "raise":
-            raise
-        diag = Diagnostic(
-            code=E_SIM, stage="sim",
-            message=f"({app}, {scheme}, {spec_name}, {scale}) failed: {exc}",
-            kernel=None, severity="error",
-            elapsed_seconds=time.perf_counter() - t0,
-            exception=repr(exc),
-        )
-        result = AppResult(
-            app, scheme, spec_name, scale, total_cycles=0, kernels={},
-            diagnostics=[diag.to_dict()], degraded=True,
-        )
-        cache.put_transient(key, result)
+        t0 = time.perf_counter()
+        try:
+            result = _run_scheme(app, scheme, spec, spec_name, scale, verify)
+        except Exception as exc:
+            if on_error == "raise":
+                raise
+            diag = Diagnostic(
+                code=E_SIM, stage="sim",
+                message=f"({app}, {scheme}, {spec_name}, {scale}) failed: "
+                        f"{exc}",
+                kernel=None, severity="error",
+                elapsed_seconds=time.perf_counter() - t0,
+                exception=repr(exc),
+            )
+            result = AppResult(
+                app, scheme, spec_name, scale, total_cycles=0, kernels={},
+                diagnostics=[diag.to_dict()], degraded=True,
+            )
+            cache.put_transient(key, result)
+            sp.set(cached=False, degraded=True)
+            _feed_cell_metrics(time.perf_counter() - t0, degraded=True)
+            return result
+        cache.put(key, result)
+        sp.set(cached=False, degraded=result.degraded,
+               cycles=result.total_cycles)
+        _feed_cell_metrics(time.perf_counter() - t0, degraded=result.degraded)
         return result
-    cache.put(key, result)
-    return result
+
+
+def _feed_cell_metrics(seconds: float, degraded: bool) -> None:
+    reg = _registry()
+    if not reg.enabled:
+        return
+    reg.counter("experiment.cells").inc()
+    if degraded:
+        reg.counter("experiment.cells.degraded").inc()
+    reg.histogram("experiment.cell.seconds").record(seconds)
 
 
 def _run_scheme(

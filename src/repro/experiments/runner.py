@@ -1,5 +1,5 @@
 """``catt`` CLI — regenerate any table/figure from the paper, inspect the
-analysis, or compile a kernel file.
+analysis, profile the pipeline, or compile a kernel file.
 
 Examples::
 
@@ -8,7 +8,15 @@ Examples::
     catt fig7 --scale bench
     catt analyze ATAX
     catt compile my_kernel.cu --kernel k --grid 4 --block 256 -o out.cu
-    catt all --scale test
+    catt all --scale test --jobs 4 --trace trace.json
+    catt profile ATAX --scale test -o profile_atax
+    catt trace profile_atax/trace.json
+
+Configuration flows through one resolved :class:`repro.SimOptions` per
+invocation (``--engine``, ``--no-dedup``, ``--jobs``, ``--trace``,
+``--metrics``); the deprecated ``REPRO_SIM_*`` environment variables are
+folded in exactly once, at option resolution — nothing mutates
+``os.environ`` anymore.
 """
 
 from __future__ import annotations
@@ -16,8 +24,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from ..analysis import analyze_kernel, format_analysis
+from ..obs.metrics_registry import registry
+from ..obs.trace import tracer
+from ..options import ENGINES, SimOptions, active_options, use_options
 from ..sim.arch import TITAN_V_SIM, TITAN_V_SIM_32K
 from ..workloads import WORKLOADS, get_workload, table2_rows
 
@@ -82,6 +94,134 @@ def _compile_file(args) -> str:
     return out_text
 
 
+# ---------------------------------------------------------------------------
+# Observability subcommands
+# ---------------------------------------------------------------------------
+
+
+def _profile(args, opts: SimOptions) -> str:
+    """``catt profile <app>``: trace the whole pipeline for one workload.
+
+    Runs the baseline and CATT schemes against a cold memory-only cache with
+    tracing + metrics enabled, then writes three artifacts to the output
+    directory: ``trace.json`` (Chrome ``trace_event``, Perfetto-loadable),
+    ``trace.jsonl`` (lossless archive), and ``manifest.json`` (signed run
+    manifest with per-phase wall clock, metrics, and the per-kernel analysis
+    decisions).  Prints the human-readable span tree.
+    """
+    from ..analysis.report import analysis_summary
+    from ..obs.exporters import render_tree, to_chrome_trace, to_jsonl
+    from ..obs.manifest import build_manifest, write_manifest
+    from .common import ResultCache, run_app
+
+    app, scale = args.app, args.scale
+    t, reg = tracer(), registry()
+    t.reset()
+    reg.reset()
+    cache = ResultCache("")
+    for scheme in ("baseline", "catt"):
+        run_app(app, scheme, scale=scale, cache=cache, on_error="raise")
+
+    wl = get_workload(app, scale)
+    unit = wl.unit()
+    summaries = [
+        analysis_summary(
+            analyze_kernel(unit, kernel, block, TITAN_V_SIM, grid=grid))
+        for kernel, (grid, block) in wl.launch_configs().items()
+    ]
+
+    spans = list(t.roots)
+    metrics = reg.snapshot()
+    out_dir = Path(args.output or f"profile_{app}")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "trace.json").write_text(
+        json.dumps(to_chrome_trace(spans, metrics,
+                                   process_name=f"catt profile {app}"),
+                   indent=2) + "\n")
+    (out_dir / "trace.jsonl").write_text(to_jsonl(spans))
+    manifest = build_manifest(
+        command=f"profile {app} --scale {scale}",
+        config={"app": app, "scale": scale, "options": opts.summary(),
+                "analysis": summaries},
+        spans=spans,
+        metrics=metrics,
+    )
+    write_manifest(manifest, out_dir / "manifest.json")
+
+    text = render_tree(spans, metrics)
+    text += (
+        f"\n\nwrote {out_dir / 'trace.json'} (Perfetto-loadable), "
+        f"{out_dir / 'trace.jsonl'}, {out_dir / 'manifest.json'}"
+    )
+    return text
+
+
+def _view_trace(path: str) -> str:
+    """``catt trace <file>``: render a saved trace artifact as a tree."""
+    from ..obs.exporters import from_chrome_trace, from_jsonl, render_tree
+
+    p = Path(path)
+    text = p.read_text()
+    if p.suffix == ".jsonl":
+        spans, metrics = from_jsonl(text), None
+    else:
+        payload = json.loads(text)
+        spans, metrics = from_chrome_trace(payload), payload.get("metrics")
+    return render_tree(spans, metrics)
+
+
+def _write_trace_artifacts(path: str, command: str, opts: SimOptions) -> None:
+    """Dump the global tracer/registry state for a ``--trace PATH`` run."""
+    from ..obs.exporters import to_chrome_trace, to_jsonl
+    from ..obs.manifest import build_manifest, manifest_path_for, write_manifest
+
+    t, reg = tracer(), registry()
+    spans = list(t.roots)
+    metrics = reg.snapshot() if reg.enabled else None
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    if p.suffix == ".jsonl":
+        p.write_text(to_jsonl(spans))
+    else:
+        p.write_text(json.dumps(
+            to_chrome_trace(spans, metrics, process_name=f"catt {command}"),
+            indent=2) + "\n")
+    manifest = build_manifest(
+        command=command,
+        config={"options": opts.summary()},
+        spans=spans,
+        metrics=metrics,
+    )
+    write_manifest(manifest, manifest_path_for(p))
+    print(f"wrote {p} and {manifest_path_for(p)}", file=sys.stderr)
+
+
+def _resolve_options(args) -> SimOptions:
+    """One resolved :class:`SimOptions` per invocation.
+
+    Explicit flags win; an already-active configuration (e.g. the outer
+    ``catt all`` driving per-figure sub-invocations, or a
+    :class:`repro.Session` embedding the CLI) is inherited; the deprecated
+    environment variables are folded in only when nothing is active.
+    """
+    overrides: dict = {}
+    if args.engine:
+        overrides["engine"] = args.engine
+    if args.no_dedup:
+        overrides["dedup"] = False
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    if args.trace or args.experiment == "profile":
+        overrides["trace"] = True
+        overrides["metrics"] = True
+    if args.metrics:
+        overrides["metrics"] = True
+    base = active_options()
+    if base is not None:
+        return base.replace(**overrides) if overrides else base
+    return SimOptions.from_env(**overrides)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="catt",
@@ -91,18 +231,28 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=["table2", "table3", "fig2", "fig3", "fig6", "fig7", "fig8",
                  "fig9", "fig10", "overhead", "analyze", "compile", "lint",
-                 "bench", "all"],
+                 "bench", "all", "profile", "trace"],
     )
     parser.add_argument("app", nargs="?",
-                        help="workload for 'analyze'/'lint' / source file "
-                             "for 'compile'")
+                        help="workload for 'analyze'/'lint'/'profile' / "
+                             "source file for 'compile' / trace file for "
+                             "'trace'")
     parser.add_argument("--scale", default="bench", choices=["bench", "test"])
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for the simulation sweep "
                              "('all' and 'bench')")
+    parser.add_argument("--engine", choices=list(ENGINES), default=None,
+                        help="simulator engine (default: compiled)")
     parser.add_argument("--no-dedup", action="store_true",
                         help="disable homogeneous-block dedup in the "
-                             "simulator (sets REPRO_SIM_DEDUP=0)")
+                             "simulator")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record a pipeline trace to PATH (.json = "
+                             "Chrome trace_event, .jsonl = JSON Lines) plus "
+                             "a signed run manifest next to it")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect simulator metrics (implied by --trace "
+                             "and 'profile')")
     parser.add_argument("--no-bftt", action="store_true",
                         help="skip the BFTT sweep (table3)")
     parser.add_argument("--json", metavar="PATH",
@@ -112,7 +262,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--block", type=int, default=256, help="compile: block size")
     parser.add_argument("--l1d", choices=["max", "32k"], default="max",
                         help="compile: L1D configuration")
-    parser.add_argument("-o", "--output", help="compile: output file")
+    parser.add_argument("-o", "--output",
+                        help="compile: output file / profile: output dir")
     parser.add_argument("--emit-ptx", metavar="PATH",
                         help="compile: also write PTX-like lowering")
     parser.add_argument("--baseline", metavar="PATH",
@@ -124,16 +275,37 @@ def main(argv: list[str] | None = None) -> int:
                         help="lint: write the current findings as a baseline")
     args = parser.parse_args(argv)
 
-    if args.no_dedup:
-        import os
+    opts = _resolve_options(args)
+    with use_options(opts):
+        t, reg = tracer(), registry()
+        prev_enabled = (t.enabled, reg.enabled)
+        t.enabled = t.enabled or opts.trace
+        reg.enabled = reg.enabled or opts.metrics
+        try:
+            code = _dispatch(args, parser, opts)
+            if args.trace and args.experiment not in ("profile", "trace"):
+                _write_trace_artifacts(args.trace, args.experiment, opts)
+            return code
+        finally:
+            t.enabled, reg.enabled = prev_enabled
 
-        os.environ["REPRO_SIM_DEDUP"] = "0"
 
+def _dispatch(args, parser, opts: SimOptions) -> int:
     data = None
     if args.experiment == "compile":
         if not args.app:
             parser.error("compile requires a source file")
         text = _compile_file(args)
+    elif args.experiment == "profile":
+        if not args.app or args.app not in WORKLOADS:
+            parser.error(f"profile requires a workload name from "
+                         f"{sorted(WORKLOADS)}")
+        text = _profile(args, opts)
+    elif args.experiment == "trace":
+        if not args.app:
+            parser.error("trace requires a trace file "
+                         "(.json or .jsonl, from --trace or 'profile')")
+        text = _view_trace(args.app)
     elif args.experiment == "lint":
         from .lint import run_lint
 
@@ -199,7 +371,7 @@ def main(argv: list[str] | None = None) -> int:
     elif args.experiment == "bench":
         from .bench import check_regression, format_bench, run_bench
 
-        payload = run_bench(scale=args.scale, jobs=args.jobs,
+        payload = run_bench(scale=args.scale, jobs=opts.jobs,
                             out=args.output or "BENCH_sim.json")
         print(format_bench(payload))
         if args.baseline:
@@ -209,17 +381,15 @@ def main(argv: list[str] | None = None) -> int:
             return 1 if failures else 0
         return 0
     else:  # all
-        if args.jobs > 1:
+        if opts.jobs > 1:
             # Populate the shared cache in parallel up front; the per-figure
             # builders below then run entirely against warm entries.
             from .sweep import all_cells, run_sweep
 
-            run_sweep(all_cells(args.scale), jobs=args.jobs)
-        chunks = []
+            run_sweep(all_cells(args.scale), jobs=opts.jobs, options=opts)
         for exp in ("table2", "table3", "fig2", "fig3", "fig6", "fig7",
                     "fig8", "fig9", "fig10", "overhead"):
-            chunks.append(main([exp, "--scale", args.scale]) or "")
-            chunks.append("")
+            main([exp, "--scale", args.scale])
         return 0
 
     print(text)

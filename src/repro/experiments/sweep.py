@@ -26,6 +26,9 @@ import multiprocessing as mp
 import time
 from dataclasses import dataclass
 
+from ..obs.metrics_registry import registry as _registry
+from ..obs.trace import span as _span, tracer as _tracer
+from ..options import SimOptions, active_options, set_active_options
 from ..workloads import CI_GROUP, CS_GROUP
 from .common import AppResult, ResultCache, default_cache, run_app
 
@@ -52,11 +55,48 @@ def all_cells(scale: str = "bench") -> list[Cell]:
     return sorted(set(cells))
 
 
-def _run_cell(cell: Cell) -> tuple[Cell, AppResult]:
-    """Worker entry point: simulate one cell against a memory-only cache."""
+_IN_WORKER = False
+
+
+def _init_worker(options: SimOptions | None, trace_on: bool,
+                 metrics_on: bool) -> None:
+    """Pool initializer: carry the parent's resolved configuration over.
+
+    This replaces the old reliance on fork-time environment inheritance —
+    it works under any start method and keeps :func:`repro.options.
+    current_options` the single source of truth inside workers too.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    set_active_options(options)
+    t = _tracer()
+    t.reset()
+    t.enabled = trace_on
+    reg = _registry()
+    reg.reset()
+    reg.enabled = metrics_on
+
+
+def _run_cell(cell: Cell) -> tuple[Cell, AppResult, dict | None]:
+    """Worker entry point: simulate one cell against a memory-only cache.
+
+    In a pool worker the third element carries the cell's observability
+    payload (drained spans + a metrics snapshot) back to the parent, which
+    adopts them in caller order — deterministic, like the cache merge.
+    """
     app, scheme, spec, scale = cell
     result = run_app(app, scheme, spec, scale, cache=ResultCache(""))
-    return cell, result
+    obs = None
+    if _IN_WORKER:
+        t, reg = _tracer(), _registry()
+        if t.enabled or reg.enabled:
+            obs = {
+                "spans": t.drain() if t.enabled else [],
+                "metrics": reg.snapshot() if reg.enabled else None,
+            }
+            if reg.enabled:
+                reg.reset()
+    return cell, result, obs
 
 
 @dataclass
@@ -75,43 +115,67 @@ def run_sweep(
     cells: list[Cell],
     jobs: int = 1,
     cache: ResultCache | None = None,
+    options: SimOptions | None = None,
 ) -> SweepReport:
     """Populate ``cache`` with every cell in ``cells``.
 
     ``jobs > 1`` fans the uncached cells out over a process pool; the merge
     order (and therefore the cache file content) is identical to a
-    sequential run.  Workers inherit the parent's environment, so engine
-    knobs like ``REPRO_SIM_DEDUP=0`` apply to the whole sweep.
+    sequential run.  ``options`` (default: the currently active
+    :class:`SimOptions`) is shipped to every worker through the pool
+    initializer — no environment mutation, so the sweep behaves identically
+    under fork and spawn start methods.  Worker span/metric streams are
+    merged back in caller cell order, mirroring the single-writer cache
+    merge.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if options is None:
+        options = active_options()
     cache = cache or default_cache()
     cells = list(dict.fromkeys(cells))
     t0 = time.perf_counter()
-    todo = [c for c in cells if cache.get(ResultCache.key(*c)) is None]
-    results: dict[Cell, AppResult] = {}
-    if jobs > 1 and len(todo) > 1:
-        # fork inherits the warmed import state; fall back to spawn where
-        # fork is unavailable (it re-imports, which is only slower).
-        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-        ctx = mp.get_context(method)
-        with ctx.Pool(processes=min(jobs, len(todo))) as pool:
-            for cell, result in pool.imap_unordered(_run_cell, todo):
-                results[cell] = result
-    else:
-        for cell in todo:
-            results[cell] = _run_cell(cell)[1]
-    degraded = 0
-    for cell in cells:  # caller order, not completion order
-        result = results.get(cell)
-        if result is None:
-            continue  # served from cache
-        key = ResultCache.key(*cell)
-        if result.degraded:
-            degraded += 1
-            cache.put_transient(key, result)
+    with _span("experiment.sweep", cells=len(cells), jobs=jobs) as sp:
+        todo = [c for c in cells if cache.get(ResultCache.key(*c)) is None]
+        results: dict[Cell, AppResult] = {}
+        obs_by_cell: dict[Cell, dict | None] = {}
+        if jobs > 1 and len(todo) > 1:
+            # fork inherits the warmed import state; fall back to spawn where
+            # fork is unavailable (it re-imports, which is only slower).
+            method = ("fork" if "fork" in mp.get_all_start_methods()
+                      else "spawn")
+            ctx = mp.get_context(method)
+            initargs = (options, _tracer().enabled, _registry().enabled)
+            with ctx.Pool(processes=min(jobs, len(todo)),
+                          initializer=_init_worker,
+                          initargs=initargs) as pool:
+                for cell, result, *rest in pool.imap_unordered(_run_cell,
+                                                               todo):
+                    results[cell] = result
+                    obs_by_cell[cell] = rest[0] if rest else None
         else:
-            cache.put(key, result)
+            for cell in todo:
+                results[cell] = _run_cell(cell)[1]
+        degraded = 0
+        t, reg = _tracer(), _registry()
+        for cell in cells:  # caller order, not completion order
+            result = results.get(cell)
+            if result is None:
+                continue  # served from cache
+            obs = obs_by_cell.get(cell)
+            if obs:
+                if obs.get("spans"):
+                    t.adopt(obs["spans"])
+                if obs.get("metrics"):
+                    reg.merge(obs["metrics"])
+            key = ResultCache.key(*cell)
+            if result.degraded:
+                degraded += 1
+                cache.put_transient(key, result)
+            else:
+                cache.put(key, result)
+        sp.set(computed=len(todo), cached=len(cells) - len(todo),
+               degraded=degraded)
     return SweepReport(
         cells=len(cells),
         computed=len(todo),

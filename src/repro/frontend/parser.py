@@ -517,9 +517,14 @@ def _const_int(expr: Expr) -> int | None:
 
 def parse(source: str) -> TranslationUnit:
     """Preprocess, tokenize, and parse a CUDA-subset source string."""
-    expanded, defines = preprocess(source)
-    tokens = tokenize(expanded)
-    return Parser(tokens).parse_translation_unit(defines)
+    from ..obs.trace import span
+
+    with span("frontend.parse", source_bytes=len(source)) as sp:
+        expanded, defines = preprocess(source)
+        tokens = tokenize(expanded)
+        unit = Parser(tokens).parse_translation_unit(defines)
+        sp.set(tokens=len(tokens), kernels=len(unit.kernels()))
+        return unit
 
 
 def parse_kernel(source: str, name: str | None = None) -> FunctionDef:

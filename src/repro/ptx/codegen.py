@@ -527,8 +527,14 @@ class Lowerer:
 
 
 def lower_kernel(unit: TranslationUnit, kernel_name: str) -> PTXKernel:
-    return Lowerer(unit, unit.kernel(kernel_name)).lower()
+    from ..obs.trace import span
+
+    with span("ptx.lower", kernel=kernel_name):
+        return Lowerer(unit, unit.kernel(kernel_name)).lower()
 
 
 def lower_module(unit: TranslationUnit) -> PTXModule:
-    return PTXModule([Lowerer(unit, k).lower() for k in unit.kernels()])
+    from ..obs.trace import span
+
+    with span("ptx.lower_module", kernels=len(unit.kernels())):
+        return PTXModule([Lowerer(unit, k).lower() for k in unit.kernels()])

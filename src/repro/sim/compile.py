@@ -115,15 +115,24 @@ _cache = OrderedDict()
 def compile_kernel(unit: TranslationUnit, kernel_name: str,
                    nlanes: int = WARP_SIZE) -> CompiledKernel:
     """Lower ``kernel_name`` to closures (memoized per unit identity)."""
+    from ..obs.metrics_registry import registry
+    from ..obs.trace import span
+
+    reg = registry()
     key = (id(unit), kernel_name, nlanes)
     hit = _cache.get(key)
     if hit is not None and hit[0] is unit:
         _cache.move_to_end(key)
+        if reg.enabled:
+            reg.counter("sim.compile.cache_hits").inc()
         return hit[1]
-    kernel = unit.kernel(kernel_name)
-    compiled = CompiledKernel(
-        kernel, nlanes, _Compiler(unit, nlanes).stmt(kernel.body)
-    )
+    if reg.enabled:
+        reg.counter("sim.compile.cache_misses").inc()
+    with span("sim.compile.lower", kernel=kernel_name, nlanes=nlanes):
+        kernel = unit.kernel(kernel_name)
+        compiled = CompiledKernel(
+            kernel, nlanes, _Compiler(unit, nlanes).stmt(kernel.body)
+        )
     _cache[key] = (unit, compiled)
     while len(_cache) > _CACHE_LIMIT:
         _cache.popitem(last=False)

@@ -8,7 +8,6 @@ assignment), builds per-TB warp interpreters, and runs them on the
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,6 +19,14 @@ from ..analysis.occupancy import (
     shared_usage_bytes,
 )
 from ..frontend.ast_nodes import CType, DeclStmt, FunctionDef, TranslationUnit, statements_in
+from ..obs.metrics_registry import registry as _metrics_registry
+from ..obs.trace import span as _span
+# Engine selection resolves through SimOptions (repro.options): explicitly
+# activated options win (the Session / CLI path); otherwise the deprecated
+# REPRO_SIM_ENGINE / REPRO_SIM_DEDUP environment variables are shimmed
+# through with a DeprecationWarning.  ENGINE_ENV / DEDUP_ENV are re-exported
+# here for backward compatibility.
+from ..options import DEDUP_ENV, ENGINE_ENV, current_options  # noqa: F401
 from .arch import GPUSpec, SMConfig
 from .compile import CompiledWarp, compile_kernel
 from .interp import (
@@ -35,20 +42,13 @@ from .replay import record_block_streams
 
 Dim3 = tuple[int, int, int]
 
-# Engine selection knobs (also surfaced as CLI flags by the experiment
-# runner).  The closure-compiled engine is the default; the AST-walk
-# interpreter remains available as a reference implementation and fallback.
-ENGINE_ENV = "REPRO_SIM_ENGINE"   # "compiled" (default) | "interp"
-DEDUP_ENV = "REPRO_SIM_DEDUP"     # "1" (default) | "0"
-
 
 def _engine_choice() -> str:
-    value = os.environ.get(ENGINE_ENV, "compiled").strip().lower()
-    return value if value in ("compiled", "interp") else "compiled"
+    return current_options().engine
 
 
 def _dedup_enabled() -> bool:
-    return os.environ.get(DEDUP_ENV, "1").strip() != "0"
+    return current_options().dedup
 
 
 def _as_dim3(value) -> Dim3:
@@ -132,13 +132,7 @@ def launch_kernel(
     args: list[tuple[str, float | int, CType]],
     memory: GlobalMemory,
     spec: GPUSpec,
-    scheduler: str = "gto",
-    max_tbs: int | None = None,
-    carveout_kb: int | None = None,
-    metrics: SMMetrics | None = None,
-    governor=None,
-    l1_bypass: bool = False,
-    shared_bytes: int = 0,
+    **kwargs,
 ) -> LaunchResult:
     """Simulate one kernel launch on SM 0.
 
@@ -148,6 +142,67 @@ def launch_kernel(
     ``spec.num_sms``; ``max_tbs`` optionally caps the simulated TB count (for
     quick tests).  ``carveout_kb`` overrides the Eq.-4 carveout choice.
     """
+    with _span("sim.launch", kernel=kernel_name) as sp:
+        result = _launch_kernel(unit, kernel_name, grid, block, args, memory,
+                                spec, **kwargs)
+        sp.set(engine=result.engine, cycles=result.cycles,
+               tbs=result.tbs_simulated)
+        return result
+
+
+def _feed_launch_metrics(m: SMMetrics, engine, engine_used: str,
+                         dedup_slots: int) -> None:
+    """Publish one launch's aggregate counters into the metrics registry.
+
+    Called once per launch (never inside the event loop), so the disabled
+    cost is a single ``enabled`` check.
+    """
+    reg = _metrics_registry()
+    if not reg.enabled:
+        return
+    c = reg.counter
+    c("sim.launches").inc()
+    c(f"sim.engine.{engine_used}").inc()
+    c("sim.cycles").inc(m.cycles)
+    c("sim.instructions").inc(m.instructions)
+    c("sim.l1.load.hits").inc(m.l1_load.hits)
+    c("sim.l1.load.misses").inc(m.l1_load.misses)
+    c("sim.l1.load.evictions").inc(m.l1_load.evictions)
+    c("sim.l1.store.hits").inc(engine.l1.write_stats.hits)
+    c("sim.l1.store.misses").inc(engine.l1.write_stats.misses)
+    c("sim.l1.store.evictions").inc(engine.l1.write_stats.evictions)
+    c("sim.l2.load.hits").inc(m.l2_load.hits)
+    c("sim.l2.load.misses").inc(m.l2_load.misses)
+    c("sim.l2.load.evictions").inc(m.l2_load.evictions)
+    c("sim.coalescer.requests").inc(m.coalescer_requests)
+    c("sim.coalescer.transactions").inc(
+        m.global_load_transactions + m.global_store_transactions)
+    c("sim.dram.transactions").inc(m.dram_transactions)
+    c("sim.barriers").inc(m.barriers)
+    if dedup_slots:
+        # Slots whose execution was collapsed into the widened pass: the
+        # replay savings the dedup engine buys.
+        c("sim.dedup.launches").inc()
+        c("sim.dedup.slots_replayed").inc(dedup_slots)
+    reg.histogram("sim.launch.cycles").record(m.cycles)
+
+
+def _launch_kernel(
+    unit: TranslationUnit,
+    kernel_name: str,
+    grid,
+    block,
+    args: list[tuple[str, float | int, CType]],
+    memory: GlobalMemory,
+    spec: GPUSpec,
+    scheduler: str = "gto",
+    max_tbs: int | None = None,
+    carveout_kb: int | None = None,
+    metrics: SMMetrics | None = None,
+    governor=None,
+    l1_bypass: bool = False,
+    shared_bytes: int = 0,
+) -> LaunchResult:
     from .sm import SMEngine  # local import to avoid cycles in tooling
 
     kernel = unit.kernel(kernel_name)
@@ -179,11 +234,12 @@ def launch_kernel(
     engine_used = "interp"
     compiled = None
     if _engine_choice() == "compiled":
-        try:
-            compiled = compile_kernel(unit, kernel_name)
-            engine_used = "compiled"
-        except (SimulationError, NotImplementedError):
-            compiled = None
+        with _span("sim.compile", kernel=kernel_name):
+            try:
+                compiled = compile_kernel(unit, kernel_name)
+                engine_used = "compiled"
+            except (SimulationError, NotImplementedError):
+                compiled = None
 
     # Homogeneous-block dedup: when the launch provably has no cross-thread
     # memory dependences, execute every (TB, warp) slot in widened lockstep
@@ -195,13 +251,18 @@ def launch_kernel(
             and total_tbs * warps_per_tb > 1:
         from ..analysis.dataflow import block_homogeneity
 
-        if block_homogeneity(kernel, block3, grid3, kargs.bindings,
-                             memory).eligible:
-            dedup_streams = record_block_streams(
-                unit, kernel, memory, layout,
-                max(occ.shared_usage_tb, 1), kargs, grid3, block3,
-                warps_per_tb,
-            )
+        with _span("sim.dedup.analyze", kernel=kernel_name) as _sp:
+            eligible = block_homogeneity(kernel, block3, grid3,
+                                         kargs.bindings, memory).eligible
+            _sp.set(eligible=eligible)
+        if eligible:
+            with _span("sim.dedup.record", kernel=kernel_name,
+                       tbs=total_tbs, warps_per_tb=warps_per_tb):
+                dedup_streams = record_block_streams(
+                    unit, kernel, memory, layout,
+                    max(occ.shared_usage_tb, 1), kargs, grid3, block3,
+                    warps_per_tb,
+                )
             engine_used = "compiled+dedup"
 
     if dedup_streams is not None:
@@ -232,7 +293,11 @@ def launch_kernel(
 
     engine = SMEngine(spec, config, scheduler=scheduler, metrics=metrics,
                       governor=governor, l1_bypass=l1_bypass)
-    result_metrics = engine.run(tb_ids, warp_factory, resident_limit=occ.tb_sm)
+    with _span("sim.engine", kernel=kernel_name, engine=engine_used,
+               tbs=len(tb_ids)) as _sp:
+        result_metrics = engine.run(tb_ids, warp_factory,
+                                    resident_limit=occ.tb_sm)
+        _sp.set(cycles=result_metrics.cycles)
 
     # Functionally execute the TBs not assigned to the simulated SM (or cut
     # by max_tbs) so device memory holds the full kernel result.  They do not
@@ -241,12 +306,18 @@ def launch_kernel(
     # so it must not (and does not) re-execute anything here.
     if dedup_streams is None:
         timed = set(tb_ids)
-        for tb_id in range(total_tbs):
-            if tb_id in timed:
-                continue
-            for gen in warp_factory(tb_id):
-                for _ in gen:
-                    pass
+        if len(timed) < total_tbs:
+            with _span("sim.shadow_exec", kernel=kernel_name,
+                       tbs=total_tbs - len(timed)):
+                for tb_id in range(total_tbs):
+                    if tb_id in timed:
+                        continue
+                    for gen in warp_factory(tb_id):
+                        for _ in gen:
+                            pass
+
+    _feed_launch_metrics(result_metrics, engine, engine_used,
+                         total_tbs * warps_per_tb if dedup_streams else 0)
 
     return LaunchResult(
         kernel_name=kernel_name,

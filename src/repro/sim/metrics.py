@@ -46,6 +46,7 @@ class SMMetrics:
     cycles: int = 0
     instructions: int = 0
     warp_mem_insts: int = 0
+    coalescer_requests: int = 0   # off-chip warp accesses entering the coalescer
     global_load_transactions: int = 0
     global_store_transactions: int = 0
     shared_transactions: int = 0
@@ -71,8 +72,10 @@ class SMMetrics:
             "cycles": self.cycles,
             "instructions": self.instructions,
             "warp_mem_insts": self.warp_mem_insts,
+            "coalescer_requests": self.coalescer_requests,
             "l1_hit_rate": round(self.l1_hit_rate, 4),
             "l2_hit_rate": round(self.l2_hit_rate, 4),
+            "l1_evictions": self.l1_load.evictions,
             "global_load_transactions": self.global_load_transactions,
             "global_store_transactions": self.global_store_transactions,
             "dram_transactions": self.dram_transactions,

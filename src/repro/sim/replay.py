@@ -323,17 +323,27 @@ def record_block_streams(
         [[] for _ in range(warps_per_tb)] for _ in range(total_tbs)
     ]
     # Chunk by whole TBs so every warp of a TB shares one WideShared row.
+    from ..obs.metrics_registry import registry as _registry
+    from ..obs.trace import span as _span
+
+    reg = _registry()
     tbs_per_chunk = max(max_wide_slots // warps_per_tb, 1)
+    if reg.enabled:
+        reg.counter("sim.dedup.wide_passes").inc(
+            -(-total_tbs // tbs_per_chunk))
+        reg.counter("sim.dedup.wide_lanes").inc(
+            total_tbs * warps_per_tb * WARP_SIZE)
     for chunk_start in range(0, total_tbs, tbs_per_chunk):
         chunk = block_idxs[chunk_start:chunk_start + tbs_per_chunk]
         ntbs = chunk.shape[0]
-        compiled = compile_kernel(unit, kernel.name,
-                                  nlanes=ntbs * warps_per_tb * WARP_SIZE)
-        shared = WideShared(ntbs, shared_capacity)
-        warp = WideWarp(unit, kernel, memory, shared, shared_layout,
-                        args, chunk, block, grid, warps_per_tb)
-        for _ in warp.run_compiled(compiled):
-            pass  # wide flushes record in place; nothing is yielded
+        with _span("sim.dedup.wide_pass", kernel=kernel.name, tbs=ntbs):
+            compiled = compile_kernel(unit, kernel.name,
+                                      nlanes=ntbs * warps_per_tb * WARP_SIZE)
+            shared = WideShared(ntbs, shared_capacity)
+            warp = WideWarp(unit, kernel, memory, shared, shared_layout,
+                            args, chunk, block, grid, warps_per_tb)
+            for _ in warp.run_compiled(compiled):
+                pass  # wide flushes record in place; nothing is yielded
         for slot in range(ntbs * warps_per_tb):
             streams[chunk_start + slot // warps_per_tb][
                 slot % warps_per_tb] = warp.streams[slot]

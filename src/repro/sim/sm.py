@@ -251,6 +251,7 @@ class SMEngine:
         lines = coalesce_lines(event.addresses, event.access_size,
                                self.spec.cache_line)
         ntxn = len(lines)
+        m.coalescer_requests += 1
         m.mem_trace.record(ntxn)
         lsu = self.lsu_free
         if lsu < start:

@@ -46,6 +46,7 @@ from ..analysis.throttle import SearchBudget, candidate_ns
 from ..errors import ThrottleSearchError, WarpSplitError
 from ..frontend.ast_nodes import FunctionDef, TranslationUnit
 from ..frontend.errors import FrontendError
+from ..obs.trace import span as _span
 from ..sim.arch import GPUSpec
 from ..testing.faults import check_fault
 from .diagnostics import (
@@ -169,6 +170,36 @@ def catt_compile(
     throttle search (wall clock + candidate count); on exhaustion the
     remaining work degrades to pass-through with ``CATT-W-BUDGET`` records.
     """
+    with _span("transform.pipeline", kernels=len(launches),
+               validate=validate, tiling=enable_tiling) as sp:
+        comp = _catt_compile(
+            unit, launches, spec, enable_tiling, irregular_req, resilient,
+            validate, budget, validate_seed,
+        )
+        sp.set(
+            transformed=sum(1 for t in comp.transforms.values()
+                            if t.transformed),
+            reverted=sum(1 for t in comp.transforms.values() if t.reverted),
+            diagnostics=len(comp.diagnostics.records),
+            errors=len(comp.diagnostics.errors),
+        )
+        if budget is not None:
+            sp.set(budget_candidates=budget.candidates_used,
+                   budget_expired=budget.expired)
+        return comp
+
+
+def _catt_compile(
+    unit: TranslationUnit,
+    launches: dict[str, tuple],
+    spec: GPUSpec,
+    enable_tiling: bool,
+    irregular_req: int,
+    resilient: bool,
+    validate: bool,
+    budget: SearchBudget | None,
+    validate_seed: int,
+) -> CattCompilation:
     from .tiling import try_tile_unresolvable
 
     log = DiagnosticLog()
@@ -199,10 +230,13 @@ def catt_compile(
 
         # -- stage: analysis ---------------------------------------------
         try:
-            check_fault("analysis", name)
-            analysis = analyze_kernel(out, name, block, spec, grid=grid,
-                                      irregular_req=irregular_req,
-                                      budget=budget)
+            with _span("transform.analysis", kernel=name) as asp:
+                check_fault("analysis", name)
+                analysis = analyze_kernel(out, name, block, spec, grid=grid,
+                                          irregular_req=irregular_req,
+                                          budget=budget)
+                asp.set(loops=len(analysis.loops),
+                        throttled=len(analysis.throttled_loops))
         except Exception as exc:
             if not resilient:
                 raise
@@ -242,96 +276,109 @@ def catt_compile(
 
         # -- stage: transform (Fig. 4 warp splits, per loop) -------------
         for la in _select_loops(analysis):
-            try:
-                check_fault("transform", f"{name}:loop{la.record.loop_id}")
-                kernel = split_loop_for_warp_groups(
-                    kernel,
-                    la.record.stmt,
-                    la.decision.n,
-                    analysis.occupancy.warps_per_tb,
-                    analysis.block_dim,
-                    spec.warp_size,
-                )
-            except WarpSplitError as exc:
-                # Expected degradation: the loop object was restructured by
-                # an earlier transform (tiling) — its footprint has changed
-                # anyway; skip this loop only.
-                log.emit(I_SKIP_LOOP, "transform",
-                         f"warp split skipped: {exc}", kernel=name,
-                         loop_id=la.record.loop_id)
-                continue
-            except Exception as exc:
-                if not resilient:
-                    raise
-                log.emit(E_TRANSFORM, "transform",
-                         f"warp split failed: {exc}", kernel=name,
-                         loop_id=la.record.loop_id, exc=exc)
-                continue
+            with _span("transform.warp_split", kernel=name,
+                       loop=la.record.loop_id, n=la.decision.n) as wsp:
+                try:
+                    check_fault("transform", f"{name}:loop{la.record.loop_id}")
+                    kernel = split_loop_for_warp_groups(
+                        kernel,
+                        la.record.stmt,
+                        la.decision.n,
+                        analysis.occupancy.warps_per_tb,
+                        analysis.block_dim,
+                        spec.warp_size,
+                    )
+                except WarpSplitError as exc:
+                    # Expected degradation: the loop object was restructured
+                    # by an earlier transform (tiling) — its footprint has
+                    # changed anyway; skip this loop only.
+                    log.emit(I_SKIP_LOOP, "transform",
+                             f"warp split skipped: {exc}", kernel=name,
+                             loop_id=la.record.loop_id)
+                    wsp.set(skipped=True)
+                    continue
+                except Exception as exc:
+                    if not resilient:
+                        raise
+                    log.emit(E_TRANSFORM, "transform",
+                             f"warp split failed: {exc}", kernel=name,
+                             loop_id=la.record.loop_id, exc=exc)
+                    wsp.set(failed=True)
+                    continue
             record.warp_splits.append((la.record.loop_id, la.decision.n))
 
         # -- stage: transform (Fig. 5 dummy shared) ----------------------
         tb_m = analysis.tb_m
         if tb_m > 0:
-            try:
-                check_fault("transform", f"{name}:tb")
-                plan = tb_throttle_plan(
-                    spec,
-                    shared_usage_bytes(out.kernel(name)),
-                    analysis.occupancy.tb_sm - tb_m,
-                )
-                if plan is not None and plan.dummy_bytes > 0:
-                    kernel = add_dummy_shared(kernel, plan.dummy_bytes)
-                    record.tb_plan = plan
-            except Exception as exc:
-                if not resilient:
-                    raise
-                log.emit(E_TRANSFORM, "transform",
-                         f"TB-level throttle failed: {exc}", kernel=name,
-                         exc=exc)
+            with _span("transform.tb_throttle", kernel=name, m=tb_m) as tsp:
+                try:
+                    check_fault("transform", f"{name}:tb")
+                    plan = tb_throttle_plan(
+                        spec,
+                        shared_usage_bytes(out.kernel(name)),
+                        analysis.occupancy.tb_sm - tb_m,
+                    )
+                    if plan is not None and plan.dummy_bytes > 0:
+                        kernel = add_dummy_shared(kernel, plan.dummy_bytes)
+                        record.tb_plan = plan
+                        tsp.set(dummy_bytes=plan.dummy_bytes,
+                                target_tbs=plan.target_tbs)
+                except Exception as exc:
+                    if not resilient:
+                        raise
+                    log.emit(E_TRANSFORM, "transform",
+                             f"TB-level throttle failed: {exc}", kernel=name,
+                             exc=exc)
 
         # -- stage: validate (static proof, then differential gate) ------
         if validate and record.changed:
-            # Statically proven-safe transforms skip the lockstep run: the
-            # semantic legality of every warp split plus a structural match
-            # against the Fig. 4/5 shape is a proof, not a spot check.
-            verdict = None
-            try:
-                from ..analysis.dataflow.safety import verify_transform_static
+            with _span("transform.validate", kernel=name) as vsp:
+                # Statically proven-safe transforms skip the lockstep run:
+                # the semantic legality of every warp split plus a structural
+                # match against the Fig. 4/5 shape is a proof, not a spot
+                # check.
+                verdict = None
+                try:
+                    from ..analysis.dataflow.safety import (
+                        verify_transform_static,
+                    )
 
-                verdict = verify_transform_static(
-                    analysis, record, out.kernel(name), kernel)
-            except Exception:
-                verdict = None  # fall back to the dynamic gate
-            if verdict is not None and verdict.safe:
-                record.validation = ValidationReport(
-                    name, STATIC_SAFE,
-                    "warp-split legality proven statically; differential "
-                    "gate skipped")
-                log.emit(I_STATIC_SAFE, "validate",
-                         record.validation.detail, kernel=name)
-                record.analysis_seconds = time.perf_counter() - t0
-                out = with_function(out, kernel)
-                transforms[name] = record
-                continue
-            try:
-                report = differential_validate(
-                    out, with_function(out, kernel), name, grid, block,
-                    seed=validate_seed,
-                )
-            except Exception as exc:
-                if not resilient:
-                    raise
-                report = ValidationReport(
-                    name, INCONCLUSIVE, f"validator crashed: {exc!r}")
-            record.validation = report
-            if report.must_revert:
-                record.reverted = True
-                log.emit(W_REVERTED, "validate",
-                         f"transform reverted ({report.status}): "
-                         f"{report.detail}", kernel=name)
-            elif report.status == INCONCLUSIVE:
-                log.emit(I_VALIDATE_SKIP, "validate", report.detail,
-                         kernel=name)
+                    verdict = verify_transform_static(
+                        analysis, record, out.kernel(name), kernel)
+                except Exception:
+                    verdict = None  # fall back to the dynamic gate
+                if verdict is not None and verdict.safe:
+                    record.validation = ValidationReport(
+                        name, STATIC_SAFE,
+                        "warp-split legality proven statically; differential "
+                        "gate skipped")
+                    log.emit(I_STATIC_SAFE, "validate",
+                             record.validation.detail, kernel=name)
+                    vsp.set(status=STATIC_SAFE, reverted=False)
+                    record.analysis_seconds = time.perf_counter() - t0
+                    out = with_function(out, kernel)
+                    transforms[name] = record
+                    continue
+                try:
+                    report = differential_validate(
+                        out, with_function(out, kernel), name, grid, block,
+                        seed=validate_seed,
+                    )
+                except Exception as exc:
+                    if not resilient:
+                        raise
+                    report = ValidationReport(
+                        name, INCONCLUSIVE, f"validator crashed: {exc!r}")
+                record.validation = report
+                vsp.set(status=report.status, reverted=report.must_revert)
+                if report.must_revert:
+                    record.reverted = True
+                    log.emit(W_REVERTED, "validate",
+                             f"transform reverted ({report.status}): "
+                             f"{report.detail}", kernel=name)
+                elif report.status == INCONCLUSIVE:
+                    log.emit(I_VALIDATE_SKIP, "validate", report.detail,
+                             kernel=name)
 
         record.analysis_seconds = time.perf_counter() - t0
         if record.transformed:

@@ -87,11 +87,24 @@ def test_degraded_cell_stays_transient(monkeypatch, tmp_path):
     assert not (tmp_path / "results.json").exists()
 
 
-def test_runner_no_dedup_flag_sets_env(monkeypatch, capsys):
+def test_runner_no_dedup_flag_activates_options(monkeypatch, capsys):
+    """--no-dedup resolves into the active SimOptions instead of mutating
+    os.environ (the old plumbing)."""
+    from repro import options as options_mod
+    from repro.experiments import runner as runner_mod
+
     monkeypatch.delenv("REPRO_SIM_DEDUP", raising=False)
+    seen = {}
+
+    def spy_table2():
+        seen["options"] = options_mod.current_options()
+        return "table2"
+
+    monkeypatch.setattr(runner_mod, "_print_table2", spy_table2)
     assert main(["table2", "--no-dedup"]) == 0
-    assert os.environ.get("REPRO_SIM_DEDUP") == "0"
-    monkeypatch.delenv("REPRO_SIM_DEDUP", raising=False)
+    assert seen["options"].dedup is False
+    assert os.environ.get("REPRO_SIM_DEDUP") is None   # env untouched
+    assert options_mod.active_options() is None        # scope restored
     capsys.readouterr()
 
 

@@ -1,0 +1,116 @@
+"""Tracer unit tests: nesting, exception safety, disabled overhead shape,
+drain/adopt worker merge semantics."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs.trace import NULL_SPAN, Span, Tracer, install, span, tracer
+
+
+@pytest.fixture
+def t():
+    """A fresh enabled tracer installed as the process global."""
+    fresh = Tracer(enabled=True)
+    prev = install(fresh)
+    yield fresh
+    install(prev)
+
+
+def test_disabled_span_is_shared_null_singleton():
+    fresh = Tracer(enabled=False)
+    prev = install(fresh)
+    try:
+        s1 = span("a")
+        s2 = span("b", attr=1)
+        assert s1 is NULL_SPAN and s2 is NULL_SPAN
+        with s1 as inner:
+            assert inner.set(x=1) is NULL_SPAN
+        assert fresh.roots == []
+    finally:
+        install(prev)
+
+
+def test_spans_nest_and_record_attrs(t):
+    with span("outer", a=1) as outer:
+        with span("inner") as inner:
+            inner.set(b=2)
+    assert [s.name for s in t.roots] == ["outer"]
+    assert outer.attrs == {"a": 1}
+    assert outer.children == [inner]
+    assert inner.attrs == {"b": 2}
+    assert outer.end >= inner.end >= inner.start >= outer.start
+    assert t.current() is None
+
+
+def test_sibling_spans_share_parent(t):
+    with span("parent"):
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+    (parent,) = t.roots
+    assert [c.name for c in parent.children] == ["first", "second"]
+
+
+def test_exception_closes_span_and_records_error(t):
+    with pytest.raises(ValueError, match="boom"):
+        with span("outer"):
+            with span("inner"):
+                raise ValueError("boom")
+    (outer,) = t.roots
+    (inner,) = outer.children
+    assert inner.error == "ValueError: boom"
+    assert outer.error == "ValueError: boom"
+    assert t._stack == []           # fully unwound
+    # The tracer still works after the exception.
+    with span("after"):
+        pass
+    assert [s.name for s in t.roots] == ["outer", "after"]
+
+
+def test_dict_round_trip_preserves_tree(t):
+    with span("root", k="v"):
+        with span("child"):
+            pass
+    d = t.roots[0].to_dict()
+    assert pickle.loads(pickle.dumps(d)) == d    # picklable for workers
+    restored = Span.from_dict(d)
+    assert restored.name == "root"
+    assert restored.attrs == {"k": "v"}
+    assert [c.name for c in restored.children] == ["child"]
+
+
+def test_drain_empties_and_adopt_reattaches(t):
+    with span("cell", idx=0):
+        pass
+    shipped = t.drain()
+    assert t.roots == [] and len(shipped) == 1
+    with span("sweep"):
+        t.adopt(shipped)
+    (sweep,) = t.roots
+    assert [c.name for c in sweep.children] == ["cell"]
+
+
+def test_adopt_without_open_span_appends_roots(t):
+    t.adopt([Span("orphan").to_dict()])
+    assert [s.name for s in t.roots] == ["orphan"]
+
+
+def test_walk_is_preorder(t):
+    with span("a"):
+        with span("b"):
+            with span("c"):
+                pass
+        with span("d"):
+            pass
+    names = [s.name for s in t.roots[0].walk()]
+    assert names == ["a", "b", "c", "d"]
+
+
+def test_global_helpers_reach_installed_tracer(t):
+    assert tracer() is t
+    with span("x") as s:
+        assert t.current() is s
