@@ -9,8 +9,9 @@ Equivalent to ``catt bench`` but runnable without installing the package::
 Times engine throughput (warp-instructions/sec for the AST-walk
 interpreter vs the closure-compiled engine, with and without
 homogeneous-block dedup) and the full ``catt all`` sweep wall-clock,
-writes ``BENCH_sim.json``, and — when ``--baseline`` is given — exits
-non-zero on a >2x regression against the committed baseline.
+writes ``benchmarks/BENCH_sim.json`` (next to the committed baseline), and
+— when ``--baseline`` is given — exits non-zero on a >2x regression
+against the committed baseline.
 """
 
 from __future__ import annotations
@@ -30,8 +31,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", default="test", choices=["bench", "test"])
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the sweep")
-    parser.add_argument("-o", "--output", default="BENCH_sim.json",
-                        help="result JSON path (default: BENCH_sim.json)")
+    parser.add_argument("-o", "--output", default="benchmarks/BENCH_sim.json",
+                        help="result JSON path "
+                             "(default: benchmarks/BENCH_sim.json)")
     parser.add_argument("--baseline", metavar="PATH",
                         help="fail on >FACTOR regression vs this baseline")
     parser.add_argument("--factor", type=float, default=2.0,

@@ -58,10 +58,17 @@ def requests_per_warp_enumerated(
     """
     if form.irregular:
         return None
-    bx, by, _bz = block_dim
+    bx, by, bz = block_dim
+    volume = bx * by * bz
     lines = set()
     for lane in range(warp_size):
         flat = warp_id * warp_size + lane
+        if flat >= volume:
+            # Partial warp: lanes past the block volume carry no thread, so
+            # they generate no transaction.  Without this clamp a phantom
+            # lane decodes to out-of-range thread coordinates and inflates
+            # the request count.
+            break
         tx = flat % bx
         ty = (flat // bx) % by
         tz = flat // (bx * by)
@@ -75,6 +82,8 @@ def requests_per_warp_enumerated(
                 index += coeff * tz
             # iterators / blockIdx / params: warp-uniform → contribute 0
         lines.add((index * element_size) // cache_line)
+    if not lines:
+        return 0  # warp_id entirely past the block volume: no live lanes
     return min(len(lines), warp_size)
 
 

@@ -54,12 +54,18 @@ class SearchBudget:
                 and self.candidates_used >= self.max_candidates)
 
     def charge(self, candidates: int = 1) -> None:
-        """Consume ``candidates`` evaluations; raise when the budget is gone."""
-        self.candidates_used += candidates
+        """Consume ``candidates`` evaluations; raise when the budget is gone.
+
+        The expiry check runs *before* the increment: callers charge ahead
+        of each evaluation, so ``max_candidates=N`` admits exactly N
+        evaluations and the (N+1)th charge raises with ``candidates_used``
+        still reporting the N that actually ran.
+        """
         if self.expired:
             raise BudgetExceededError(
                 f"throttle-search budget exhausted after "
                 f"{self.candidates_used} candidates")
+        self.candidates_used += candidates
 
 
 @dataclass(frozen=True)
@@ -91,7 +97,10 @@ class ThrottleDecision:
 
     @property
     def throttles(self) -> bool:
-        return self.needed and self.fits and (self.n > 1 or self.m > 1)
+        # m > 0 (not m > 1): a TB-only decision of (n=1, m=1) — the only
+        # reachable shape when warps_per_tb == 1 — still reduces residency
+        # by one TB and must count as throttling.
+        return self.needed and self.fits and (self.n > 1 or self.m > 0)
 
 
 def candidate_ns(warps_per_tb: int) -> list[int]:

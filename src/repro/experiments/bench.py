@@ -9,10 +9,11 @@ Two measurements, both at a caller-chosen scale (CI uses ``--scale test``):
   every figure/table builder) against a cold, memory-only cache, i.e. the
   honest end-to-end number with no disk cache to hide behind.
 
-Results are written to ``BENCH_sim.json`` so the perf trajectory is
-recorded per commit; ``check_regression`` compares a fresh payload against
-a committed baseline (``benchmarks/BENCH_baseline.json``) and reports
-anything more than ``factor`` times slower.
+Results are written to ``benchmarks/BENCH_sim.json`` (next to the committed
+``BENCH_baseline.json``) so the perf trajectory is recorded per commit;
+``check_regression`` compares a fresh payload against a committed baseline
+(``benchmarks/BENCH_baseline.json``) and reports anything more than
+``factor`` times slower.
 """
 
 from __future__ import annotations
@@ -179,8 +180,13 @@ def bench_obs_overhead(scale: str = "test", app: str = "ATAX",
     }
 
 
+#: Default output location: under benchmarks/, next to BENCH_baseline.json,
+#: instead of straying into the repository root.
+DEFAULT_BENCH_OUT = "benchmarks/BENCH_sim.json"
+
+
 def run_bench(scale: str = "test", jobs: int = 1,
-              out: str | Path | None = "BENCH_sim.json") -> dict:
+              out: str | Path | None = DEFAULT_BENCH_OUT) -> dict:
     payload = {
         "scale": scale,
         "jobs": jobs,
@@ -190,6 +196,7 @@ def run_bench(scale: str = "test", jobs: int = 1,
     }
     if out:
         out = Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(payload, indent=2) + "\n")
         from ..obs.manifest import (
             build_manifest,

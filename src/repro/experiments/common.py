@@ -19,7 +19,7 @@ from ..baselines.bftt import bftt_search
 from ..baselines.dyncta import run_with_dyncta
 from ..obs.metrics_registry import registry as _registry
 from ..obs.trace import span as _span
-from ..options import resolve_cache_path
+from ..options import current_options, resolve_cache_path
 from ..sim.arch import TITAN_V_SIM, TITAN_V_SIM_32K, GPUSpec
 from ..transform import catt_compile
 from ..transform.diagnostics import E_SIM, Diagnostic
@@ -39,6 +39,9 @@ class KernelStats:
     cycles: int
     l1_hit_rate: float
     tlp: tuple[int, int] | None = None   # (#warps_TB, #TBs) realized
+    # Shared-L2 hit rate across the timed SMs (attributed accesses); 0.0 in
+    # records written before the multi-SM model existed.
+    l2_hit_rate: float = 0.0
 
 
 @dataclass
@@ -62,6 +65,8 @@ class AppResult:
     # Degradation records (resilient sweeps): Diagnostic.to_dict() payloads.
     diagnostics: list[dict] = field(default_factory=list)
     degraded: bool = False   # True = this cell failed and carries no timing
+    # Co-simulated SMs the cell ran with (the SimOptions.sms knob).
+    sms: int = 1
 
     def speedup_vs(self, other: "AppResult") -> float:
         return other.total_cycles / self.total_cycles if self.total_cycles else 0.0
@@ -124,8 +129,12 @@ class ResultCache:
         )
 
     @staticmethod
-    def key(app: str, scheme: str, spec: str, scale: str) -> str:
-        return f"{app}|{scheme}|{spec}|{scale}"
+    def key(app: str, scheme: str, spec: str, scale: str,
+            sms: int = 1) -> str:
+        # The sms suffix only appears for multi-SM cells, so every key (and
+        # cached record) written by the single-SM substrate stays valid.
+        base = f"{app}|{scheme}|{spec}|{scale}"
+        return base if sms == 1 else f"{base}|sms{sms}"
 
     def get(self, key: str) -> AppResult | None:
         if key in self._mem:
@@ -164,7 +173,8 @@ def _to_json(result: AppResult) -> dict:
 def _from_json(raw: dict) -> AppResult:
     kernels = {
         k: KernelStats(v["cycles"], v["l1_hit_rate"],
-                       tuple(v["tlp"]) if v.get("tlp") else None)
+                       tuple(v["tlp"]) if v.get("tlp") else None,
+                       l2_hit_rate=v.get("l2_hit_rate", 0.0))
         for k, v in raw["kernels"].items()
     }
     loop_tlps = {
@@ -180,6 +190,7 @@ def _from_json(raw: dict) -> AppResult:
         mem_trace=[tuple(p) for p in raw["mem_trace"]] if raw.get("mem_trace") else None,
         diagnostics=raw.get("diagnostics", []),
         degraded=raw.get("degraded", False),
+        sms=raw.get("sms", 1),
     )
 
 
@@ -202,9 +213,11 @@ def _kernel_stats(run: WorkloadRun, tlps: dict[str, tuple[int, int]] | None = No
                   ) -> dict[str, KernelStats]:
     cycles = run.cycles_by_kernel()
     hits = run.hit_rate_by_kernel()
+    l2_hits = run.l2_hit_rate_by_kernel()
     return {
         k: KernelStats(cycles[k], round(hits.get(k, 0.0), 4),
-                       (tlps or {}).get(k))
+                       (tlps or {}).get(k),
+                       l2_hit_rate=round(l2_hits.get(k, 0.0), 4))
         for k in cycles
     }
 
@@ -234,9 +247,10 @@ def run_app(
                          f"got {on_error!r}")
     spec = SPECS[spec_name]
     cache = cache or default_cache()
-    key = ResultCache.key(app, scheme, spec_name, scale)
+    sms = current_options().sms
+    key = ResultCache.key(app, scheme, spec_name, scale, sms=sms)
     with _span("experiment.cell", app=app, scheme=scheme, spec=spec_name,
-               scale=scale) as sp:
+               scale=scale, sms=sms) as sp:
         cached = cache.get(key)
         if cached is not None:
             sp.set(cached=True)
@@ -248,6 +262,7 @@ def run_app(
         t0 = time.perf_counter()
         try:
             result = _run_scheme(app, scheme, spec, spec_name, scale, verify)
+            result.sms = sms
         except Exception as exc:
             if on_error == "raise":
                 raise
@@ -261,7 +276,7 @@ def run_app(
             )
             result = AppResult(
                 app, scheme, spec_name, scale, total_cycles=0, kernels={},
-                diagnostics=[diag.to_dict()], degraded=True,
+                diagnostics=[diag.to_dict()], degraded=True, sms=sms,
             )
             cache.put_transient(key, result)
             sp.set(cached=False, degraded=True)

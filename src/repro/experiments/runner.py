@@ -211,6 +211,8 @@ def _resolve_options(args) -> SimOptions:
         overrides["dedup"] = False
     if args.jobs is not None:
         overrides["jobs"] = args.jobs
+    if args.sms is not None:
+        overrides["sms"] = args.sms
     if args.trace or args.experiment == "profile":
         overrides["trace"] = True
         overrides["metrics"] = True
@@ -231,7 +233,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=["table2", "table3", "fig2", "fig3", "fig6", "fig7", "fig8",
                  "fig9", "fig10", "overhead", "analyze", "compile", "lint",
-                 "bench", "all", "profile", "trace"],
+                 "bench", "all", "profile", "trace", "l2sweep"],
     )
     parser.add_argument("app", nargs="?",
                         help="workload for 'analyze'/'lint'/'profile' / "
@@ -246,6 +248,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-dedup", action="store_true",
                         help="disable homogeneous-block dedup in the "
                              "simulator")
+    parser.add_argument("--sms", type=int, default=None, metavar="K",
+                        help="co-simulate K SMs sharing one L2 (default 1, "
+                             "the classic single-SM model)")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="record a pipeline trace to PATH (.json = "
                              "Chrome trace_event, .jsonl = JSON Lines) plus "
@@ -368,11 +373,16 @@ def _dispatch(args, parser, opts: SimOptions) -> int:
 
         rows = build_overhead(scale=args.scale)
         text, data = format_overhead(rows), [r.__dict__ for r in rows]
+    elif args.experiment == "l2sweep":
+        from .l2sweep import build_l2sweep, format_l2sweep
+
+        rows = build_l2sweep(scale=args.scale, options=opts)
+        text, data = format_l2sweep(rows), [r.__dict__ for r in rows]
     elif args.experiment == "bench":
-        from .bench import check_regression, format_bench, run_bench
+        from .bench import DEFAULT_BENCH_OUT, check_regression, format_bench, run_bench
 
         payload = run_bench(scale=args.scale, jobs=opts.jobs,
-                            out=args.output or "BENCH_sim.json")
+                            out=args.output or DEFAULT_BENCH_OUT)
         print(format_bench(payload))
         if args.baseline:
             failures = check_regression(payload, args.baseline)

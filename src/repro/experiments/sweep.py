@@ -28,7 +28,12 @@ from dataclasses import dataclass
 
 from ..obs.metrics_registry import registry as _registry
 from ..obs.trace import span as _span, tracer as _tracer
-from ..options import SimOptions, active_options, set_active_options
+from ..options import (
+    SimOptions,
+    active_options,
+    current_options,
+    set_active_options,
+)
 from ..workloads import CI_GROUP, CS_GROUP
 from .common import AppResult, ResultCache, default_cache, run_app
 
@@ -134,9 +139,13 @@ def run_sweep(
         options = active_options()
     cache = cache or default_cache()
     cells = list(dict.fromkeys(cells))
+    # Cache keys carry the sms knob (suffix only when != 1) so multi-SM
+    # sweeps never collide with — or poison — single-SM records.
+    sms = options.sms if options is not None else current_options().sms
     t0 = time.perf_counter()
     with _span("experiment.sweep", cells=len(cells), jobs=jobs) as sp:
-        todo = [c for c in cells if cache.get(ResultCache.key(*c)) is None]
+        todo = [c for c in cells
+                if cache.get(ResultCache.key(*c, sms=sms)) is None]
         results: dict[Cell, AppResult] = {}
         obs_by_cell: dict[Cell, dict | None] = {}
         if jobs > 1 and len(todo) > 1:
@@ -154,8 +163,18 @@ def run_sweep(
                     results[cell] = result
                     obs_by_cell[cell] = rest[0] if rest else None
         else:
-            for cell in todo:
-                results[cell] = _run_cell(cell)[1]
+            # Activate the resolved options for the in-process path too, so
+            # an explicitly-passed ``options`` governs the cells (and the
+            # sms-aware keys above) exactly like it does in pool workers.
+            from contextlib import nullcontext
+
+            from ..options import use_options
+
+            scope = use_options(options) if options is not None \
+                else nullcontext()
+            with scope:
+                for cell in todo:
+                    results[cell] = _run_cell(cell)[1]
         degraded = 0
         t, reg = _tracer(), _registry()
         for cell in cells:  # caller order, not completion order
@@ -168,7 +187,7 @@ def run_sweep(
                     t.adopt(obs["spans"])
                 if obs.get("metrics"):
                     reg.merge(obs["metrics"])
-            key = ResultCache.key(*cell)
+            key = ResultCache.key(*cell, sms=sms)
             if result.degraded:
                 degraded += 1
                 cache.put_transient(key, result)

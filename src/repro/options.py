@@ -47,6 +47,9 @@ class SimOptions:
     jobs: int = 1
     trace: bool = False
     metrics: bool = False
+    # Co-simulated SMs sharing one L2 (the multi-SM model); 1 = the classic
+    # single-SM simulation, bit-identical to the pre-multi-SM substrate.
+    sms: int = 1
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -54,6 +57,8 @@ class SimOptions:
                 f"engine must be one of {ENGINES}, got {self.engine!r}")
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.sms < 1:
+            raise ValueError(f"sms must be >= 1, got {self.sms}")
 
     # -- env shim -----------------------------------------------------------
     @classmethod
@@ -105,6 +110,7 @@ class SimOptions:
             "jobs": self.jobs,
             "trace": self.trace,
             "metrics": self.metrics,
+            "sms": self.sms,
         }
 
 

@@ -57,11 +57,14 @@ class Device:
         governor=None,
         l1_bypass: bool = False,
         shared_bytes: int = 0,
+        sms: int | None = None,
     ) -> LaunchResult:
         """Simulate a kernel launch; returns metrics + resolved occupancy.
 
         ``args`` entries may be :class:`DeviceArray`, raw device addresses,
         or host scalars, matched positionally against kernel parameters.
+        ``sms`` co-simulates that many SMs against one shared L2 (default:
+        the active :class:`~repro.options.SimOptions`).
         """
         unit = self.compile(module) if isinstance(module, str) else module
         kernel = unit.kernel(kernel_name)
@@ -81,4 +84,5 @@ class Device:
             governor=governor,
             l1_bypass=l1_bypass,
             shared_bytes=shared_bytes,
+            sms=sms,
         )

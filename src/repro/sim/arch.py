@@ -98,9 +98,24 @@ class GPUSpec:
         roughly ``1/num_sms`` of the L2.  A floor of 4 cache lines per way
         keeps the model well-formed for tiny configurations.
         """
-        slice_bytes = self.l2_total_bytes // (self.l2_share_sms or self.num_sms)
+        return self.l2_shared_bytes(1)
+
+    def l2_shared_bytes(self, sms: int) -> int:
+        """L2 capacity shared by ``sms`` co-simulated SMs.
+
+        The multi-SM engine models ``sms`` SMs contending for one L2 whose
+        capacity is their combined share of the full part — the remaining
+        (untimed) SMs still claim their slices.  At ``sms == 1`` this is
+        exactly :meth:`l2_slice_bytes`, preserving the single-SM model
+        bit-for-bit.  The same 4-lines-per-way floor applies.
+        """
+        physical = self.l2_share_sms or self.num_sms
+        if not 1 <= sms <= physical:
+            raise ValueError(
+                f"sms must be in [1, {physical}] for {self.name}, got {sms}")
+        shared = sms * self.l2_total_bytes // physical
         floor = self.l2_assoc * self.cache_line * 4
-        return max(slice_bytes, floor)
+        return max(shared, floor)
 
     def with_l1_capped(self, l1_kb: int) -> "GPUSpec":
         """A spec whose L1D is capped at ``l1_kb`` KB regardless of carveout.

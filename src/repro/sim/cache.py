@@ -27,6 +27,13 @@ class CacheStats:
     def reset(self) -> None:
         self.accesses = self.hits = self.misses = self.evictions = 0
 
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate ``other`` into this record (per-SM -> aggregate)."""
+        self.accesses += other.accesses
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+
 
 class Cache:
     """A tag-only, write-allocate, set-associative LRU cache.

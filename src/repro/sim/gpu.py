@@ -1,0 +1,123 @@
+"""Multi-SM co-resident simulation with a genuinely shared L2.
+
+One :class:`GPUEngine` runs ``sms`` :class:`~repro.sim.sm.SMEngine`
+instances against a single shared :class:`~repro.sim.cache.Cache` L2 and a
+single :class:`L2Ports` bandwidth budget, interleaving their event-driven
+progress in global event order.  This makes the two inter-SM effects the
+single-SM model hides visible by construction:
+
+* **capacity/conflict interference** — every SM's misses allocate into the
+  same tag store, so one SM's streaming working set can evict another's
+  reused lines (the contention CIAO/ATA-Cache manage at the shared-cache
+  level);
+* **bandwidth serialization** — L2 and DRAM transactions from all SMs queue
+  on one port-availability pair, so divergence floods on one SM delay every
+  SM's misses.
+
+Thread blocks are dealt round-robin over the SMs up to each SM's occupancy
+limit; the overflow sits in one shared queue that whichever SM retires a TB
+first backfills from — occupancy-aware, and deterministic because TB
+completion is a simulated-time event.
+
+Determinism: the interleave picks, every step, the SM whose next event
+issues earliest (``max(ready, now, issue_free)``), breaking ties by SM
+index.  No wall-clock or iteration-order nondeterminism enters the model,
+so a multi-SM launch is bit-reproducible across runs and process counts.
+
+At ``sms == 1`` callers should keep using ``SMEngine.run`` directly (the
+launch layer does); its fused loop is the single-SM fast path and this
+module's ``step`` interleave is its one-event-at-a-time mirror.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .arch import GPUSpec, SMConfig
+from .cache import Cache
+from .metrics import SMMetrics
+from .sm import SMEngine
+
+_INF = float("inf")
+
+
+class L2Ports:
+    """Shared L2/DRAM port-availability times (the bandwidth budget).
+
+    The single-SM engine keeps these two floats on itself; under the
+    multi-SM engine every SM reads and advances this one object instead, so
+    transactions serialize across SMs exactly as they do within one SM.
+    """
+
+    __slots__ = ("l2_free", "dram_free")
+
+    def __init__(self) -> None:
+        self.l2_free = 0.0
+        self.dram_free = 0.0
+
+
+class GPUEngine:
+    """Runs a launch's TBs across ``sms`` SMs sharing one L2."""
+
+    def __init__(self, spec: GPUSpec, config: SMConfig, sms: int,
+                 scheduler: str = "gto", l1_bypass: bool = False):
+        if sms < 1:
+            raise ValueError(f"sms must be >= 1, got {sms}")
+        self.spec = spec
+        self.sms = sms
+        self.l2 = Cache(spec.l2_shared_bytes(sms), spec.cache_line,
+                        spec.l2_assoc, "L2")
+        self.ports = L2Ports()
+        self.engines = [
+            SMEngine(spec, config, scheduler=scheduler, l2=self.l2,
+                     ports=self.ports, sm_id=i, l1_bypass=l1_bypass)
+            for i in range(sms)
+        ]
+
+    def run(
+        self,
+        tb_ids: list[int],
+        warp_factory: Callable[[int], list[Iterator]],
+        resident_limit: int,
+    ) -> list[SMMetrics]:
+        """Execute ``tb_ids`` across the SMs; returns per-SM metrics.
+
+        ``resident_limit`` is the per-SM occupancy cap (Eqs. 1-4), same as
+        ``SMEngine.run``.
+        """
+        n = self.sms
+        initial: list[list[int]] = [[] for _ in range(n)]
+        pending: list[int] = []
+        for i, tb_id in enumerate(tb_ids):
+            dealt = initial[i % n]
+            if len(dealt) < resident_limit:
+                dealt.append(tb_id)
+            else:
+                pending.append(tb_id)
+        engines = self.engines
+        for i, engine in enumerate(engines):
+            engine.begin(initial[i], warp_factory, resident_limit,
+                         pending=pending)
+        while True:
+            best = None
+            best_key = _INF
+            for engine in engines:
+                ready = engine.next_event_time()
+                if ready == _INF:
+                    continue
+                # The event actually issues at max(ready, now, issue_free);
+                # order the interleave by that, so shared-port claims happen
+                # in global issue order.  Strict < keeps ties on the
+                # lowest-indexed SM — deterministic.
+                key = ready
+                if engine.now > key:
+                    key = engine.now
+                if engine.issue_free > key:
+                    key = engine.issue_free
+                if key < best_key:
+                    best_key = key
+                    best = engine
+            if best is None:
+                break
+            best.step()
+        return [engine.finish() for engine in engines]

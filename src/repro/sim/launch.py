@@ -28,6 +28,7 @@ from ..obs.trace import span as _span
 # here for backward compatibility.
 from ..options import DEDUP_ENV, ENGINE_ENV, current_options  # noqa: F401
 from .arch import GPUSpec, SMConfig
+from .cache import CacheStats
 from .compile import CompiledWarp, compile_kernel
 from .interp import (
     KernelArgs,
@@ -71,6 +72,12 @@ class LaunchResult:
     # Which execution engine produced the event streams: "interp",
     # "compiled", or "compiled+dedup" (widened homogeneous-block replay).
     engine: str = "interp"
+    # Co-simulated SMs.  At sms == 1, ``metrics`` is SM 0's record and
+    # ``per_sm`` is None; at sms > 1, ``metrics`` is the aggregate
+    # (cycles = max over SMs, counters summed) and ``per_sm`` holds each
+    # SM's attributed view — including its share of shared-L2 hits/misses.
+    sms: int = 1
+    per_sm: tuple[SMMetrics, ...] | None = None
 
     @property
     def cycles(self) -> int:
@@ -79,6 +86,10 @@ class LaunchResult:
     @property
     def l1_hit_rate(self) -> float:
         return self.metrics.l1_hit_rate
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return self.metrics.l2_hit_rate
 
 
 def shared_layout_of(kernel: FunctionDef, dynamic_bytes: int = 0
@@ -134,12 +145,14 @@ def launch_kernel(
     spec: GPUSpec,
     **kwargs,
 ) -> LaunchResult:
-    """Simulate one kernel launch on SM 0.
+    """Simulate one kernel launch on the timed SM(s).
 
     Parameters mirror a CUDA ``<<<grid, block>>>`` launch; ``args`` carries
-    (param name, resolved scalar or device address, declared CType).  The SM
-    executes the TBs assigned to SM 0 under round-robin distribution over
-    ``spec.num_sms``; ``max_tbs`` optionally caps the simulated TB count (for
+    (param name, resolved scalar or device address, declared CType).  The
+    timed SMs execute the TBs assigned to SMs ``[0, sms)`` under round-robin
+    distribution over ``spec.num_sms`` (``sms`` defaults to the active
+    :class:`~repro.options.SimOptions`; at 1 this is the classic single-SM
+    model on SM 0).  ``max_tbs`` optionally caps the simulated TB count (for
     quick tests).  ``carveout_kb`` overrides the Eq.-4 carveout choice.
     """
     with _span("sim.launch", kernel=kernel_name) as sp:
@@ -150,12 +163,14 @@ def launch_kernel(
         return result
 
 
-def _feed_launch_metrics(m: SMMetrics, engine, engine_used: str,
-                         dedup_slots: int) -> None:
+def _feed_launch_metrics(m: SMMetrics, l1_write_stats, engine_used: str,
+                         dedup_slots: int,
+                         per_sm: list[SMMetrics] | None = None) -> None:
     """Publish one launch's aggregate counters into the metrics registry.
 
     Called once per launch (never inside the event loop), so the disabled
-    cost is a single ``enabled`` check.
+    cost is a single ``enabled`` check.  ``per_sm`` (multi-SM launches only)
+    additionally publishes each SM's attributed shared-L2 view.
     """
     reg = _metrics_registry()
     if not reg.enabled:
@@ -168,9 +183,9 @@ def _feed_launch_metrics(m: SMMetrics, engine, engine_used: str,
     c("sim.l1.load.hits").inc(m.l1_load.hits)
     c("sim.l1.load.misses").inc(m.l1_load.misses)
     c("sim.l1.load.evictions").inc(m.l1_load.evictions)
-    c("sim.l1.store.hits").inc(engine.l1.write_stats.hits)
-    c("sim.l1.store.misses").inc(engine.l1.write_stats.misses)
-    c("sim.l1.store.evictions").inc(engine.l1.write_stats.evictions)
+    c("sim.l1.store.hits").inc(l1_write_stats.hits)
+    c("sim.l1.store.misses").inc(l1_write_stats.misses)
+    c("sim.l1.store.evictions").inc(l1_write_stats.evictions)
     c("sim.l2.load.hits").inc(m.l2_load.hits)
     c("sim.l2.load.misses").inc(m.l2_load.misses)
     c("sim.l2.load.evictions").inc(m.l2_load.evictions)
@@ -184,6 +199,13 @@ def _feed_launch_metrics(m: SMMetrics, engine, engine_used: str,
         # replay savings the dedup engine buys.
         c("sim.dedup.launches").inc()
         c("sim.dedup.slots_replayed").inc(dedup_slots)
+    if per_sm is not None:
+        c("sim.multi_sm.launches").inc()
+        for i, sm in enumerate(per_sm):
+            c(f"sim.sm{i}.cycles").inc(sm.cycles)
+            c(f"sim.sm{i}.l2.load.hits").inc(sm.l2_load.hits)
+            c(f"sim.sm{i}.l2.load.misses").inc(sm.l2_load.misses)
+            c(f"sim.sm{i}.tbs_executed").inc(sm.tbs_executed)
     reg.histogram("sim.launch.cycles").record(m.cycles)
 
 
@@ -202,8 +224,20 @@ def _launch_kernel(
     governor=None,
     l1_bypass: bool = False,
     shared_bytes: int = 0,
+    sms: int | None = None,
 ) -> LaunchResult:
     from .sm import SMEngine  # local import to avoid cycles in tooling
+
+    if sms is None:
+        sms = current_options().sms
+    if sms > 1:
+        if governor is not None:
+            raise ValueError(
+                "run-time governors (DynCTA) require sms=1: one governor "
+                "cannot arbitrate residency across co-simulated SMs")
+        if metrics is not None:
+            raise ValueError("an external metrics sink requires sms=1; "
+                             "multi-SM launches aggregate per-SM records")
 
     kernel = unit.kernel(kernel_name)
     grid3, block3 = _as_dim3(grid), _as_dim3(block)
@@ -221,7 +255,13 @@ def _launch_kernel(
     config = SMConfig(spec, occ.shared_carveout_kb)
 
     total_tbs = grid3[0] * grid3[1] * grid3[2]
-    tb_ids = list(range(0, total_tbs, spec.num_sms))  # SM 0's share
+    # The timed SMs' share under round-robin TB distribution over the full
+    # part: TBs landing on SMs [0, sms).  At sms == 1 this is exactly the
+    # historical ``range(0, total_tbs, num_sms)`` single-SM share.
+    if sms == 1:
+        tb_ids = list(range(0, total_tbs, spec.num_sms))  # SM 0's share
+    else:
+        tb_ids = [t for t in range(total_tbs) if t % spec.num_sms < sms]
     if max_tbs is not None:
         tb_ids = tb_ids[:max_tbs]
 
@@ -291,13 +331,30 @@ def _launch_kernel(
                     gens.append(interp.run())
             return gens
 
-    engine = SMEngine(spec, config, scheduler=scheduler, metrics=metrics,
-                      governor=governor, l1_bypass=l1_bypass)
-    with _span("sim.engine", kernel=kernel_name, engine=engine_used,
-               tbs=len(tb_ids)) as _sp:
-        result_metrics = engine.run(tb_ids, warp_factory,
-                                    resident_limit=occ.tb_sm)
-        _sp.set(cycles=result_metrics.cycles)
+    per_sm: list[SMMetrics] | None = None
+    if sms == 1:
+        engine = SMEngine(spec, config, scheduler=scheduler, metrics=metrics,
+                          governor=governor, l1_bypass=l1_bypass)
+        with _span("sim.engine", kernel=kernel_name, engine=engine_used,
+                   tbs=len(tb_ids)) as _sp:
+            result_metrics = engine.run(tb_ids, warp_factory,
+                                        resident_limit=occ.tb_sm)
+            _sp.set(cycles=result_metrics.cycles)
+        l1_write_stats = engine.l1.write_stats
+    else:
+        from .gpu import GPUEngine
+        from .metrics import aggregate_metrics
+
+        gpu = GPUEngine(spec, config, sms, scheduler=scheduler,
+                        l1_bypass=l1_bypass)
+        with _span("sim.engine", kernel=kernel_name, engine=engine_used,
+                   tbs=len(tb_ids), sms=sms) as _sp:
+            per_sm = gpu.run(tb_ids, warp_factory, resident_limit=occ.tb_sm)
+            result_metrics = aggregate_metrics(per_sm)
+            _sp.set(cycles=result_metrics.cycles)
+        l1_write_stats = CacheStats()
+        for e in gpu.engines:
+            l1_write_stats.merge(e.l1.write_stats)
 
     # Functionally execute the TBs not assigned to the simulated SM (or cut
     # by max_tbs) so device memory holds the full kernel result.  They do not
@@ -316,8 +373,9 @@ def _launch_kernel(
                         for _ in gen:
                             pass
 
-    _feed_launch_metrics(result_metrics, engine, engine_used,
-                         total_tbs * warps_per_tb if dedup_streams else 0)
+    _feed_launch_metrics(result_metrics, l1_write_stats, engine_used,
+                         total_tbs * warps_per_tb if dedup_streams else 0,
+                         per_sm=per_sm)
 
     return LaunchResult(
         kernel_name=kernel_name,
@@ -327,6 +385,8 @@ def _launch_kernel(
         block=block3,
         tbs_simulated=len(tb_ids),
         engine=engine_used,
+        sms=sms,
+        per_sm=tuple(per_sm) if per_sm is not None else None,
     )
 
 

@@ -63,26 +63,39 @@ class SMEngine:
                  scheduler: str = "gto", metrics: SMMetrics | None = None,
                  l2: Cache | None = None,
                  governor=None, governor_period: int = 256,
-                 l1_bypass: bool = False):
+                 l1_bypass: bool = False,
+                 sm_id: int = 0, ports=None):
         """``governor`` is an optional callback ``governor(engine) -> None``
         invoked every ``governor_period`` issued events; it may mutate
         ``engine.paused_tbs`` (active-TB indexes) to throttle residency at
         run time — the hook the DynCTA-style baseline uses.
 
         ``l1_bypass`` models the §2.2 cache-bypassing comparators (-dlcm=cg):
-        global loads skip the L1D entirely."""
+        global loads skip the L1D entirely.
+
+        ``ports`` is where L2/DRAM availability times live.  By default the
+        engine owns its ports (the single-SM model); the multi-SM
+        :class:`~repro.sim.gpu.GPUEngine` passes one shared
+        :class:`~repro.sim.gpu.L2Ports` so transactions from all SMs
+        serialize against the same L2/DRAM bandwidth."""
         if scheduler not in ("gto", "lrr"):
             raise ValueError(f"unknown scheduler policy {scheduler!r}")
         self.spec = spec
         self.config = config
         self.scheduler = scheduler
+        self.sm_id = sm_id
         self.metrics = metrics or SMMetrics()
         self.l1 = Cache(config.l1d_bytes, spec.cache_line, spec.l1_assoc, "L1D")
         self.l2 = l2 or Cache(spec.l2_slice_bytes(), spec.cache_line,
                               spec.l2_assoc, "L2")
-        # Expose the live cache counters through the metrics object.
+        # Expose the live cache counters through the metrics object.  With a
+        # shared L2 (ports supplied) each SM keeps its own attribution
+        # record instead; ``_do_mem`` installs it as ``l2.stats`` around its
+        # accesses so hits/misses land on the SM that issued them.
         self.metrics.l1_load = self.l1.stats
-        self.metrics.l2_load = self.l2.stats
+        self.ports = ports if ports is not None else self
+        if self.ports is self:
+            self.metrics.l2_load = self.l2.stats
         # Port availability times (queueing model).
         self.now = 0.0
         self.issue_free = 0.0
@@ -99,45 +112,75 @@ class SMEngine:
         self.l1_bypass = l1_bypass
 
     # ------------------------------------------------------------------
+    def begin(
+        self,
+        tb_ids: list[int],
+        warp_factory: Callable[[int], list[Iterator]],
+        resident_limit: int,
+        pending: list[int] | None = None,
+    ) -> None:
+        """Stage a launch: activate the initial resident TBs.
+
+        ``warp_factory(tb_id)`` materializes the warp generators of one TB —
+        lazily, so shared-memory blocks are created at TB activation, exactly
+        when a real SM would allocate them.  ``pending`` (optional) is the
+        overflow queue retired TBs backfill from; the multi-SM engine passes
+        one list shared by all SMs, so whichever SM drains a TB first claims
+        the next one (occupancy-aware backfill).  After ``begin`` the launch
+        is driven either by :meth:`run` (fused loop) or one event at a time
+        by :meth:`step`, finishing with :meth:`finish`.
+        """
+        if resident_limit < 1:
+            raise ValueError("resident_limit must be >= 1")
+        self._warp_factory = warp_factory
+        self._resident_limit = resident_limit
+        self._active: list[TBSlot] = []
+        # (ready, tie, slot_index)
+        self._heap: list[tuple[float, int, int]] = []
+        self._slots: list[WarpSlot] = []
+        self.slots = self._slots  # exposed for run-time governors
+        if pending is None:
+            self._pending = list(tb_ids)
+            while self._pending and len(self._active) < resident_limit:
+                self._activate(self._pending.pop(0), 0.0)
+        else:
+            # Multi-SM: the caller dealt the initial residency; overflow
+            # lives in the shared queue.
+            self._pending = pending
+            for tb_id in tb_ids[:resident_limit]:
+                self._activate(tb_id, 0.0)
+
+    def _activate(self, tb_id: int, start: float) -> None:
+        tb = TBSlot(tb_id)
+        tb_index = len(self._active)
+        self._active.append(tb)
+        slots = self._slots
+        for w, gen in enumerate(self._warp_factory(tb_id)):
+            slot = WarpSlot(gen, tb_index, w, self._age,
+                            slot_index=len(slots), ready=start)
+            self._age += 1
+            tb.warps.append(slot)
+            tb.live += 1
+            slots.append(slot)
+            heapq.heappush(self._heap,
+                           (slot.ready, self._tie(slot), slot.slot_index))
+
     def run(
         self,
         tb_ids: list[int],
         warp_factory: Callable[[int], list[Iterator]],
         resident_limit: int,
     ) -> SMMetrics:
-        """Execute ``tb_ids`` with at most ``resident_limit`` TBs resident.
-
-        ``warp_factory(tb_id)`` materializes the warp generators of one TB —
-        lazily, so shared-memory blocks are created at TB activation, exactly
-        when a real SM would allocate them.
-        """
-        if resident_limit < 1:
-            raise ValueError("resident_limit must be >= 1")
-        pending = list(tb_ids)
-        active: list[TBSlot] = []
-        heap: list[tuple[float, int, int]] = []  # (ready, tie, slot_index)
-        slots: list[WarpSlot] = []
-        self.slots = slots  # exposed for run-time governors
-
-        def activate(tb_id: int, start: float) -> None:
-            tb = TBSlot(tb_id)
-            tb_index = len(active)
-            active.append(tb)
-            for w, gen in enumerate(warp_factory(tb_id)):
-                slot = WarpSlot(gen, tb_index, w, self._age,
-                                slot_index=len(slots), ready=start)
-                self._age += 1
-                tb.warps.append(slot)
-                tb.live += 1
-                slots.append(slot)
-                heapq.heappush(heap, (slot.ready, self._tie(slot), slot.slot_index))
-
-        while pending and len(active) < resident_limit:
-            activate(pending.pop(0), 0.0)
+        """Execute ``tb_ids`` with at most ``resident_limit`` TBs resident."""
+        self.begin(tb_ids, warp_factory, resident_limit)
 
         # Hot loop: one iteration per issued event.  Dispatch is on exact
         # event class (events are final), method lookups are hoisted, and
-        # the GTO tie-break is inlined.
+        # the GTO tie-break is inlined.  ``step`` mirrors this body one
+        # event at a time for the multi-SM interleave; keep them in sync.
+        heap = self._heap
+        slots = self._slots
+        active = self._active
         gto = self.scheduler == "gto"
         governor = self.governor
         do_compute = self._do_compute
@@ -168,7 +211,7 @@ class SMEngine:
             try:
                 event = next(warp.gen)
             except StopIteration:
-                self._retire_warp(warp, active, pending, activate, heap, slots)
+                self._retire_warp(warp)
                 continue
             cls = event.__class__
             if cls is ComputeEvent:
@@ -176,7 +219,7 @@ class SMEngine:
             elif cls is MemEvent:
                 do_mem(warp, event)
             elif cls is SyncEvent:
-                self._do_sync(warp, active[warp.tb_index], heap, slots)
+                self._do_sync(warp, active[warp.tb_index])
                 continue  # parked; re-queued at barrier release
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown event {event!r}")
@@ -184,6 +227,83 @@ class SMEngine:
                 heap,
                 (warp.ready, warp.age if gto else self._tie(warp), slot_idx))
 
+        return self.finish()
+
+    # ------------------------------------------------------------------
+    def next_event_time(self) -> float:
+        """Ready time of this SM's next non-stale event (inf when drained).
+
+        Pops stale heap entries on the way so the multi-SM scheduler's peek
+        stays amortized O(log n), like the fused loop's lazy deletion.
+        """
+        heap = self._heap
+        slots = self._slots
+        heappop = heapq.heappop
+        while heap:
+            ready, _tie, slot_idx = heap[0]
+            warp = slots[slot_idx]
+            if warp.done or warp.at_barrier or warp.ready != ready:
+                heappop(heap)
+                continue
+            return ready
+        return _INF
+
+    def step(self) -> bool:
+        """Process exactly one event; returns False when the SM is drained.
+
+        One-event mirror of the :meth:`run` loop body — the multi-SM engine
+        interleaves ``step`` calls across SMs in global event order, so any
+        change to the event semantics must land in both places.
+        """
+        heap = self._heap
+        slots = self._slots
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        while heap:
+            ready, _tie, slot_idx = heappop(heap)
+            warp = slots[slot_idx]
+            if warp.done or warp.at_barrier or warp.ready != ready:
+                continue  # stale heap entry
+            if self.paused_tbs and warp.tb_index in self.paused_tbs:
+                live_tbs = {s.tb_index for s in slots if not s.done}
+                if live_tbs <= self.paused_tbs:
+                    self.paused_tbs.clear()  # never let pausing deadlock
+                else:
+                    warp.ready = max(self.now, ready) + self.pause_quantum
+                    heappush(heap, (warp.ready, self._tie(warp), slot_idx))
+                    continue
+            if ready > self.now:
+                self.now = ready
+            if self.governor is not None:
+                self._events_since_governor += 1
+                if self._events_since_governor >= self.governor_period:
+                    self._events_since_governor = 0
+                    self.governor(self)
+            try:
+                event = next(warp.gen)
+            except StopIteration:
+                self._retire_warp(warp)
+                return True
+            cls = event.__class__
+            if cls is ComputeEvent:
+                self._do_compute(warp, event)
+            elif cls is MemEvent:
+                self._do_mem(warp, event)
+            elif cls is SyncEvent:
+                self._do_sync(warp, self._active[warp.tb_index])
+                return True  # parked; re-queued at barrier release
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown event {event!r}")
+            heappush(
+                heap,
+                (warp.ready,
+                 warp.age if self.scheduler == "gto" else self._tie(warp),
+                 slot_idx))
+            return True
+        return False
+
+    def finish(self) -> SMMetrics:
+        """Seal the launch: record the cycle count and return the metrics."""
         self.metrics.cycles = int(max(self.now, self.issue_free))
         return self.metrics
 
@@ -194,19 +314,21 @@ class SMEngine:
         self._issue_seq += 1
         return self._issue_seq  # FIFO re-queue order = loose round-robin
 
-    def _retire_warp(self, warp, active, pending, activate, heap, slots) -> None:
+    def _retire_warp(self, warp) -> None:
         warp.done = True
         if warp.outstanding:
             # A warp is not finished until its in-flight loads complete.
             self.now = max(self.now, max(warp.outstanding))
             warp.outstanding.clear()
-        tb = active[warp.tb_index]
+        tb = self._active[warp.tb_index]
         tb.live -= 1
-        self._maybe_release_barrier(tb, heap, slots)
+        self._maybe_release_barrier(tb)
         if tb.live == 0:
             self.metrics.tbs_executed += 1
-            if pending:
-                activate(pending.pop(0), self.now)
+            if self._pending:
+                # One TB out, one in: residency stays at the limit.  With a
+                # shared pending queue the fastest SM claims the next TB.
+                self._activate(self._pending.pop(0), self.now)
 
     # ------------------------------------------------------------------
     def _do_compute(self, warp: WarpSlot, event: ComputeEvent) -> None:
@@ -259,9 +381,17 @@ class SMEngine:
         lsu_txn = t.lsu_txn_cycles
         l2_txn = t.l2_txn_cycles
         dram_txn = t.dram_txn_cycles
-        l2_free = self.l2_free
-        dram_free = self.dram_free
-        l2_access = self.l2.access
+        # L2/DRAM availability lives on ``ports`` — this engine itself in the
+        # single-SM model, a shared L2Ports under the multi-SM engine (so
+        # transactions from all SMs serialize on one bandwidth budget).
+        ports = self.ports
+        l2_free = ports.l2_free
+        dram_free = ports.dram_free
+        l2 = self.l2
+        # Attribute this instruction's L2 hits/misses to this SM.  A no-op
+        # store when the engine owns its L2 (stats is already l2_load).
+        l2.stats = m.l2_load
+        l2_access = l2.access
         dram_txns = 0
         if write:
             m.global_store_transactions += ntxn
@@ -288,8 +418,8 @@ class SMEngine:
             m.l1_store_misses += misses
             m.dram_transactions += dram_txns
             self.lsu_free = lsu
-            self.l2_free = l2_free
-            self.dram_free = dram_free
+            ports.l2_free = l2_free
+            ports.dram_free = dram_free
             warp.ready = self.issue_free
             return
         m.global_load_transactions += ntxn
@@ -318,15 +448,14 @@ class SMEngine:
                 finish = done
         m.dram_transactions += dram_txns
         self.lsu_free = lsu
-        self.l2_free = l2_free
-        self.dram_free = dram_free
+        ports.l2_free = l2_free
+        ports.dram_free = dram_free
         # The warp keeps issuing; it stalls later when its MLP window
         # fills (see above) or at a barrier/retire drain point.
         warp.outstanding.append(finish)
         warp.ready = self.issue_free
 
-    def _do_sync(self, warp: WarpSlot, tb: TBSlot,
-                 heap: list, slots: list[WarpSlot]) -> None:
+    def _do_sync(self, warp: WarpSlot, tb: TBSlot) -> None:
         warp.at_barrier = True
         warp.ready = _INF
         if warp.outstanding:
@@ -335,14 +464,14 @@ class SMEngine:
             warp.outstanding.clear()
         tb.arrived += 1
         self.metrics.barriers += 1
-        self._maybe_release_barrier(tb, heap, slots)
+        self._maybe_release_barrier(tb)
 
-    def _maybe_release_barrier(self, tb: TBSlot, heap: list,
-                               slots: list[WarpSlot]) -> None:
+    def _maybe_release_barrier(self, tb: TBSlot) -> None:
         if tb.arrived == 0 or tb.arrived < tb.live:
             return
         release = max(self.now, tb.barrier_drain) + self.spec.timing.barrier_cycles
         tb.barrier_drain = 0.0
+        heap = self._heap
         for w in tb.warps:
             if w.at_barrier:
                 w.at_barrier = False

@@ -14,6 +14,7 @@ full-size inputs (DESIGN.md §2).
 from __future__ import annotations
 
 import abc
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -63,6 +64,15 @@ class WorkloadRun:
             acc[1] += r.metrics.l1_load.accesses
         return {k: (h / a if a else 0.0) for k, (h, a) in loads.items()}
 
+    def l2_hit_rate_by_kernel(self) -> dict[str, float]:
+        """Shared-L2 hit rate per kernel, over all timed SMs' accesses."""
+        loads: dict[str, list[int]] = {}
+        for r in self.results:
+            acc = loads.setdefault(r.kernel_name, [0, 0])
+            acc[0] += r.metrics.l2_load.hits
+            acc[1] += r.metrics.l2_load.accesses
+        return {k: (h / a if a else 0.0) for k, (h, a) in loads.items()}
+
 
 class Workload(abc.ABC):
     """Base class for all benchmark applications."""
@@ -77,7 +87,11 @@ class Workload(abc.ABC):
         if scale not in ("bench", "test"):
             raise ValueError(f"unknown scale {scale!r}")
         self.scale = scale
-        self.rng = np.random.default_rng(hash(self.name) % (2**31))
+        # zlib.crc32, not hash(): str hashing is randomized per process, so
+        # data-dependent apps (BFS's graph) would get different inputs — and
+        # different cycle counts — on every invocation.
+        self.rng = np.random.default_rng(
+            zlib.crc32(self.name.encode()) % (2**31))
         self._configure()
 
     # -- to implement ------------------------------------------------------

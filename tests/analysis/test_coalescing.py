@@ -108,3 +108,63 @@ def test_coalesce_straddling_access():
 
 def test_coalesce_empty():
     assert coalesce(np.empty(0, dtype=np.int64), 4).size == 0
+
+
+# -- partial-warp clamping ----------------------------------------------------
+# Lanes whose flat id exceeds bx*by*bz carry no thread; counting them used to
+# inflate REQ_warp for small multidimensional blocks.
+
+from repro.analysis.affine import TIDZ  # noqa: E402
+
+
+def _oracle(form, element_size, block_dim, warp_size=32, warp_id=0):
+    """Brute force over the *real* threads of ``warp_id`` only."""
+    bx, by, bz = block_dim
+    lines = set()
+    lo, hi = warp_id * warp_size, (warp_id + 1) * warp_size
+    for flat in range(lo, min(hi, bx * by * bz)):
+        coords = {TIDX: flat % bx, TIDY: (flat // bx) % by,
+                  TIDZ: flat // (bx * by)}
+        index = form.const
+        for sym, coeff in form.coeffs:
+            index += coeff * coords.get(sym, 0)
+        lines.add((index * element_size) // 128)
+    if not lines:
+        return 0
+    return min(len(lines), warp_size)
+
+
+def test_partial_warp_lanes_past_volume_not_counted():
+    # block (8,3,1) = 24 threads: lanes 24-31 of warp 0 do not exist.  The
+    # 24 real threads' indexes (tidy*32 + tidx) span 3 lines; decoding the
+    # phantom lanes as (tidz=1, ...) used to add a fourth.
+    form = AffineForm(((TIDX, 1), (TIDY, 32), (TIDZ, 1024)), 0)
+    block = (8, 3, 1)
+    got = requests_per_warp_enumerated(form, 4, block)
+    assert got == _oracle(form, 4, block) == 3
+
+
+def test_warp_entirely_past_volume_counts_zero():
+    form = AffineForm(((TIDX, 1),), 0)
+    # 16 threads: warp 1 has no live lanes at all.
+    assert requests_per_warp_enumerated(form, 4, (8, 2, 1), warp_id=1) == 0
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    bx=st.integers(1, 9),
+    by=st.integers(1, 5),
+    bz=st.integers(1, 3),
+    cx=st.integers(0, 40),
+    cy=st.integers(0, 1100),
+    cz=st.integers(0, 5000),
+    const=st.integers(0, 64),
+    elem=st.sampled_from([4, 8]),
+    warp_id=st.integers(0, 2),
+)
+def test_enumerated_matches_oracle_on_small_blocks(
+        bx, by, bz, cx, cy, cz, const, elem, warp_id):
+    form = AffineForm(((TIDX, cx), (TIDY, cy), (TIDZ, cz)), const)
+    block = (bx, by, bz)
+    assert requests_per_warp_enumerated(form, elem, block, warp_id=warp_id) \
+        == _oracle(form, elem, block, warp_id=warp_id)

@@ -1,0 +1,54 @@
+"""L2-contention sweep tests (``catt l2sweep``) and the bench output path."""
+
+from __future__ import annotations
+
+from repro.experiments.bench import DEFAULT_BENCH_OUT
+from repro.experiments.l2sweep import (
+    DEFAULT_APPS,
+    DEFAULT_SMS,
+    build_l2sweep,
+    format_l2sweep,
+)
+from repro.workloads import WORKLOADS
+
+
+def test_default_probes_are_registered_and_cache_sensitive():
+    from repro.workloads import CS_GROUP
+
+    for app in DEFAULT_APPS:
+        assert app in WORKLOADS
+        assert app in CS_GROUP
+    assert DEFAULT_SMS[0] == 1          # the single-SM reference row
+
+
+def test_build_l2sweep_rows_and_attribution():
+    rows = build_l2sweep(apps=("ATAX",), sms_values=(1, 2), scale="test")
+    assert [(r.app, r.sms) for r in rows] == [("ATAX", 1), ("ATAX", 2)]
+    for r in rows:
+        # One attributed hit rate per co-simulated SM.
+        assert len(r.per_sm_l2_hit_rates) == r.sms
+        assert r.cycles > 0 and r.tbs_timed > 0
+        assert 0.0 <= r.l1_hit_rate <= 1.0
+        assert 0.0 <= r.l2_hit_rate <= 1.0
+    # On the 1-SM spec every TB is timed regardless of sms, so co-residency
+    # changes *where* TBs run, never how many are timed.
+    assert rows[0].tbs_timed == rows[1].tbs_timed
+
+
+def test_build_l2sweep_deterministic():
+    a = build_l2sweep(apps=("ATAX",), sms_values=(2,), scale="test")
+    b = build_l2sweep(apps=("ATAX",), sms_values=(2,), scale="test")
+    assert a == b
+
+
+def test_format_l2sweep_table():
+    rows = build_l2sweep(apps=("ATAX",), sms_values=(1,), scale="test")
+    text = format_l2sweep(rows)
+    assert "Shared-L2 contention sweep" in text
+    assert "ATAX" in text
+    assert "per-SM L2 hit" in text
+
+
+def test_bench_default_output_under_benchmarks():
+    # `catt bench` must not stray BENCH_sim.json into the repo root.
+    assert DEFAULT_BENCH_OUT == "benchmarks/BENCH_sim.json"

@@ -112,3 +112,37 @@ def test_runner_jobs_flag_parses(capsys):
     # table2 is static — just proves --jobs is accepted on any invocation.
     assert main(["table2", "--jobs", "2"]) == 0
     capsys.readouterr()
+
+
+# -- multi-SM cells in the result cache ---------------------------------------
+
+
+def test_result_cache_key_sms_suffix():
+    cell = ("ATAX", "baseline", "max", "test")
+    assert ResultCache.key(*cell) == ResultCache.key(*cell, sms=1)
+    assert "sms" not in ResultCache.key(*cell)      # sms=1 keys unchanged
+    assert ResultCache.key(*cell, sms=4).endswith("|sms4")
+
+
+def test_sweep_sms_cells_deterministic_across_jobs(tmp_path):
+    """An sms=2 sweep must produce byte-identical cached results whether run
+    in-process or through the worker pool (the CI determinism smoke, small)."""
+    import json
+
+    from repro.options import SimOptions
+
+    cell = ("ATAX", "baseline", "max", "test")
+    payloads = {}
+    for jobs in (1, 2):
+        path = tmp_path / f"cache_jobs{jobs}.json"
+        run_sweep([cell], jobs=jobs, cache=ResultCache(path),
+                  options=SimOptions(sms=2, jobs=jobs))
+        payloads[jobs] = json.loads(path.read_text())
+    assert payloads[1] == payloads[2]
+    (key,) = payloads[1]["results"].keys()
+    assert key.endswith("|sms2")
+    cached = ResultCache(tmp_path / "cache_jobs1.json").get(key)
+    assert cached.sms == 2
+    # Kernel rows carry the shared-L2 hit rate alongside the L1 one.
+    for stats in cached.kernels.values():
+        assert 0.0 <= stats.l2_hit_rate <= 1.0

@@ -135,3 +135,60 @@ __global__ void k(float *a, float *out) {
     split_ids = [loop_id for loop_id, _ in t.warp_splits]
     assert len(split_ids) == len(set(split_ids))
     assert len(split_ids) <= 1
+
+
+# -- TB-only throttling at one warp per TB ------------------------------------
+# With warps_per_tb == 1 the only reachable decision shape is (n=1, m>=1);
+# `ThrottleDecision.throttles` once required m > 1, so this path silently
+# skipped the dummy-shared insertion.  The kernel below is sized so Eq. 9
+# lands exactly on m=1: 32 KB static shared -> 3 resident TBs, and a
+# divergent 3-iteration inner sweep (96 lines/warp) makes 3 TBs overflow the
+# 32 KB L1D (288 > 256 lines) while 2 TBs fit (192 <= 256).
+
+TB_ONLY = """
+__global__ void k(float *a, float *out) {
+    __shared__ float s[8192];
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    s[threadIdx.x] = 0.0f;
+    float acc = 0.0f;
+    for (int r = 0; r < 8; r++) {
+        for (int j = 0; j < 3; j++) {
+            acc += a[(i * 40 + j) * 32];
+        }
+    }
+    out[i] = acc + s[threadIdx.x];
+}
+"""
+
+
+def test_tb_only_m1_decision_reaches_dummy_shared():
+    from repro.analysis import analyze_kernel
+
+    ana = analyze_kernel(parse(TB_ONLY), "k", 32, TITAN_V_SIM, grid=4)
+    assert ana.occupancy.warps_per_tb == 1
+    assert ana.occupancy.tb_sm == 3
+    outer = ana.loops[0].decision
+    assert (outer.n, outer.m) == (1, 1)
+    assert outer.throttles is True          # the m > 1 off-by-one regression
+    assert ana.tb_m == 1
+    assert [l.loop_id for l in ana.throttled_loops] == [ana.loops[0].loop_id]
+
+    comp = catt_compile(parse(TB_ONLY), {"k": (4, 32)}, TITAN_V_SIM)
+    t = comp.transforms["k"]
+    assert t.transformed
+    assert t.warp_splits == []              # pure TB-level throttling
+    assert t.tb_plan is not None and t.tb_plan.target_tbs == 2
+    assert DUMMY_NAME in emit(comp.unit.kernel("k"))
+
+
+def test_tb_only_m1_transformed_kernel_correct_and_throttled():
+    comp = catt_compile(parse(TB_ONLY), {"k": (4, 32)}, TITAN_V_SIM)
+    dev = Device(TITAN_V_SIM)
+    n = 4 * 32
+    a_host = np.arange(n * 40 * 32, dtype=np.float32)
+    a, out = dev.to_device(a_host), dev.zeros(n)
+    res = dev.launch(comp.unit, "k", 4, 32, [a, out])
+    assert res.occupancy.tb_sm == 2         # residency actually reduced
+    i = np.arange(n)
+    ref = 8.0 * sum(a_host[(i * 40 + j) * 32] for j in range(3))
+    np.testing.assert_allclose(out.to_host(), ref, rtol=1e-4)
