@@ -144,18 +144,23 @@ class Session:
                            cache=self._cache(), verify=verify,
                            on_error=on_error)
 
-    def sweep(self, cells=None, scale: str = "bench"):
+    def sweep(self, cells=None, scale: str = "bench", policy=None,
+              resume: bool = False):
         """Populate this session's cache with simulation cells.
 
         ``cells=None`` sweeps everything ``catt all`` consumes; jobs come
-        from the session options.
+        from the session options.  ``policy`` is a
+        :class:`~repro.experiments.sweep.SweepPolicy` (deadlines/retries);
+        ``resume=True`` replays the write-ahead journal of an interrupted
+        sweep and recomputes only what is missing.
         """
         from .experiments.sweep import all_cells, run_sweep
 
         with self._scope():
             return run_sweep(cells if cells is not None else all_cells(scale),
                              jobs=self.options.jobs, cache=self._cache(),
-                             options=self.options)
+                             options=self.options, policy=policy,
+                             resume=resume)
 
     # -- observability ------------------------------------------------------
     def spans(self):

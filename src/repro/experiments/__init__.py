@@ -2,7 +2,8 @@
 
 See DESIGN.md §4 for the per-experiment index.  All of them go through
 :func:`repro.experiments.common.run_app`, which caches simulation results in
-``.bench_cache/results.json`` so figures share sweeps.
+the sharded crash-safe store under ``.bench_cache/`` so figures share
+sweeps (see :mod:`repro.experiments.store`).
 """
 
 from .common import SCHEMES, SPECS, AppResult, ResultCache, default_cache, geomean, run_app

@@ -25,6 +25,7 @@ from ..transform import catt_compile
 from ..transform.diagnostics import E_SIM, Diagnostic
 from ..workloads import get_workload
 from ..workloads.base import WorkloadRun, run_workload
+from .store import ShardStore, fsync_file, quarantine_file
 
 SPECS: dict[str, GPUSpec] = {
     "max": TITAN_V_SIM,       # maximum L1D (Eq.-4 carveout, up to 128 KB)
@@ -80,26 +81,39 @@ def geomean(values: list[float]) -> float:
 
 
 class ResultCache:
-    """In-process + JSON-file memo of :class:`AppResult` records.
+    """In-process + on-disk memo of :class:`AppResult` records.
 
-    Disk writes are atomic (write-temp + :func:`os.replace`), so a killed
-    sweep can never leave a half-written JSON behind.  A corrupt cache file
-    found at load time is archived next to itself (``results.json.corrupt``)
-    with a warning instead of being silently ignored — the sweep restarts
-    from an empty cache and the evidence is preserved.
+    The backing store depends on the path:
+
+    * ``""`` — memory-only (workers, profiling);
+    * ``*.json`` — the legacy single-file JSON cache.  Writes are atomic
+      (write-temp + fsync + :func:`os.replace`), so a killed sweep can never
+      leave a half-written or torn JSON behind;
+    * any other path — a **sharded, crash-safe store** rooted at that
+      directory (:class:`~repro.experiments.store.ShardStore`): one small
+      shard rewritten per put instead of the whole file, per-shard locks for
+      safe concurrent use from multiple processes, and sha256 per record
+      verified on read.  This is the default (``.bench_cache/``).
+
+    A corrupt cache file or shard found at load time is archived next to
+    itself (``<name>.corrupt``, then ``.corrupt.1``, … — repeated corruption
+    never overwrites earlier evidence) with a warning instead of being
+    silently ignored — the sweep restarts from an empty cache and the
+    forensics are preserved.
     """
 
     VERSION = 4  # bump to invalidate stale caches after model changes
 
     def __init__(self, path: str | Path | None = None):
         if path is None:
-            path = resolve_cache_path(
-                str(Path.cwd() / ".bench_cache" / "results.json")
-            )
+            path = resolve_cache_path(str(Path.cwd() / ".bench_cache"))
         self.path = Path(path) if path else None
         self._mem: dict[str, AppResult] = {}
         self._disk: dict[str, dict] = {}
-        if self.path and self.path.exists():
+        self._store: ShardStore | None = None
+        if self.path is not None and self.path.suffix != ".json":
+            self._store = ShardStore(self.path, version=self.VERSION)
+        elif self.path and self.path.exists():
             try:
                 payload = json.loads(self.path.read_text())
                 if not isinstance(payload, dict):
@@ -115,11 +129,7 @@ class ResultCache:
                 self._archive_corrupt()
 
     def _archive_corrupt(self) -> None:
-        archive = self.path.with_name(self.path.name + ".corrupt")
-        try:
-            os.replace(self.path, archive)
-        except OSError:
-            archive = None
+        archive = quarantine_file(self.path)
         warnings.warn(
             f"result cache {self.path} was corrupt; "
             + (f"archived to {archive} and " if archive else "")
@@ -136,10 +146,22 @@ class ResultCache:
         base = f"{app}|{scheme}|{spec}|{scale}"
         return base if sms == 1 else f"{base}|sms{sms}"
 
+    def wal_path(self) -> Path | None:
+        """Where a sweep's write-ahead journal for this cache lives (None
+        for memory-only caches, which cannot support ``--resume``)."""
+        if self._store is not None:
+            return self.path / "sweep.wal"
+        if self.path is not None:
+            return self.path.with_name(self.path.name + ".wal")
+        return None
+
     def get(self, key: str) -> AppResult | None:
         if key in self._mem:
             return self._mem[key]
-        raw = self._disk.get(key)
+        if self._store is not None:
+            raw = self._store.get(key)
+        else:
+            raw = self._disk.get(key)
         if raw is None:
             return None
         result = _from_json(raw)
@@ -148,14 +170,23 @@ class ResultCache:
 
     def put(self, key: str, result: AppResult) -> None:
         self._mem[key] = result
+        if self._store is not None:
+            self._store.put(key, _to_json(result))
+            return
         self._disk[key] = _to_json(result)
         if self.path:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            # sort_keys makes the bytes canonical: the file content depends
+            # only on the record set, so interrupted+resumed sweeps converge
+            # to the same bytes as uninterrupted ones.
             payload = json.dumps(
-                {"version": self.VERSION, "results": self._disk}, indent=0
+                {"version": self.VERSION, "results": self._disk},
+                indent=0, sort_keys=True,
             )
             tmp = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
-            tmp.write_text(payload)
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+                fsync_file(fh)
             os.replace(tmp, self.path)
 
     def put_transient(self, key: str, result: AppResult) -> None:

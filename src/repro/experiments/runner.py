@@ -243,6 +243,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for the simulation sweep "
                              "('all' and 'bench')")
+    parser.add_argument("--resume", action="store_true",
+                        help="all: resume an interrupted sweep from its "
+                             "write-ahead journal instead of starting over")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SEC",
+                        help="all: wall-clock deadline per sweep cell; a "
+                             "hung cell is killed and retried (default: "
+                             "no deadline)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="all: extra attempts for a crashed/hung/failed "
+                             "sweep cell before it is quarantined as "
+                             "degraded (default: 2)")
     parser.add_argument("--engine", choices=list(ENGINES), default=None,
                         help="simulator engine (default: compiled)")
     parser.add_argument("--no-dedup", action="store_true",
@@ -391,12 +403,31 @@ def _dispatch(args, parser, opts: SimOptions) -> int:
             return 1 if failures else 0
         return 0
     else:  # all
-        if opts.jobs > 1:
-            # Populate the shared cache in parallel up front; the per-figure
-            # builders below then run entirely against warm entries.
-            from .sweep import all_cells, run_sweep
+        # Populate the shared cache up front (supervised, journaled); the
+        # per-figure builders below then run entirely against warm entries.
+        from .sweep import (
+            DEFAULT_POLICY,
+            SweepPolicy,
+            all_cells,
+            format_sweep_health,
+            run_sweep,
+        )
 
-            run_sweep(all_cells(args.scale), jobs=opts.jobs, options=opts)
+        policy = SweepPolicy(
+            cell_timeout=args.cell_timeout,
+            retries=(args.retries if args.retries is not None
+                     else DEFAULT_POLICY.retries),
+        )
+        try:
+            report = run_sweep(all_cells(args.scale), jobs=opts.jobs,
+                               options=opts, policy=policy,
+                               resume=args.resume)
+        except KeyboardInterrupt:
+            print("\nsweep interrupted; completed cells are saved — rerun "
+                  "with --resume to pick up where it left off",
+                  file=sys.stderr)
+            return 130
+        print(format_sweep_health(report), file=sys.stderr)
         for exp in ("table2", "table3", "fig2", "fig3", "fig6", "fig7",
                     "fig8", "fig9", "fig10", "overhead"):
             main([exp, "--scale", args.scale])

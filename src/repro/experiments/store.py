@@ -1,0 +1,349 @@
+"""Crash-safe on-disk result storage: a sharded record store and a WAL.
+
+Two durability primitives back the experiment harness:
+
+:class:`ShardStore`
+    A content-keyed, sharded JSON store.  Keys hash (sha256) onto a fixed
+    number of shard files, so a ``put`` rewrites one small shard instead of
+    the whole cache — the old single-file ``ResultCache`` paid O(N²) disk
+    traffic over a sweep and lost records to last-writer-wins races when two
+    processes shared the file.  Safety properties:
+
+    * **per-shard locks** (``flock`` where available) make concurrent puts
+      from multiple processes merge instead of clobber;
+    * **atomic, fsync'd replace** — a crash between write and rename can
+      never surface a torn shard, and a crash right after ``os.replace``
+      cannot lose the rename to a dirty page;
+    * **per-record integrity** — every record carries a sha256 over its
+      canonical JSON payload, verified on read; a tampered or bit-rotted
+      record reads as a miss, never as silent bad data;
+    * **corrupt-shard quarantine** — an unparseable shard is renamed to
+      ``<shard>.corrupt`` (monotonic ``.corrupt.N`` suffixes preserve the
+      evidence of repeated corruption) and the store keeps working;
+    * **canonical bytes** — shards serialize with sorted keys, so the
+      on-disk bytes depend only on the *set* of records, not on insertion
+      order: sequential, parallel, and resumed sweeps converge to identical
+      files.
+
+:class:`SweepWAL`
+    An append-only, fsync'd write-ahead journal of completed sweep cells.
+    The supervisor appends each finished cell as one integrity-checked JSON
+    line; after a SIGKILL mid-sweep, ``--resume`` reloads the journal and
+    recomputes only what is missing.  A torn tail line (the crash case) is
+    skipped by the sha256 check, never mis-parsed.
+
+Fault injection: shard writes call the ``"cache"`` boundary hooks from
+:mod:`repro.testing.faults` — ``exc=OSError`` models disk-full (the put
+degrades to memory-only with a warning), ``mode="truncate"`` models a torn
+write (the next read quarantines the shard).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from contextlib import contextmanager
+from pathlib import Path
+
+try:  # POSIX; the store degrades to lockless best-effort elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+from ..obs.metrics_registry import registry as _registry
+from ..testing.faults import InjectedFault, check_fault, mangle_write
+
+
+def canonical_bytes(record) -> bytes:
+    """The canonical JSON byte form of a record (sorted keys, no spaces)."""
+    return json.dumps(record, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def record_digest(record) -> str:
+    """sha256 hex digest over a record's canonical JSON payload."""
+    return hashlib.sha256(canonical_bytes(record)).hexdigest()
+
+
+def quarantine_file(path: Path) -> Path | None:
+    """Move a corrupt artifact aside, never overwriting older evidence.
+
+    The first quarantine of ``x`` lands at ``x.corrupt``; later ones at
+    ``x.corrupt.1``, ``x.corrupt.2``, … (monotonic).  Returns the archive
+    path, or ``None`` when the rename itself failed.
+    """
+    base = path.name + ".corrupt"
+    archive = path.with_name(base)
+    n = 0
+    while archive.exists():
+        n += 1
+        archive = path.with_name(f"{base}.{n}")
+    try:
+        os.replace(path, archive)
+    except OSError:
+        return None
+    return archive
+
+
+def fsync_file(fh) -> None:
+    """Flush + fsync one open file object (the crash-safety half of an
+    atomic replace: without it, ``os.replace`` can publish a name whose
+    *data* never reached the platter)."""
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+def _fsync_dir(path: Path) -> None:
+    """Best-effort directory fsync so a rename survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+class ShardStore:
+    """Sharded, integrity-checked dict-of-records on disk.
+
+    ``root`` is a directory holding ``shard-00.json`` … ``shard-0f.json``
+    (created lazily).  Records are plain JSON-serializable dicts; the store
+    never interprets them beyond hashing.
+    """
+
+    SHARDS = 16
+
+    def __init__(self, root: str | Path, version: int = 1):
+        self.root = Path(root)
+        self.version = version
+        # Parsed shards memoized on (mtime_ns, size); invalidated whenever
+        # another process replaced the file.
+        self._memo: dict[int, tuple[tuple[int, int], dict]] = {}
+        self.integrity_failures = 0
+        self.quarantined = 0
+        self.write_errors = 0
+
+    # -- layout --------------------------------------------------------------
+    @staticmethod
+    def shard_of(key: str) -> int:
+        return hashlib.sha256(key.encode("utf-8")).digest()[0] % ShardStore.SHARDS
+
+    def shard_path(self, idx: int) -> Path:
+        return self.root / f"shard-{idx:02x}.json"
+
+    def shard_paths(self) -> list[Path]:
+        """Every existing shard file, sorted by name (byte-compare order)."""
+        return sorted(self.root.glob("shard-??.json"))
+
+    # -- locking -------------------------------------------------------------
+    @contextmanager
+    def _shard_lock(self, idx: int):
+        """Exclusive advisory lock serializing cross-process shard writes."""
+        lock_path = self.root / f".shard-{idx:02x}.lock"
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    # -- read path -----------------------------------------------------------
+    def _load_shard(self, idx: int, fresh: bool = False) -> dict:
+        path = self.shard_path(idx)
+        try:
+            st = path.stat()
+        except OSError:
+            self._memo.pop(idx, None)
+            return {}
+        sig = (st.st_mtime_ns, st.st_size)
+        if not fresh:
+            memoized = self._memo.get(idx)
+            if memoized is not None and memoized[0] == sig:
+                return memoized[1]
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(payload, dict) or \
+                    not isinstance(payload.get("records"), dict):
+                raise ValueError("shard payload is not a records object")
+        except OSError:
+            return {}
+        except (json.JSONDecodeError, ValueError):
+            self._quarantine_shard(path)
+            return {}
+        if payload.get("version") != self.version:
+            # Stale format: treated as empty; the next put rewrites it.
+            return {}
+        records = payload["records"]
+        self._memo[idx] = (sig, records)
+        return records
+
+    def _quarantine_shard(self, path: Path) -> None:
+        archive = quarantine_file(path)
+        self.quarantined += 1
+        self._memo.clear()
+        reg = _registry()
+        if reg.enabled:
+            reg.counter("cache.shards_quarantined").inc()
+        warnings.warn(
+            f"result-cache shard {path} was corrupt; "
+            + (f"archived to {archive} and " if archive else "")
+            + "dropped from the store",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    def get(self, key: str) -> dict | None:
+        """The record for ``key``, or ``None`` (missing *or* failed its
+        integrity check — bad data is indistinguishable from no data)."""
+        entry = self._load_shard(self.shard_of(key)).get(key)
+        if entry is None:
+            return None
+        record = entry.get("record") if isinstance(entry, dict) else None
+        if record is None or entry.get("sha256") != record_digest(record):
+            self.integrity_failures += 1
+            reg = _registry()
+            if reg.enabled:
+                reg.counter("cache.integrity_failures").inc()
+            warnings.warn(
+                f"result-cache record {key!r} failed its integrity check; "
+                "treating as a miss",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        return record
+
+    # -- write path ----------------------------------------------------------
+    def put(self, key: str, record: dict) -> bool:
+        """Write one record; returns False when the disk write failed (the
+        caller's in-memory copy is then the only one)."""
+        idx = self.shard_of(key)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with self._shard_lock(idx):
+                # Fresh read under the lock: merge concurrent writers'
+                # records instead of clobbering them.
+                records = dict(self._load_shard(idx, fresh=True))
+                records[key] = {"record": record,
+                                "sha256": record_digest(record)}
+                self._write_shard(idx, records)
+        except (OSError, InjectedFault) as exc:
+            self.write_errors += 1
+            reg = _registry()
+            if reg.enabled:
+                reg.counter("cache.write_errors").inc()
+            warnings.warn(
+                f"result-cache shard write failed ({exc}); record {key!r} "
+                "is memory-only for this process",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return False
+        return True
+
+    def _write_shard(self, idx: int, records: dict) -> None:
+        path = self.shard_path(idx)
+        site = path.name
+        check_fault("cache", site)          # disk-full style injection
+        payload = json.dumps({"version": self.version, "records": records},
+                             sort_keys=True, indent=0).encode("utf-8")
+        payload = mangle_write("cache", site, payload)   # torn-write injection
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+            fsync_file(fh)
+        os.replace(tmp, path)
+        _fsync_dir(self.root)
+        st = path.stat()
+        self._memo[idx] = ((st.st_mtime_ns, st.st_size), records)
+
+
+class SweepWAL:
+    """Append-only journal of completed sweep cells (one JSON line each).
+
+    Lines carry their own sha256, so a parent killed mid-append leaves at
+    most one torn tail line, which :meth:`load` silently skips.  The first
+    line is a header binding the journal to the cache format version — a
+    stale journal (written by an older model) resumes as empty rather than
+    resurrecting incompatible records.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str | Path, cache_version: int):
+        self.path = Path(path)
+        self.cache_version = cache_version
+        self._fh = None
+        self.dropped = 0     # invalid/torn lines skipped by the last load()
+
+    def load(self) -> dict[str, dict]:
+        """Replay the journal: ``{cache_key: record}`` for every intact line."""
+        self.dropped = 0
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return {}
+        lines = text.splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+            ok = (header.get("wal") == self.VERSION
+                  and header.get("cache_version") == self.cache_version)
+        except (json.JSONDecodeError, AttributeError):
+            ok = False
+        if not ok:
+            self.dropped = len(lines)
+            return {}
+        out: dict[str, dict] = {}
+        for line in lines[1:]:
+            try:
+                obj = json.loads(line)
+                key, record, sha = obj["key"], obj["record"], obj["sha256"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                self.dropped += 1
+                continue
+            if record_digest(record) != sha:
+                self.dropped += 1
+                continue
+            out[key] = record
+        return out
+
+    def append(self, key: str, record: dict) -> None:
+        """Durably journal one completed cell (fsync before returning)."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+            if self._fh.tell() == 0:
+                self._fh.write(json.dumps(
+                    {"wal": self.VERSION,
+                     "cache_version": self.cache_version}) + "\n")
+        self._fh.write(json.dumps(
+            {"key": key, "record": record, "sha256": record_digest(record)},
+            sort_keys=True) + "\n")
+        fsync_file(self._fh)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def discard(self) -> None:
+        """Close and delete the journal (the sweep committed its results)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

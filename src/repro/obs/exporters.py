@@ -47,6 +47,11 @@ def render_tree(spans, metrics: dict | None = None) -> str:
     for s in spans:
         fmt(s, 0)
     if metrics:
+        health = _sweep_health_lines(metrics.get("counters", {}))
+        if health:
+            lines.append("")
+            lines.append("sweep health:")
+            lines.extend(health)
         lines.append("")
         lines.append("metrics:")
         for name, value in metrics.get("counters", {}).items():
@@ -59,6 +64,32 @@ def render_tree(spans, metrics: dict | None = None) -> str:
                 f"min={s['min']:.6g} max={s['max']:.6g}"
             )
     return "\n".join(lines)
+
+
+#: Supervisor/cache counters surfaced as a dedicated health section: every
+#: entry is a fault the run *survived* — nonzero values mean the sweep or
+#: the store did recovery work that would previously have been fatal.
+_HEALTH_COUNTERS = (
+    ("sweep.retries", "cell attempts retried"),
+    ("sweep.timeouts", "cells killed by deadline"),
+    ("sweep.crashes", "worker crashes survived"),
+    ("sweep.respawns", "workers respawned"),
+    ("sweep.quarantined", "poison cells quarantined"),
+    ("sweep.resumed", "cells replayed from journal"),
+    ("sweep.interrupted", "sweeps interrupted cleanly"),
+    ("cache.integrity_failures", "cache records failing sha256"),
+    ("cache.shards_quarantined", "corrupt cache shards archived"),
+    ("cache.write_errors", "cache writes degraded to memory"),
+)
+
+
+def _sweep_health_lines(counters: dict) -> list[str]:
+    lines = []
+    for name, label in _HEALTH_COUNTERS:
+        value = counters.get(name)
+        if value:
+            lines.append(f"  {label:42s} {value:>14,}")
+    return lines
 
 
 def phase_totals(spans) -> dict[str, float]:

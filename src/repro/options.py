@@ -35,10 +35,11 @@ ENGINES = ("compiled", "interp")
 class SimOptions:
     """Resolved simulation/experiment configuration.
 
-    ``cache_dir`` semantics: ``None`` keeps the harness default
-    (``.bench_cache/results.json`` under the working directory), ``""``
-    means memory-only (no disk cache), a ``*.json`` path is used verbatim,
-    and any other path is treated as a directory holding ``results.json``.
+    ``cache_dir`` semantics: ``None`` keeps the harness default (the
+    sharded store under ``.bench_cache/`` in the working directory), ``""``
+    means memory-only (no disk cache), a ``*.json`` path selects the legacy
+    single-file JSON cache at that path, and any other path is the root
+    directory of a sharded result store.
     """
 
     engine: str = "compiled"
@@ -93,13 +94,11 @@ class SimOptions:
         return replace(self, **changes)
 
     def cache_path(self) -> str | None:
-        """The result-cache file path this configuration implies."""
+        """The result-cache location this configuration implies: a ``.json``
+        file (legacy single-file cache) or a sharded-store root directory."""
         if self.cache_dir is None:
             return None
-        if self.cache_dir == "":
-            return ""
-        p = Path(self.cache_dir)
-        return str(p if p.suffix == ".json" else p / "results.json")
+        return self.cache_dir
 
     def summary(self) -> dict:
         """Deterministic dict view (manifest / trace attributes)."""

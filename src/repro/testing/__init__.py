@@ -1,25 +1,38 @@
 """Test-support infrastructure: deterministic fault injection.
 
 Production code calls the (near-zero-cost) :func:`repro.testing.faults.
-check_fault` hooks at the frontend/analysis/transform/sim boundaries; tests
-arm them with :func:`repro.testing.faults.inject_faults` to exercise every
-degradation path of the resilient driver.
+check_fault` / :func:`repro.testing.faults.mangle_write` hooks at the
+frontend/analysis/transform/sim/cache boundaries; tests arm them with
+:func:`repro.testing.faults.inject_faults` to exercise every degradation
+path of the resilient driver.  Process-level chaos (worker crash, hang,
+transient failure) is described by :class:`repro.testing.faults.ChaosPlan`
+and enforced by the sweep supervisor.
 """
 
 from .faults import (
     BOUNDARIES,
+    ChaosPlan,
     FaultInjector,
     FaultSpec,
     InjectedFault,
+    WorkerFault,
     check_fault,
+    check_worker_fault,
     inject_faults,
+    mangle_write,
+    set_worker_chaos,
 )
 
 __all__ = [
     "BOUNDARIES",
+    "ChaosPlan",
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",
+    "WorkerFault",
     "check_fault",
+    "check_worker_fault",
     "inject_faults",
+    "mangle_write",
+    "set_worker_chaos",
 ]

@@ -1,0 +1,226 @@
+"""Chaos-determinism sweep — the CI job ``python -m repro.testing.chaos``.
+
+End-to-end check of the sweep supervisor's recovery contract: no matter
+what process-level faults a sweep survives — worker crashes, hung cells
+killed by deadline, in-worker exceptions, a SIGKILL'd run resumed from its
+journal, a SIGINT'd run resumed from its flushed cache — the resulting
+on-disk cache must be **byte-identical** to an uninterrupted sequential
+run, and the signed run manifest (which covers the cache digest) must
+match.  Exit status 0 means every phase converged; 1 names the phase that
+diverged.
+
+Phases:
+
+1. **baseline** — clean ``--jobs 1`` sweep; records the canonical cache
+   digest everything else is compared against.
+2. **chaos** — parallel sweep under an armed
+   :class:`~repro.testing.faults.ChaosPlan`: one cell's worker crashes
+   (``os._exit``) twice, one cell raises, one cell hangs until the
+   supervisor's deadline kills it.  All must be retried to clean results.
+3. **sigkill + resume** — a child sweep process is SIGKILL'd mid-sweep
+   (no cleanup of any kind runs), then ``resume=True`` replays the
+   write-ahead journal and completes.
+4. **sigint + resume** — a second child is SIGINT'd; it must exit 130
+   after flushing completed cells, leaving no orphaned workers; a resumed
+   sweep then completes.
+
+Replay any failure locally with the same command — the chaos plan is
+fully deterministic (faults key on cell + attempt index, not timing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from ..experiments.common import ResultCache
+from ..experiments.sweep import SweepPolicy, format_sweep_health, run_sweep
+from ..obs.manifest import build_manifest
+from .faults import ChaosPlan, WorkerFault
+
+#: The cell subset every phase sweeps — small enough for CI, wide enough to
+#: exercise baseline and CATT schemes across apps.
+CHAOS_APPS = ("ATAX", "MVT", "GSMV")
+CHAOS_SCHEMES = ("baseline", "catt")
+
+
+def chaos_cells(scale: str = "test") -> list[tuple[str, str, str, str]]:
+    return [(app, scheme, "max", scale)
+            for app in CHAOS_APPS for scheme in CHAOS_SCHEMES]
+
+
+def cache_digest(root: str | Path) -> str:
+    """sha256 over every shard file (name + bytes) in a sharded cache."""
+    h = hashlib.sha256()
+    for p in sorted(Path(root).glob("shard-??.json")):
+        h.update(p.name.encode("utf-8"))
+        h.update(p.read_bytes())
+    return h.hexdigest()
+
+
+def _signature(scale: str, digest: str) -> str:
+    """The deterministic manifest signature for one sweep outcome."""
+    return build_manifest(
+        command=f"chaos-sweep --scale {scale}",
+        config={"cells": chaos_cells(scale), "cache_sha256": digest},
+    ).signature
+
+
+def _wait_for_wal(wal: Path, min_records: int, timeout: float) -> bool:
+    """Block until the child's journal holds ``min_records`` data lines."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            # header line + data lines
+            if len(wal.read_text().splitlines()) > min_records:
+                return True
+        except OSError:
+            pass
+        time.sleep(0.05)
+    return False
+
+
+def _spawn_child(cache_dir: Path, scale: str) -> subprocess.Popen:
+    """A fresh process running this module's --child sweep loop."""
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.testing.chaos",
+         "--child", str(cache_dir), "--scale", scale],
+        env=env,
+        start_new_session=True,   # signals target the child, never this CI job
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _child_sweep(cache_dir: str, scale: str) -> int:
+    """The sweep loop the kill phases run in a subprocess."""
+    try:
+        run_sweep(chaos_cells(scale), jobs=1, cache=ResultCache(cache_dir))
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+def run_chaos(scale: str = "test", jobs: int = 3,
+              verbose: bool = True) -> int:
+    """Return the number of phases that diverged from baseline (0 = pass)."""
+
+    def log(msg: str) -> None:
+        if verbose:
+            print(msg)
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="catt-chaos-") as tmp:
+        root = Path(tmp)
+
+        # -- phase 1: clean sequential baseline ------------------------------
+        report = run_sweep(chaos_cells(scale), jobs=1,
+                           cache=ResultCache(root / "baseline"))
+        baseline = cache_digest(root / "baseline")
+        baseline_sig = _signature(scale, baseline)
+        log(f"[baseline ] {format_sweep_health(report)}")
+        log(f"[baseline ] cache sha256 {baseline[:16]}…")
+
+        def check(label: str, cache_dir: Path) -> None:
+            nonlocal failures
+            digest = cache_digest(cache_dir)
+            if digest != baseline or _signature(scale, digest) != baseline_sig:
+                failures += 1
+                log(f"[{label:9s}] FAIL: cache diverged from baseline "
+                    f"({digest[:16]}… != {baseline[:16]}…)")
+            else:
+                log(f"[{label:9s}] cache + manifest signature match baseline")
+
+        # -- phase 2: crash/hang/fail chaos, parallel ------------------------
+        cells = chaos_cells(scale)
+        first, second, third = cells[0], cells[1], cells[2]
+        plan = ChaosPlan(faults=(
+            WorkerFault(kind="crash", match="|".join(first), attempts=2),
+            WorkerFault(kind="fail", match="|".join(second), attempts=1),
+            WorkerFault(kind="hang", match="|".join(third), attempts=1,
+                        hang_seconds=300.0),
+        ))
+        report = run_sweep(
+            cells, jobs=jobs, cache=ResultCache(root / "chaos"),
+            policy=SweepPolicy(cell_timeout=10.0, retries=3, backoff=0.01,
+                               poll=0.02),
+            chaos=plan)
+        log(f"[chaos    ] {format_sweep_health(report)}")
+        if report.crashes < 2 or report.timeouts < 1 or report.quarantined:
+            failures += 1
+            log("[chaos    ] FAIL: expected >=2 crashes, >=1 timeout, "
+                "0 quarantined")
+        check("chaos", root / "chaos")
+
+        # -- phase 3: SIGKILL mid-sweep, then resume -------------------------
+        kill_dir = root / "sigkill"
+        child = _spawn_child(kill_dir, scale)
+        if not _wait_for_wal(kill_dir / "sweep.wal", min_records=2,
+                             timeout=120.0):
+            failures += 1
+            log("[sigkill  ] FAIL: child never journaled 2 cells")
+        child.send_signal(signal.SIGKILL)
+        child.wait()
+        report = run_sweep(chaos_cells(scale), jobs=1,
+                           cache=ResultCache(kill_dir), resume=True)
+        log(f"[sigkill  ] {format_sweep_health(report)}")
+        if report.resumed < 1:
+            failures += 1
+            log("[sigkill  ] FAIL: nothing replayed from the journal")
+        check("sigkill", kill_dir)
+
+        # -- phase 4: SIGINT mid-sweep (clean interrupt), then resume --------
+        int_dir = root / "sigint"
+        child = _spawn_child(int_dir, scale)
+        if not _wait_for_wal(int_dir / "sweep.wal", min_records=2,
+                             timeout=120.0):
+            failures += 1
+            log("[sigint   ] FAIL: child never journaled 2 cells")
+        child.send_signal(signal.SIGINT)
+        code = child.wait()
+        if code != 130:
+            failures += 1
+            log(f"[sigint   ] FAIL: child exited {code}, expected 130")
+        if not any((int_dir / f"shard-{i:02x}.json").exists()
+                   for i in range(16)):
+            failures += 1
+            log("[sigint   ] FAIL: interrupt flushed nothing to the cache")
+        report = run_sweep(chaos_cells(scale), jobs=jobs,
+                           cache=ResultCache(int_dir), resume=True)
+        log(f"[sigint   ] {format_sweep_health(report)}")
+        check("sigint", int_dir)
+
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="CATT sweep-supervisor chaos determinism check")
+    parser.add_argument("--scale", default="test", choices=["test", "bench"])
+    parser.add_argument("--jobs", type=int, default=3)
+    parser.add_argument("--child", metavar="CACHE_DIR", default=None,
+                        help=argparse.SUPPRESS)   # internal: kill-phase child
+    args = parser.parse_args(argv)
+    if args.child:
+        return _child_sweep(args.child, args.scale)
+    failures = run_chaos(args.scale, args.jobs)
+    if failures:
+        print(f"FAIL: {failures} chaos phase(s) diverged")
+        return 1
+    print("OK: every chaos phase converged to the baseline cache bytes")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

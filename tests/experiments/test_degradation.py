@@ -44,6 +44,24 @@ def test_corrupt_cache_archived_and_recovered(tmp_path):
     assert ResultCache(path).get("k").total_cycles == 100
 
 
+def test_repeated_corruption_archives_monotonically(tmp_path):
+    """A second (and third) corrupt cache must never overwrite the archived
+    evidence of the first: suffixes count up (.corrupt, .corrupt.1, ...)."""
+    path = tmp_path / "cache.json"
+    for expected in ("cache.json.corrupt", "cache.json.corrupt.1",
+                     "cache.json.corrupt.2"):
+        path.write_text(f'{{"broken": {expected}')   # unique corrupt bytes
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            ResultCache(path)
+        assert (tmp_path / expected).exists()
+    # All three pieces of evidence survived, each with its own content.
+    archives = sorted(p.name for p in tmp_path.glob("cache.json.corrupt*"))
+    assert archives == ["cache.json.corrupt", "cache.json.corrupt.1",
+                        "cache.json.corrupt.2"]
+    contents = {(tmp_path / a).read_text() for a in archives}
+    assert len(contents) == 3
+
+
 def test_wrong_shape_cache_also_archived(tmp_path):
     path = tmp_path / "cache.json"
     path.write_text(json.dumps(

@@ -46,10 +46,11 @@ def test_simoptions_validation():
 def test_simoptions_cache_path_semantics(tmp_path):
     assert SimOptions().cache_path() is None
     assert SimOptions(cache_dir="").cache_path() == ""
+    # A .json path selects the legacy single-file cache...
     assert SimOptions(cache_dir=str(tmp_path / "r.json")).cache_path() == \
         str(tmp_path / "r.json")
-    assert SimOptions(cache_dir=str(tmp_path)).cache_path() == \
-        str(tmp_path / "results.json")
+    # ...while any other path is the root of the sharded store, verbatim.
+    assert SimOptions(cache_dir=str(tmp_path)).cache_path() == str(tmp_path)
 
 
 def test_env_resolution_with_deprecation_warning(monkeypatch):

@@ -100,7 +100,13 @@ def test_injector_without_context_manager():
 # ---------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("stage", BOUNDARIES)
+# The worker boundary is process-level (WorkerFault/ChaosPlan, exercised in
+# tests/experiments/test_supervisor.py); the cache boundary fires on sharded
+# store writes and gets its own matrix below.
+PIPELINE_BOUNDARIES = ("frontend", "analysis", "transform", "sim")
+
+
+@pytest.mark.parametrize("stage", PIPELINE_BOUNDARIES)
 def test_run_app_matrix_survives_boundary_faults(stage, tmp_path):
     cache = ResultCache(tmp_path / "cache.json")
     with inject_faults(FaultSpec(stage=stage)) as inj:
@@ -115,6 +121,25 @@ def test_run_app_matrix_survives_boundary_faults(stage, tmp_path):
     # frontend/sim faults kill every cell; analysis/transform faults are
     # absorbed inside the resilient compile (baseline never compiles).
     assert inj.fired
+
+
+def test_run_app_matrix_survives_cache_faults(tmp_path):
+    """A cache write that fails never kills the run: every cell still
+    produces a clean result, merely memory-only for this process."""
+    cache = ResultCache(tmp_path / "store")        # sharded backend
+    with inject_faults(FaultSpec(stage="cache")) as inj:
+        with pytest.warns(RuntimeWarning, match="write failed"):
+            for scheme in SCHEMES:
+                result = run_app("GSMV", scheme, "max", "test", cache)
+                assert not result.degraded and result.total_cycles > 0
+    assert inj.fired
+    # Nothing reached disk; a fresh sweep simply recomputes.
+    fresh = ResultCache(tmp_path / "store")
+    key = ResultCache.key("GSMV", "baseline", "max", "test")
+    assert fresh.get(key) is None
+    clean = run_app("GSMV", "baseline", "max", "test", fresh)
+    assert not clean.degraded
+    assert ResultCache(tmp_path / "store").get(key) is not None
 
 
 def test_degraded_cells_not_persisted(tmp_path):
