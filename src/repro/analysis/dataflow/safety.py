@@ -35,7 +35,12 @@ A transform that passes both halves is reported
 
 The same per-access machinery powers the ``catt lint`` CLI findings:
 irregular indexes, fully diverged references (``REQ_warp = 32``), divergent
-barriers, and a shared-memory race heuristic.
+barriers, and shared-memory race verdicts from the barrier-interval MHP
+analysis (:mod:`repro.analysis.dataflow.races`).  Checks 3 and 4 above are
+additionally subsumed per-array by a ``PROVED-SAFE`` race verdict: an array
+whose every barrier interval is proved cross-thread disjoint cannot carry
+intra-TB communication, so warp-split (a pure intra-TB reordering) keeps it
+race-free even when the interval heuristics of checks 3/4 fail.
 """
 
 from __future__ import annotations
@@ -101,6 +106,15 @@ class LintFinding:
     array: str | None = None
     loop_id: int | None = None
     line: int | None = None    # 1-based source line, when known
+    # "error" | "warning" | "info"; derived from the code when not given,
+    # so consumers never have to re-parse the code string.
+    severity: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.severity:
+            object.__setattr__(self, "severity", {
+                "E": "error", "W": "warning"}.get(
+                    self.code.split("-")[1], "info"))
 
     def __str__(self) -> str:
         where = self.kernel
@@ -364,6 +378,12 @@ def verify_warp_split(analysis, la) -> SafetyVerdict:
         reasons.append("enclosing guard is thread-dependent and not "
                        "provably true for the launch")
 
+    # Checks 3 and 4 guard against intra-TB cross-thread communication
+    # through memory; a PROVED-SAFE race verdict on every barrier interval
+    # of an array is a stronger proof of the same property (warp splitting
+    # only reorders execution within a TB), so it subsumes both.
+    safe_global, safe_shared = _race_safe_arrays(analysis)
+
     # 3. Written global arrays must be thread-exclusive.
     by_array: dict[str, list] = {}
     for acc in rec.unique_accesses():
@@ -371,15 +391,32 @@ def verify_warp_split(analysis, la) -> SafetyVerdict:
     for array, accs in sorted(by_array.items()):
         if not any(a.is_write for a in accs):
             continue
+        if array in safe_global:
+            continue
         why = _thread_exclusive(accs, trips)
         if why is not None:
             reasons.append(f"array {array!r}: {why}")
 
     # 4. No shared-memory writes inside the loop (cross-warp channel).
     for name in sorted(set(_shared_writes_in(rec.stmt, kl.shared_arrays))):
+        if name in safe_shared:
+            continue
         reasons.append(f"loop writes __shared__ array {name!r}")
 
     return SafetyVerdict(not reasons, tuple(reasons))
+
+
+def _race_safe_arrays(analysis) -> tuple[set[str], set[str]]:
+    """(global, shared) arrays every one of whose (array, interval) race
+    verdicts is PROVED-SAFE — no two threads of a TB can touch a common
+    element between barriers anywhere in the kernel."""
+    try:
+        from .races import analyze_races
+
+        report = analyze_races(analysis)
+    except Exception:
+        return set(), set()
+    return report.safe_arrays("global"), report.safe_arrays("shared")
 
 
 # ---------------------------------------------------------------------------
@@ -565,7 +602,6 @@ def findings_for_analysis(analysis) -> list[LintFinding]:
     """Per-access and whole-kernel findings for one analyzed launch."""
     from ...transform.diagnostics import (
         E_DIVERGENT_BARRIER,
-        E_SHARED_RACE,
         W_IRREGULAR_INDEX,
         W_UNCOALESCED,
     )
@@ -597,7 +633,7 @@ def findings_for_analysis(analysis) -> list[LintFinding]:
                     array=acc.array, loop_id=la.record.loop_id,
                     line=_line_of(acc.loc)))
     out.extend(_barrier_findings(analysis, E_DIVERGENT_BARRIER))
-    out.extend(_shared_race_findings(analysis, E_SHARED_RACE))
+    out.extend(_race_findings(analysis))
     return out
 
 
@@ -641,111 +677,34 @@ def _barrier_findings(analysis, code: str) -> list[LintFinding]:
     return out
 
 
-def _expr_key(expr: Expr):
-    """Location-insensitive structural key of an expression tree."""
-    from ...frontend.ast_nodes import children_of_expr
+def _race_findings(analysis) -> list[LintFinding]:
+    """Shared-memory race verdicts from the barrier-interval MHP analysis
+    (:mod:`repro.analysis.dataflow.races`): a ``PROVED-RACE`` region is an
+    error, an ``UNKNOWN`` one a warning.  This replaces the old source-order
+    epoch heuristic, whose single global counter separated accesses that a
+    barrier inside a loop body actually leaves concurrent."""
+    from ...transform.diagnostics import E_PROVED_RACE, W_RACE_UNKNOWN
+    from .races import PROVED_RACE, UNKNOWN, analyze_races
 
-    label = type(expr).__name__
-    for attr in ("name", "op", "value", "member", "func"):
-        v = getattr(expr, attr, None)
-        if isinstance(v, (str, int, float, bool)):
-            label += f":{v}"
-    return (label,) + tuple(_expr_key(c) for c in children_of_expr(expr))
-
-
-def _shared_ref_key(node: ArrayRef, shared: set[str],
-                    env: SymbolicEnv) -> tuple[str, tuple] | None:
-    """(shared array name, per-dimension index keys) of a subscript chain
-    like ``tile[ty][tx]``, or None when the root base is not a shared
-    array.  Regular indexes key by affine form (so distinct spellings of
-    the same index compare equal); irregular ones fall back to the
-    structural :func:`_expr_key`."""
-    indexes: list[Expr] = []
-    base: Expr = node
-    while isinstance(base, ArrayRef):
-        indexes.append(base.index)
-        base = base.base
-    if not (isinstance(base, Ident) and base.name in shared):
-        return None
-    keys = []
-    for idx in reversed(indexes):
-        form = analyze_expr(idx, env)
-        keys.append(("form", form.coeffs, form.const)
-                    if not form.irregular
-                    else ("expr",) + _expr_key(idx))
-    return base.name, tuple(keys)
-
-
-def _shared_race_findings(analysis, code: str) -> list[LintFinding]:
-    """Epoch heuristic: a shared array written and read at *different*
-    indexes with no ``__syncthreads()`` between the accesses (in source
-    order) is flagged as a potential cross-warp race."""
-    kernel = analysis.kernel
-    shared = analysis.kernel_loops.shared_arrays
-    if not shared:
+    if not analysis.kernel_loops.shared_arrays:
         return []
-    flow = getattr(analysis.kernel_loops, "flow", None)
-    fallback = SymbolicEnv(block_dim=analysis.block_dim)
-
-    # (epoch, array) -> {"r": set of index keys, "w": ...}, source order.
-    epoch = 0
-    sites: dict[tuple[int, str], dict[str, set]] = {}
-    lines: dict[tuple[int, str], int | None] = {}
-
-    def visit(site_expr: Expr) -> None:
-        env = fallback
-        if flow is not None:
-            env = flow.env_sites.get(id(site_expr), fallback)
-        writes = set()
-        inner = set()   # ArrayRefs that are the base of an outer subscript
-        for node in walk_expr(site_expr):
-            if isinstance(node, Assign) and \
-                    isinstance(node.target, ArrayRef):
-                writes.add(id(node.target))
-            if isinstance(node, ArrayRef) and \
-                    isinstance(node.base, ArrayRef):
-                inner.add(id(node.base))
-        for node in walk_expr(site_expr):
-            if not isinstance(node, ArrayRef) or id(node) in inner:
-                continue
-            ref = _shared_ref_key(node, shared, env)
-            if ref is None:
-                continue
-            name, key = ref
-            kind = "w" if id(node) in writes else "r"
-            slot = sites.setdefault((epoch, name), {"r": set(), "w": set()})
-            slot[kind].add(key)
-            lines.setdefault((epoch, name), _line_of(node.loc))
-
-    for stmt in statements_in(kernel.body):
-        if isinstance(stmt, SyncthreadsStmt):
-            epoch += 1
-        elif isinstance(stmt, ExprStmt):
-            visit(stmt.expr)
-        elif isinstance(stmt, DeclStmt):
-            for d in stmt.declarators:
-                if d.init is not None:
-                    visit(d.init)
-        elif isinstance(stmt, IfStmt):
-            visit(stmt.cond)
-        elif isinstance(stmt, ForStmt):
-            if stmt.cond is not None:
-                visit(stmt.cond)
-            if stmt.step is not None:
-                visit(stmt.step)
-        elif isinstance(stmt, (WhileStmt, DoWhileStmt)):
-            visit(stmt.cond)
-
+    try:
+        report = analyze_races(analysis)
+    except Exception:
+        return []
     out: list[LintFinding] = []
-    flagged: set[str] = set()
-    for (ep, array), slot in sorted(sites.items()):
-        if array in flagged:
-            continue
-        if slot["w"] and (slot["r"] - slot["w"]):
-            flagged.add(array)
+    for v in report.for_space("shared"):
+        line = v.lines[0] if v.lines else None
+        if v.verdict == PROVED_RACE:
             out.append(LintFinding(
-                code, kernel.name,
-                f"__shared__ array {array!r} is written and read at "
-                f"different indexes with no barrier in between",
-                array=array, line=lines.get((ep, array))))
+                E_PROVED_RACE, analysis.kernel.name,
+                f"__shared__ array {v.array!r} provably races in barrier "
+                f"interval #{v.interval}: {v.reason}",
+                array=v.array, line=line))
+        elif v.verdict == UNKNOWN:
+            out.append(LintFinding(
+                W_RACE_UNKNOWN, analysis.kernel.name,
+                f"__shared__ array {v.array!r} unclassified in barrier "
+                f"interval #{v.interval}: {v.reason}",
+                array=v.array, line=line))
     return out

@@ -15,6 +15,8 @@ finding appears — the same newest-regression-only contract as compiler
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 
 from ..analysis import analyze_kernel
 from ..analysis.dataflow.safety import LintFinding, findings_for_analysis
@@ -49,10 +51,29 @@ def _finding_key(app: str, f: LintFinding) -> tuple:
 
 def to_baseline(findings: list[tuple[str, LintFinding]]) -> list[dict]:
     return [
-        {"app": app, "code": f.code, "kernel": f.kernel, "array": f.array,
+        {"app": app, "code": f.code, "severity": f.severity,
+         "kernel": f.kernel, "array": f.array,
          "loop_id": f.loop_id, "line": f.line, "message": f.message}
         for app, f in findings
     ]
+
+
+def _write_baseline_atomic(path: str, findings) -> None:
+    """tmp + ``os.replace`` so a crashed run never truncates the baseline."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".lint_baseline.",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(to_baseline(findings), fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def new_errors(
@@ -62,13 +83,19 @@ def new_errors(
     known = {(b["app"], b["code"], b["kernel"], b.get("array"),
               b.get("loop_id")) for b in baseline}
     return [(app, f) for app, f in findings
-            if f.code.split("-")[1] == "E"
+            if f.severity == "error"
             and _finding_key(app, f) not in known]
+
+
+def findings_json(findings: list[tuple[str, LintFinding]]) -> str:
+    """Machine-readable report (``catt lint --format json``)."""
+    return json.dumps({"findings": to_baseline(findings)}, indent=2)
 
 
 def run_lint(app: str | None, scale: str,
              baseline_path: str | None = None,
-             write_baseline: str | None = None) -> tuple[str, int]:
+             write_baseline: str | None = None,
+             fmt: str = "text") -> tuple[str, int]:
     """Lint the registry (or one workload); returns (report text, exit code)."""
     apps = [app] if app else None
     findings = lint_registry(apps, scale)
@@ -77,8 +104,7 @@ def run_lint(app: str | None, scale: str,
         lines = ["no findings"]
     code = 0
     if write_baseline:
-        with open(write_baseline, "w") as fh:
-            json.dump(to_baseline(findings), fh, indent=2)
+        _write_baseline_atomic(write_baseline, findings)
         lines.append(f"baseline written: {write_baseline} "
                      f"({len(findings)} findings)")
     elif baseline_path:
@@ -93,4 +119,6 @@ def run_lint(app: str | None, scale: str,
         else:
             lines.append(f"OK: no new error-severity findings vs "
                          f"{baseline_path}")
+    if fmt == "json":
+        return findings_json(findings), code
     return "\n".join(lines), code

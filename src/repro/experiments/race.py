@@ -1,0 +1,140 @@
+"""``catt race`` — barrier-interval race verdicts for the workload registry.
+
+Static mode prints every (array, interval) verdict from
+:mod:`repro.analysis.dataflow.races` plus the registry-wide classification
+rate.  ``--dynamic`` additionally re-executes each workload with the
+shadow-memory sanitizer enabled (``SimOptions.sanitize``) and cross-checks
+the two: a dynamic race report on an array whose every static verdict is
+``PROVED-SAFE`` is a *contradiction* — the static prover claimed something
+the execution refuted — and fails the command (exit 1).  This is the CI
+``race-differential`` job's entry point.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..analysis import analyze_kernel
+from ..analysis.dataflow.races import UNKNOWN, RaceReport, analyze_races
+from ..options import current_options, use_options
+from ..sim.arch import TITAN_V_SIM
+from ..workloads import WORKLOADS, get_workload, run_workload
+
+
+def race_reports(app: str, scale: str = "bench",
+                 spec=TITAN_V_SIM) -> dict[str, RaceReport]:
+    """Static race verdicts for every kernel launch of one workload."""
+    wl = get_workload(app, scale)
+    unit = wl.unit()
+    out: dict[str, RaceReport] = {}
+    for kernel, (grid, block) in wl.launch_configs().items():
+        analysis = analyze_kernel(unit, kernel, block, spec, grid=grid)
+        out[kernel] = analyze_races(analysis)
+    return out
+
+
+def dynamic_contradictions(
+    app: str, static: dict[str, RaceReport], scale: str = "bench",
+    spec=TITAN_V_SIM,
+) -> tuple[list[dict], int]:
+    """Run ``app`` under the sanitizer; return (contradictions, reports).
+
+    A contradiction is a dynamic race report on an (space, array) the static
+    pass proved safe on *every* barrier interval.  Dynamic reports on
+    ``UNKNOWN`` or ``PROVED-RACE`` arrays are expected and not failures.
+    """
+    wl = get_workload(app, scale)
+    opts = current_options().replace(sanitize=True)
+    with use_options(opts):
+        run = run_workload(wl, spec=spec)
+    contradictions: list[dict] = []
+    total_reports = 0
+    for res in run.results:
+        san = res.sanitizer
+        if san is None:
+            continue
+        total_reports += san.report_count
+        report = static.get(res.kernel_name)
+        if report is None:
+            continue
+        safe = {("shared", n) for n in report.safe_arrays("shared")} \
+            | {("global", n) for n in report.safe_arrays("global")}
+        for r in san.reports:
+            if (r.space, r.array) in safe:
+                contradictions.append({
+                    "app": app, "kernel": res.kernel_name, "space": r.space,
+                    "array": r.array, "detail": r.describe(),
+                })
+    return contradictions, total_reports
+
+
+def _verdict_rows(app: str, reports: dict[str, RaceReport]) -> list[dict]:
+    rows = []
+    for kernel, report in reports.items():
+        for v in report.verdicts:
+            rows.append({
+                "app": app, "kernel": kernel, "space": v.space,
+                "array": v.array, "interval": v.interval,
+                "verdict": v.verdict, "reason": v.reason,
+                "lines": list(v.lines),
+            })
+    return rows
+
+
+def run_race(app: str | None, scale: str, dynamic: bool = False,
+             fmt: str = "text", spec=TITAN_V_SIM) -> tuple[str, int]:
+    """The ``catt race`` driver; returns (report text, exit code)."""
+    apps = [app] if app else sorted(WORKLOADS)
+    rows: list[dict] = []
+    contradictions: list[dict] = []
+    dynamic_reports = 0
+    shared_total = shared_classified = 0
+    for a in apps:
+        reports = race_reports(a, scale, spec)
+        rows.extend(_verdict_rows(a, reports))
+        for report in reports.values():
+            shared = report.for_space("shared")
+            shared_total += len(shared)
+            shared_classified += sum(1 for v in shared
+                                     if v.verdict != UNKNOWN)
+        if dynamic:
+            found, n = dynamic_contradictions(a, reports, scale, spec)
+            contradictions.extend(found)
+            dynamic_reports += n
+
+    code = 1 if contradictions else 0
+    frac = shared_classified / shared_total if shared_total else 1.0
+    summary = {
+        "shared_pairs": shared_total,
+        "shared_classified": shared_classified,
+        "classified_fraction": round(frac, 4),
+        "dynamic": dynamic,
+        "dynamic_reports": dynamic_reports,
+        "contradictions": contradictions,
+    }
+    if fmt == "json":
+        return json.dumps({"verdicts": rows, "summary": summary},
+                          indent=2), code
+
+    lines = []
+    for r in rows:
+        where = f" (line {r['lines'][0]})" if r["lines"] else ""
+        lines.append(
+            f"{r['app']}: {r['kernel']} {r['space']} {r['array']!r} "
+            f"interval #{r['interval']}: {r['verdict']} — "
+            f"{r['reason']}{where}")
+    if not lines:
+        lines = ["no shared/global array accesses found"]
+    lines.append(
+        f"shared (array, interval) pairs: {shared_total}, classified "
+        f"non-UNKNOWN: {shared_classified} ({frac:.1%})")
+    if dynamic:
+        lines.append(f"sanitizer reports across registry: {dynamic_reports}")
+        if contradictions:
+            lines.append(f"FAIL: {len(contradictions)} dynamic report(s) "
+                         f"contradict static PROVED-SAFE verdicts:")
+            lines.extend(f"  {c['detail']}" for c in contradictions)
+        else:
+            lines.append("OK: no static PROVED-SAFE verdict contradicted "
+                         "by the sanitizer")
+    return "\n".join(lines), code

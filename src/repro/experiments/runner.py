@@ -233,11 +233,11 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=["table2", "table3", "fig2", "fig3", "fig6", "fig7", "fig8",
                  "fig9", "fig10", "overhead", "analyze", "compile", "lint",
-                 "bench", "all", "profile", "trace", "l2sweep"],
+                 "race", "bench", "all", "profile", "trace", "l2sweep"],
     )
     parser.add_argument("app", nargs="?",
-                        help="workload for 'analyze'/'lint'/'profile' / "
-                             "source file for 'compile' / trace file for "
+                        help="workload for 'analyze'/'lint'/'race'/'profile' "
+                             "/ source file for 'compile' / trace file for "
                              "'trace'")
     parser.add_argument("--scale", default="bench", choices=["bench", "test"])
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -290,6 +290,13 @@ def main(argv: list[str] | None = None) -> int:
                              "BENCH_sim.json baseline")
     parser.add_argument("--write-baseline", metavar="PATH",
                         help="lint: write the current findings as a baseline")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        dest="fmt",
+                        help="lint/race: report format (default text)")
+    parser.add_argument("--dynamic", action="store_true",
+                        help="race: also execute under the shadow-memory "
+                             "sanitizer and fail on any dynamic report that "
+                             "contradicts a static PROVED-SAFE verdict")
     args = parser.parse_args(argv)
 
     opts = _resolve_options(args)
@@ -331,7 +338,18 @@ def _dispatch(args, parser, opts: SimOptions) -> int:
                          f"{sorted(WORKLOADS)} (or none for all)")
         text, code = run_lint(args.app, args.scale,
                               baseline_path=args.baseline,
-                              write_baseline=args.write_baseline)
+                              write_baseline=args.write_baseline,
+                              fmt=args.fmt)
+        print(text)
+        return code
+    elif args.experiment == "race":
+        from .race import run_race
+
+        if args.app and args.app not in WORKLOADS:
+            parser.error(f"race requires a workload name from "
+                         f"{sorted(WORKLOADS)} (or none for all)")
+        text, code = run_race(args.app, args.scale, dynamic=args.dynamic,
+                              fmt=args.fmt)
         print(text)
         return code
     elif args.experiment == "table2":

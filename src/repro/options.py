@@ -27,6 +27,7 @@ from pathlib import Path
 ENGINE_ENV = "REPRO_SIM_ENGINE"   # "compiled" (default) | "interp"
 DEDUP_ENV = "REPRO_SIM_DEDUP"     # "1" (default) | "0"
 CACHE_ENV = "REPRO_CACHE"         # result-cache path ("" = memory-only)
+SANITIZE_ENV = "REPRO_SIM_SANITIZE"   # "" / "0" (default off) | anything else
 
 ENGINES = ("compiled", "interp")
 
@@ -51,6 +52,9 @@ class SimOptions:
     # Co-simulated SMs sharing one L2 (the multi-SM model); 1 = the classic
     # single-SM simulation, bit-identical to the pre-multi-SM substrate.
     sms: int = 1
+    # Shadow-memory race sanitizer: record per-word last accessors and report
+    # conflicting same-barrier-epoch accesses from distinct threads of a TB.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -87,6 +91,10 @@ class SimOptions:
             if warn:
                 _deprecate(CACHE_ENV, "SimOptions(cache_dir=...)")
             kw["cache_dir"] = raw
+        raw = os.environ.get(SANITIZE_ENV)
+        if raw is not None:
+            # Not deprecated: REPRO_SIM_SANITIZE is the supported CI switch.
+            kw["sanitize"] = raw.strip() not in ("", "0")
         kw.update(overrides)
         return cls(**kw)
 
@@ -110,6 +118,7 @@ class SimOptions:
             "trace": self.trace,
             "metrics": self.metrics,
             "sms": self.sms,
+            "sanitize": self.sanitize,
         }
 
 
@@ -132,7 +141,7 @@ def _deprecate(var: str, instead: str) -> None:
 _ACTIVE: SimOptions | None = None
 
 # Memoized env resolution so per-launch option reads stay O(getenv).
-_env_memo: tuple[tuple[str | None, str | None, str | None], SimOptions] | None
+_env_memo: tuple[tuple, SimOptions] | None
 _env_memo = None
 
 
@@ -170,7 +179,7 @@ def current_options() -> SimOptions:
         return _ACTIVE
     global _env_memo
     key = (os.environ.get(ENGINE_ENV), os.environ.get(DEDUP_ENV),
-           os.environ.get(CACHE_ENV))
+           os.environ.get(CACHE_ENV), os.environ.get(SANITIZE_ENV))
     if _env_memo is None or _env_memo[0] != key:
         _env_memo = (key, SimOptions.from_env())
     return _env_memo[1]

@@ -181,6 +181,7 @@ class CompiledWarp(WarpInterpreter):
 
     def sync_point(self, mask: np.ndarray) -> Iterator[Event]:
         # Mirrors SyncthreadsStmt handling in _exec_stmt.
+        self.san_epoch += 1
         yield from self._flush()
         yield SYNC_EVENT
 
@@ -219,6 +220,7 @@ class CompiledWarp(WarpInterpreter):
             data = self.memory.load(active, dtype)
         out = np.zeros(self.nlanes, dtype=dtype)
         out[mask] = data
+        self._san_access(active, dtype.itemsize, mask, False, False, space)
         self._emit_mem(active, dtype.itemsize, False, space, mask)
         return TypedValue(out, elem)
 
@@ -233,6 +235,8 @@ class CompiledWarp(WarpInterpreter):
             self._shared_store(active, value.values[mask], mask)
         else:
             self.memory.store(active, value.values[mask])
+        self._san_access(active, np_dtype_for(elem).itemsize, mask,
+                         True, False, space)
         self._emit_mem(active, np_dtype_for(elem).itemsize, True,
                        space, mask)
 
@@ -250,6 +254,7 @@ class CompiledWarp(WarpInterpreter):
                 a = active_addr[pos:pos + 1]
                 cur = self.memory.load(a, dtype)
                 self.memory.store(a, cur + active_val[pos])
+        self._san_access(active_addr, dtype.itemsize, mask, True, True, space)
         self._emit_mem(active_addr.copy(), dtype.itemsize, False, space, mask)
         self._emit_mem(active_addr.copy(), dtype.itemsize, True, space, mask)
         out = np.zeros(self.nlanes, dtype=dtype)

@@ -275,6 +275,13 @@ class KernelArgs:
 class WarpInterpreter:
     """Executes one warp of one TB of a kernel launch."""
 
+    # Shadow-memory race sanitizer (repro.sim.sanitize): the launcher attaches
+    # one per-TB ShadowState to every warp when SimOptions.sanitize is on.
+    # Class attributes so subclasses and the common case pay one attribute
+    # read per memory op; ``san_epoch += 1`` shadows with an instance attr.
+    sanitizer = None
+    san_epoch = 0
+
     def __init__(
         self,
         unit: TranslationUnit,
@@ -338,6 +345,19 @@ class WarpInterpreter:
                 ctype, np.zeros(WARP_SIZE, dtype=np.int64), "shared_array",
                 "shared", dims, offset,
             )
+
+    # ------------------------------------------------------------------
+    # Sanitizer plumbing
+    # ------------------------------------------------------------------
+    def _san_access(self, active_addr: np.ndarray, itemsize: int,
+                    mask: np.ndarray, write: bool, atomic: bool,
+                    space: str) -> None:
+        shadow = self.sanitizer
+        if shadow is None or space == "local":
+            return
+        lanes = np.nonzero(mask)[0] % WARP_SIZE
+        shadow.record(space, active_addr, itemsize, self.warp_id, lanes,
+                      write, atomic, self.san_epoch)
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -417,6 +437,7 @@ class WarpInterpreter:
         elif isinstance(stmt, ContinueStmt):
             frame.continued |= mask
         elif isinstance(stmt, SyncthreadsStmt):
+            self.san_epoch += 1
             yield from self._flush()
             yield SYNC_EVENT
         elif isinstance(stmt, EmptyStmt):
@@ -673,6 +694,7 @@ class WarpInterpreter:
             data = self.memory.load(active, dtype)
         out = np.zeros(WARP_SIZE, dtype=dtype)
         out[mask] = data
+        self._san_access(active, dtype.itemsize, mask, False, False, space)
         # ``active`` is a fresh gather copy; the event may alias it directly.
         self.pending.append(MemEvent(active, dtype.itemsize, False, space))
         return TypedValue(out, elem)
@@ -693,6 +715,8 @@ class WarpInterpreter:
             self.shared.store(active, value.values[mask])
         else:
             self.memory.store(active, value.values[mask])
+        self._san_access(active, np_dtype_for(elem).itemsize, mask,
+                         True, False, space)
         self.pending.append(
             MemEvent(active, np_dtype_for(elem).itemsize, True, space)
         )
@@ -963,6 +987,7 @@ class WarpInterpreter:
                 a = active_addr[pos : pos + 1]
                 cur = self.memory.load(a, dtype)
                 self.memory.store(a, cur + active_val[pos])
+        self._san_access(active_addr, dtype.itemsize, mask, True, True, space)
         self.pending.append(MemEvent(active_addr.copy(), dtype.itemsize, False, space))
         self.pending.append(MemEvent(active_addr.copy(), dtype.itemsize, True, space))
         out = np.zeros(WARP_SIZE, dtype=dtype)

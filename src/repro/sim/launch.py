@@ -40,6 +40,7 @@ from .interp import (
 from .memory import GlobalMemory
 from .metrics import SMMetrics
 from .replay import record_block_streams
+from .sanitize import SanitizerResult, ShadowState, merge_shadows
 
 Dim3 = tuple[int, int, int]
 
@@ -78,6 +79,8 @@ class LaunchResult:
     # SM's attributed view — including its share of shared-L2 hits/misses.
     sms: int = 1
     per_sm: tuple[SMMetrics, ...] | None = None
+    # Shadow-memory race sanitizer outcome; None unless SimOptions.sanitize.
+    sanitizer: SanitizerResult | None = None
 
     @property
     def cycles(self) -> int:
@@ -165,7 +168,8 @@ def launch_kernel(
 
 def _feed_launch_metrics(m: SMMetrics, l1_write_stats, engine_used: str,
                          dedup_slots: int,
-                         per_sm: list[SMMetrics] | None = None) -> None:
+                         per_sm: list[SMMetrics] | None = None,
+                         sanitizer: SanitizerResult | None = None) -> None:
     """Publish one launch's aggregate counters into the metrics registry.
 
     Called once per launch (never inside the event loop), so the disabled
@@ -199,6 +203,9 @@ def _feed_launch_metrics(m: SMMetrics, l1_write_stats, engine_used: str,
         # replay savings the dedup engine buys.
         c("sim.dedup.launches").inc()
         c("sim.dedup.slots_replayed").inc(dedup_slots)
+    if sanitizer is not None:
+        c("sanitize.launches").inc()
+        c("sanitize.reports").inc(sanitizer.report_count)
     if per_sm is not None:
         c("sim.multi_sm.launches").inc()
         for i, sm in enumerate(per_sm):
@@ -269,6 +276,13 @@ def _launch_kernel(
     layout = shared_layout_of(kernel, dynamic_bytes=shared_bytes)
     kargs = KernelArgs(tuple(args))
 
+    # Shadow-memory race sanitizer: one ShadowState per TB, shared by the
+    # TB's warps.  Disables dedup below (every slot must execute for real).
+    sanitize = current_options().sanitize
+    shadows: list[ShadowState] = []
+    global_bases = [(value, name) for name, value, ctype in args
+                    if ctype.is_pointer]
+
     # Engine selection: closure-compile once per launch, falling back to the
     # AST walk when the kernel uses a construct the compiler does not cover.
     engine_used = "interp"
@@ -287,7 +301,7 @@ def _launch_kernel(
     # engine.  Any launch with more than one slot benefits — many TBs, or a
     # single TB with many warps.
     dedup_streams = None
-    if compiled is not None and _dedup_enabled() \
+    if compiled is not None and _dedup_enabled() and not sanitize \
             and total_tbs * warps_per_tb > 1:
         from ..analysis.dataflow import block_homogeneity
 
@@ -315,6 +329,11 @@ def _launch_kernel(
             by = (tb_id // grid3[0]) % grid3[1]
             bz = tb_id // (grid3[0] * grid3[1])
             shared = SharedBlock(max(occ.shared_usage_tb, 1))
+            shadow = None
+            if sanitize:
+                shadow = ShadowState(kernel_name, (bx, by, bz), layout,
+                                     global_bases)
+                shadows.append(shadow)
             gens = []
             for w in range(warps_per_tb):
                 if compiled is not None:
@@ -322,12 +341,14 @@ def _launch_kernel(
                         unit, kernel, memory, shared, layout, kargs,
                         (bx, by, bz), block3, grid3, w,
                     )
+                    warp.sanitizer = shadow
                     gens.append(warp.run_compiled(compiled))
                 else:
                     interp = WarpInterpreter(
                         unit, kernel, memory, shared, layout, kargs,
                         (bx, by, bz), block3, grid3, w,
                     )
+                    interp.sanitizer = shadow
                     gens.append(interp.run())
             return gens
 
@@ -373,9 +394,11 @@ def _launch_kernel(
                         for _ in gen:
                             pass
 
+    sanitizer_result = merge_shadows(shadows) if sanitize else None
+
     _feed_launch_metrics(result_metrics, l1_write_stats, engine_used,
                          total_tbs * warps_per_tb if dedup_streams else 0,
-                         per_sm=per_sm)
+                         per_sm=per_sm, sanitizer=sanitizer_result)
 
     return LaunchResult(
         kernel_name=kernel_name,
@@ -387,6 +410,7 @@ def _launch_kernel(
         engine=engine_used,
         sms=sms,
         per_sm=tuple(per_sm) if per_sm is not None else None,
+        sanitizer=sanitizer_result,
     )
 
 

@@ -19,8 +19,12 @@ CATT-E-SIM                 error     simulation of an (app, scheme) cell failed
 CATT-E-INTERNAL            error     unexpected exception (a real bug — report)
 CATT-E-DIVERGENT-BARRIER   error     __syncthreads() under a thread-dependent
                                      guard or bound (UB on hardware)
-CATT-E-SHARED-RACE         error     shared array written and read at distinct
-                                     indexes with no barrier in between
+CATT-E-SHARED-RACE         error     (retired) source-order shared-race
+                                     heuristic; kept for baseline compat
+CATT-E-PROVED-RACE         error     barrier-interval analysis proved a
+                                     cross-thread shared-memory race
+CATT-W-RACE-UNKNOWN        warning   a shared (array, interval) pair could not
+                                     be classified safe or racy
 CATT-W-SEARCH              warning   throttle search degraded for one loop
 CATT-W-BUDGET              warning   analysis budget exhausted; partial results
 CATT-W-REVERTED            warning   validation gate reverted a transform
@@ -53,7 +57,9 @@ E_TRANSFORM = "CATT-E-TRANSFORM"
 E_SIM = "CATT-E-SIM"
 E_INTERNAL = "CATT-E-INTERNAL"
 E_DIVERGENT_BARRIER = "CATT-E-DIVERGENT-BARRIER"
-E_SHARED_RACE = "CATT-E-SHARED-RACE"
+E_SHARED_RACE = "CATT-E-SHARED-RACE"   # retired; see E_PROVED_RACE
+E_PROVED_RACE = "CATT-E-PROVED-RACE"
+W_RACE_UNKNOWN = "CATT-W-RACE-UNKNOWN"
 W_SEARCH = "CATT-W-SEARCH"
 W_BUDGET = "CATT-W-BUDGET"
 W_REVERTED = "CATT-W-REVERTED"

@@ -52,6 +52,7 @@ from ..testing.faults import check_fault
 from .diagnostics import (
     E_ANALYSIS,
     E_FRONTEND,
+    E_PROVED_RACE,
     E_TRANSFORM,
     I_SKIP_LOOP,
     I_STATIC_SAFE,
@@ -84,6 +85,11 @@ class KernelTransform:
     analysis_seconds: float = 0.0
     reverted: bool = False                      # validation gate said no
     validation: ValidationReport | None = None
+    # Barrier-interval race verdicts (repro.analysis.dataflow.races); None
+    # when the race analysis could not run.  A shared PROVED-RACE region
+    # blocks warp-split and TB-throttle for the kernel (race_blocked).
+    race_report: object | None = None
+    race_blocked: bool = False
 
     @property
     def changed(self) -> bool:
@@ -254,6 +260,27 @@ def _catt_compile(
 
         record = KernelTransform(name, analysis)
 
+        # -- stage: analysis (race verdicts) -----------------------------
+        # A proved cross-thread race on a shared region means the kernel's
+        # correctness already depends on scheduling; reordering execution
+        # (warp split) or changing residency (TB throttle) could flip the
+        # observed outcome, so both transforms are blocked.
+        try:
+            from ..analysis.dataflow.races import analyze_races
+
+            record.race_report = analyze_races(analysis)
+        except Exception:
+            record.race_report = None
+        if record.race_report is not None:
+            proved = record.race_report.races("shared")
+            if proved:
+                record.race_blocked = True
+                v = proved[0]
+                log.emit(E_PROVED_RACE, "analysis",
+                         f"shared array {v.array!r} provably races in "
+                         f"barrier interval #{v.interval} ({v.reason}); "
+                         f"warp-split and TB-throttle blocked", kernel=name)
+
         # -- stage: transform (tiling, optional) -------------------------
         if enable_tiling:
             for la in analysis.loops:
@@ -275,7 +302,7 @@ def _catt_compile(
                     record.tiles.append((la.loop_id, tile))
 
         # -- stage: transform (Fig. 4 warp splits, per loop) -------------
-        for la in _select_loops(analysis):
+        for la in (() if record.race_blocked else _select_loops(analysis)):
             with _span("transform.warp_split", kernel=name,
                        loop=la.record.loop_id, n=la.decision.n) as wsp:
                 try:
@@ -309,7 +336,7 @@ def _catt_compile(
 
         # -- stage: transform (Fig. 5 dummy shared) ----------------------
         tb_m = analysis.tb_m
-        if tb_m > 0:
+        if tb_m > 0 and not record.race_blocked:
             with _span("transform.tb_throttle", kernel=name, m=tb_m) as tsp:
                 try:
                     check_fault("transform", f"{name}:tb")

@@ -15,8 +15,9 @@ from repro.frontend import parse, parse_kernel
 from repro.sim.arch import TITAN_V_SIM
 from repro.transform.diagnostics import (
     E_DIVERGENT_BARRIER,
-    E_SHARED_RACE,
+    E_PROVED_RACE,
     W_IRREGULAR_INDEX,
+    W_RACE_UNKNOWN,
     W_UNCOALESCED,
 )
 from repro.transform.warp_throttle import split_loop_for_warp_groups
@@ -165,7 +166,10 @@ __global__ void k(float *a) {
     assert not verdict.safe
 
 
-def test_shared_write_in_loop_fails():
+def test_shared_write_private_slot_upgraded_by_race_proof():
+    # Each thread only ever touches tile[threadIdx.x]: the race analysis
+    # proves every barrier interval disjoint, so the PROVED-SAFE verdict
+    # subsumes the blanket "no shared writes" rule (check 4).
     analysis = analysis_of("""
 __global__ void k(float *a) {
     __shared__ float tile[256];
@@ -173,6 +177,23 @@ __global__ void k(float *a) {
     for (int j = 0; j < 64; j++) {
         tile[threadIdx.x] = a[i * 64 + j];
         a[i * 64 + j] = tile[threadIdx.x];
+    }
+}
+""")
+    verdict = verify_warp_split(analysis, analysis.loops[0])
+    assert verdict.safe
+
+
+def test_shared_write_cross_thread_in_loop_fails():
+    # Reading a neighbour's slot defeats the disjointness proof (the modulo
+    # makes the index irregular -> UNKNOWN), so check 4 still blocks.
+    analysis = analysis_of("""
+__global__ void k(float *a) {
+    __shared__ float tile[256];
+    int t = threadIdx.x;
+    for (int j = 0; j < 64; j++) {
+        tile[t] = a[t * 64 + j];
+        a[t * 64 + j] = tile[(t + 1) % 256];
     }
 }
 """)
@@ -294,7 +315,7 @@ __global__ void k(float *a) {
     assert E_DIVERGENT_BARRIER not in _codes(analysis)
 
 
-def test_shared_race_without_barrier_flagged():
+def test_shared_race_without_barrier_proved():
     analysis = analysis_of("""
 __global__ void k(float *a) {
     __shared__ float tile[256];
@@ -304,7 +325,7 @@ __global__ void k(float *a) {
 }
 """)
     hits = [f for f in findings_for_analysis(analysis)
-            if f.code == E_SHARED_RACE]
+            if f.code == E_PROVED_RACE]
     assert len(hits) == 1 and hits[0].array == "tile"
 
 
@@ -318,12 +339,15 @@ __global__ void k(float *a) {
     a[t] = tile[t + 1];
 }
 """)
-    assert E_SHARED_RACE not in _codes(analysis)
+    codes = _codes(analysis)
+    assert E_PROVED_RACE not in codes and W_RACE_UNKNOWN not in codes
 
 
 def test_shared_race_2d_subscript_chain():
     # The backprop reduction pattern: 2-D tile written and read at a
-    # different first-dimension index in the same epoch.
+    # different first-dimension index between two barriers of the same loop
+    # iteration.  The old flat epoch counter separated them (false
+    # negative); the interval machinery keeps them concurrent.
     analysis = analysis_of("""
 __global__ void k(float *a, int n) {
     __shared__ float w[16][16];
@@ -336,7 +360,7 @@ __global__ void k(float *a, int n) {
 }
 """, block=(16, 16, 1))
     hits = [f for f in findings_for_analysis(analysis)
-            if f.code == E_SHARED_RACE]
+            if f.code == E_PROVED_RACE]
     assert len(hits) == 1 and hits[0].array == "w"
 
 
@@ -348,4 +372,5 @@ __global__ void k(float *a) {
     tile[t] = tile[t] + a[t];
 }
 """)
-    assert E_SHARED_RACE not in _codes(analysis)
+    codes = _codes(analysis)
+    assert E_PROVED_RACE not in codes and W_RACE_UNKNOWN not in codes

@@ -94,3 +94,55 @@ def test_static_safe_report_counts_as_ok():
 
     r = ValidationReport("k", STATIC_SAFE, "proven")
     assert r.ok and not r.must_revert
+
+
+def test_syr2k_upgraded_to_static_fast_path(monkeypatch):
+    """Regression: SYR2K previously fell back to the differential gate
+    because check 3 cannot reason about threadIdx.y in a written index
+    (2-D TB).  The race analysis proves 'c' cross-thread disjoint on every
+    barrier interval, which subsumes that check — the kernel must now take
+    the static fast path with zero lockstep runs."""
+    from repro.workloads import get_workload
+
+    calls = _count_differential(monkeypatch)
+    wl = get_workload("SYR2K", "test")
+    comp = catt_compile(wl.unit(), dict(wl.launch_configs()), TITAN_V_SIM,
+                        validate=True)
+    t = comp.transforms["syr2k_kernel"]
+    assert t.warp_splits                       # the transform still happened
+    assert t.validation.status == STATIC_SAFE
+    assert not calls                           # differential never ran
+
+
+RACY_ATAX = """
+#define NX 1024
+#define NY 64
+__global__ void atax_racy(float *A, float *x, float *tmp) {
+    __shared__ float tile[257];
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    tile[threadIdx.x] = x[0];
+    tmp[0] = tile[threadIdx.x + 1];
+    if (i < NX) {
+        for (int j = 0; j < NY; j++) {
+            tmp[i] += A[i * NY + j] * x[j];
+        }
+    }
+}
+"""
+
+
+def test_proved_race_blocks_transforms():
+    """A proved shared-memory race means the kernel's result already depends
+    on scheduling: warp-split and TB-throttle are blocked outright."""
+    from repro.transform.diagnostics import E_PROVED_RACE
+
+    comp = catt_compile(parse(RACY_ATAX), {"atax_racy": (4, 256)},
+                        TITAN_V_SIM, validate=True)
+    t = comp.transforms["atax_racy"]
+    assert t.race_blocked
+    assert t.warp_splits == [] and t.tb_plan is None
+    codes = {d.code for d in comp.diagnostics_for("atax_racy")}
+    assert E_PROVED_RACE in codes
+    # the emitted unit carries the kernel untouched
+    assert emit(comp.unit.kernel("atax_racy")) == \
+        emit(comp.original.kernel("atax_racy"))
