@@ -26,6 +26,13 @@ Data-dependent *control flow* and data-dependent loads from read-only arrays
 are allowed: lockstep equality of lane values makes the masks and gather
 addresses identical by induction.  GEMM/ATAX/MVT-style kernels qualify;
 BFS-style kernels that scatter through loaded indices do not.
+
+The tape engine (:mod:`repro.sim.tape`) generalizes the same idea: it
+carries *every* resident slot of a launch along a batch axis with per-slot
+divergence masks, so dedup becomes the degenerate case where homogeneity
+lets the batch axis collapse to a single representative TB.  This query
+stays relevant as the cheap static certificate for that collapse under the
+compiled engine (``dedup=True``).
 """
 
 from __future__ import annotations

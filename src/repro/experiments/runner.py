@@ -409,8 +409,23 @@ def _dispatch(args, parser, opts: SimOptions) -> int:
         rows = build_l2sweep(scale=args.scale, options=opts)
         text, data = format_l2sweep(rows), [r.__dict__ for r in rows]
     elif args.experiment == "bench":
-        from .bench import DEFAULT_BENCH_OUT, check_regression, format_bench, run_bench
+        from .bench import (
+            DEFAULT_BENCH_OUT,
+            EXIT_BASELINE_UNTRUSTED,
+            check_regression,
+            format_bench,
+            run_bench,
+            verify_baseline_manifest,
+        )
 
+        if args.baseline:
+            # Authenticate the reference before spending minutes measuring
+            # against it; an unsigned/tampered baseline must not anchor the
+            # regression gate.
+            problem = verify_baseline_manifest(args.baseline)
+            if problem is not None:
+                print(f"BASELINE UNTRUSTED: {problem}", file=sys.stderr)
+                return EXIT_BASELINE_UNTRUSTED
         payload = run_bench(scale=args.scale, jobs=opts.jobs,
                             out=args.output or DEFAULT_BENCH_OUT)
         print(format_bench(payload))

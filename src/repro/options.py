@@ -24,12 +24,12 @@ from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from pathlib import Path
 
-ENGINE_ENV = "REPRO_SIM_ENGINE"   # "compiled" (default) | "interp"
+ENGINE_ENV = "REPRO_SIM_ENGINE"   # "compiled" (default) | "interp" | "tape"
 DEDUP_ENV = "REPRO_SIM_DEDUP"     # "1" (default) | "0"
 CACHE_ENV = "REPRO_CACHE"         # result-cache path ("" = memory-only)
 SANITIZE_ENV = "REPRO_SIM_SANITIZE"   # "" / "0" (default off) | anything else
 
-ENGINES = ("compiled", "interp")
+ENGINES = ("compiled", "interp", "tape")
 
 
 @dataclass(frozen=True)
@@ -80,7 +80,13 @@ class SimOptions:
             if warn:
                 _deprecate(ENGINE_ENV, "SimOptions(engine=...)")
             value = raw.strip().lower()
-            kw["engine"] = value if value in ENGINES else "compiled"
+            if value not in ENGINES:
+                # Fail loudly at resolution time instead of silently coercing
+                # to "compiled" and misattributing every downstream result.
+                raise ValueError(
+                    f"{ENGINE_ENV}={raw!r} is not a valid engine; choose one "
+                    f"of {ENGINES}")
+            kw["engine"] = value
         raw = os.environ.get(DEDUP_ENV)
         if raw is not None:
             if warn:

@@ -169,6 +169,88 @@ class TypedValue:
         return TypedValue(vals, target, self.space, self.dims)
 
 
+_CMP_FNS = {"==": np.equal, "!=": np.not_equal, "<": np.less,
+            ">": np.greater, "<=": np.less_equal, ">=": np.greater_equal}
+
+
+def arith(op: str, left: TypedValue, right: TypedValue) -> TypedValue:
+    """The shared ALU: C-semantics binary arithmetic over lane vectors.
+
+    Single source of truth for operator semantics across all engines — the
+    AST interpreter, the closure compiler and the tape executor all call
+    this, so a semantics fix lands in every engine at once.
+    """
+    cmp_fn = _CMP_FNS.get(op)
+    if cmp_fn is not None:
+        ctype = promote(left.ctype, right.ctype)
+        dtype = np_dtype_for(ctype)
+        a = left.values
+        if a.dtype != dtype:
+            a = a.astype(dtype)
+        b = right.values
+        if b.dtype != dtype:
+            b = b.astype(dtype)
+        return TypedValue(cmp_fn(a, b), BOOL)
+    # pointer arithmetic
+    if left.ctype.pointer_depth or right.ctype.pointer_depth:
+        lp = left.ctype.pointer_depth
+        ptr, off = (left, right) if lp else (right, left)
+        if op == "-" and lp and right.ctype.pointer_depth:
+            size = np_dtype_for(left.ctype.pointee()).itemsize
+            return TypedValue(
+                ((left.values - right.values) // size).astype(np.int64),
+                CType("long"),
+            )
+        if op not in ("+", "-"):
+            raise SimulationError(f"pointer operator {op!r} unsupported")
+        size = np_dtype_for(ptr.ctype.pointee()).itemsize
+        delta = off.values.astype(np.int64) * size
+        vals = ptr.values + (delta if op == "+" else -delta)
+        return TypedValue(vals, ptr.ctype, ptr.space, ptr.dims)
+    ctype = promote(left.ctype, right.ctype)
+    dtype = np_dtype_for(ctype)
+    a = left.values
+    if a.dtype != dtype:
+        a = a.astype(dtype)
+    b = right.values
+    if b.dtype != dtype:
+        b = b.astype(dtype)
+    if op == "+":
+        out = a + b
+    elif op == "-":
+        out = a - b
+    elif op == "*":
+        out = a * b
+    elif op == "/":
+        if dtype.kind in "iu":
+            bf = b.astype(np.float64)
+            bf[bf == 0] = 1.0
+            out = np.trunc(a.astype(np.float64) / bf).astype(dtype)
+        else:
+            out = a / b
+    elif op == "%":
+        if dtype.kind in "iu":
+            bb = b.copy()
+            bb[bb == 0] = 1
+            q = np.trunc(a.astype(np.float64) / bb.astype(np.float64))
+            out = (a - q.astype(dtype) * bb).astype(dtype)
+        else:
+            out = np.fmod(a, b)
+    elif op == "<<":
+        out = a << (b & (dtype.itemsize * 8 - 1))
+    elif op == ">>":
+        out = a >> (b & (dtype.itemsize * 8 - 1))
+    elif op == "&":
+        out = a & b
+    elif op == "|":
+        out = a | b
+    elif op == "^":
+        out = a ^ b
+    else:
+        raise SimulationError(f"unsupported operator {op!r}")
+    return TypedValue(out, ctype)
+
+
 @dataclass(slots=True)
 class Var:
     """A named slot in a warp's environment."""
@@ -749,75 +831,7 @@ class WarpInterpreter:
                 ">": np.greater, "<=": np.less_equal, ">=": np.greater_equal}
 
     def _arith(self, op: str, left: TypedValue, right: TypedValue) -> TypedValue:
-        cmp_fn = self._CMP_FNS.get(op)
-        if cmp_fn is not None:
-            ctype = promote(left.ctype, right.ctype)
-            dtype = np_dtype_for(ctype)
-            a = left.values
-            if a.dtype != dtype:
-                a = a.astype(dtype)
-            b = right.values
-            if b.dtype != dtype:
-                b = b.astype(dtype)
-            return TypedValue(cmp_fn(a, b), BOOL)
-        # pointer arithmetic
-        if left.ctype.pointer_depth or right.ctype.pointer_depth:
-            lp = left.ctype.pointer_depth
-            ptr, off = (left, right) if lp else (right, left)
-            if op == "-" and lp and right.ctype.pointer_depth:
-                size = np_dtype_for(left.ctype.pointee()).itemsize
-                return TypedValue(
-                    ((left.values - right.values) // size).astype(np.int64),
-                    CType("long"),
-                )
-            if op not in ("+", "-"):
-                raise SimulationError(f"pointer operator {op!r} unsupported")
-            size = np_dtype_for(ptr.ctype.pointee()).itemsize
-            delta = off.values.astype(np.int64) * size
-            vals = ptr.values + (delta if op == "+" else -delta)
-            return TypedValue(vals, ptr.ctype, ptr.space, ptr.dims)
-        ctype = promote(left.ctype, right.ctype)
-        dtype = np_dtype_for(ctype)
-        a = left.values
-        if a.dtype != dtype:
-            a = a.astype(dtype)
-        b = right.values
-        if b.dtype != dtype:
-            b = b.astype(dtype)
-        if op == "+":
-            out = a + b
-        elif op == "-":
-            out = a - b
-        elif op == "*":
-            out = a * b
-        elif op == "/":
-            if dtype.kind in "iu":
-                bf = b.astype(np.float64)
-                bf[bf == 0] = 1.0
-                out = np.trunc(a.astype(np.float64) / bf).astype(dtype)
-            else:
-                out = a / b
-        elif op == "%":
-            if dtype.kind in "iu":
-                bb = b.copy()
-                bb[bb == 0] = 1
-                q = np.trunc(a.astype(np.float64) / bb.astype(np.float64))
-                out = (a - q.astype(dtype) * bb).astype(dtype)
-            else:
-                out = np.fmod(a, b)
-        elif op == "<<":
-            out = a << (b & (dtype.itemsize * 8 - 1))
-        elif op == ">>":
-            out = a >> (b & (dtype.itemsize * 8 - 1))
-        elif op == "&":
-            out = a & b
-        elif op == "|":
-            out = a | b
-        elif op == "^":
-            out = a ^ b
-        else:
-            raise SimulationError(f"unsupported operator {op!r}")
-        return TypedValue(out, ctype)
+        return arith(op, left, right)
 
     def _eval_unary(self, expr: UnaryOp, mask: np.ndarray) -> TypedValue:
         if expr.op in ("++", "--"):

@@ -71,7 +71,8 @@ class LaunchResult:
     block: Dim3
     tbs_simulated: int
     # Which execution engine produced the event streams: "interp",
-    # "compiled", or "compiled+dedup" (widened homogeneous-block replay).
+    # "compiled", "compiled+dedup" (widened homogeneous-block replay), or
+    # "tape" (launch-wide vectorized uop tape).
     engine: str = "interp"
     # Co-simulated SMs.  At sms == 1, ``metrics`` is SM 0's record and
     # ``per_sm`` is None; at sms > 1, ``metrics`` is the aggregate
@@ -285,9 +286,35 @@ def _launch_kernel(
 
     # Engine selection: closure-compile once per launch, falling back to the
     # AST walk when the kernel uses a construct the compiler does not cover.
+    # The tape engine lowers to a flat uop tape and executes every (TB, warp)
+    # slot of the launch in one vectorized pass; it falls back to "compiled"
+    # (and from there to "interp") on unsupported constructs.
     engine_used = "interp"
     compiled = None
-    if _engine_choice() == "compiled":
+    tape_streams = None
+    choice = _engine_choice()
+    if choice == "tape":
+        from .tape import lower_kernel, record_tape_streams
+
+        program = None
+        try:
+            program = lower_kernel(unit, kernel_name)
+        except (SimulationError, NotImplementedError):
+            program = None
+        if program is not None:
+            with _span("sim.tape.record", kernel=kernel_name, tbs=total_tbs,
+                       warps_per_tb=warps_per_tb):
+                tape_streams, tape_shadows = record_tape_streams(
+                    program, memory, layout, max(occ.shared_usage_tb, 1),
+                    kargs, grid3, block3, warps_per_tb, set(tb_ids),
+                    sanitize=sanitize, kernel_name=kernel_name,
+                    global_bases=global_bases)
+            if sanitize:
+                shadows.extend(tape_shadows)
+            engine_used = "tape"
+        else:
+            choice = "compiled"
+    if choice == "compiled":
         with _span("sim.compile", kernel=kernel_name):
             try:
                 compiled = compile_kernel(unit, kernel_name)
@@ -301,8 +328,8 @@ def _launch_kernel(
     # engine.  Any launch with more than one slot benefits — many TBs, or a
     # single TB with many warps.
     dedup_streams = None
-    if compiled is not None and _dedup_enabled() and not sanitize \
-            and total_tbs * warps_per_tb > 1:
+    if compiled is not None and tape_streams is None and _dedup_enabled() \
+            and not sanitize and total_tbs * warps_per_tb > 1:
         from ..analysis.dataflow import block_homogeneity
 
         with _span("sim.dedup.analyze", kernel=kernel_name) as _sp:
@@ -319,9 +346,10 @@ def _launch_kernel(
                 )
             engine_used = "compiled+dedup"
 
-    if dedup_streams is not None:
+    recorded = dedup_streams if dedup_streams is not None else tape_streams
+    if recorded is not None:
         def warp_factory(tb_id: int):
-            return [iter(dedup_streams[tb_id][w])
+            return [iter(recorded[tb_id][w])
                     for w in range(warps_per_tb)]
     else:
         def warp_factory(tb_id: int):
@@ -380,9 +408,9 @@ def _launch_kernel(
     # Functionally execute the TBs not assigned to the simulated SM (or cut
     # by max_tbs) so device memory holds the full kernel result.  They do not
     # contribute to timing — other SMs run them "in parallel".  The widened
-    # dedup pass already performed every TB's memory effects exactly once,
-    # so it must not (and does not) re-execute anything here.
-    if dedup_streams is None:
+    # dedup and tape passes already performed every TB's memory effects
+    # exactly once, so they must not (and do not) re-execute anything here.
+    if recorded is None:
         timed = set(tb_ids)
         if len(timed) < total_tbs:
             with _span("sim.shadow_exec", kernel=kernel_name,

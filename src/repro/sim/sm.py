@@ -183,10 +183,18 @@ class SMEngine:
         active = self._active
         gto = self.scheduler == "gto"
         governor = self.governor
-        do_compute = self._do_compute
         do_mem = self._do_mem
         heappop = heapq.heappop
         heappush = heapq.heappush
+        # ComputeEvent handling is inlined below with the timing constants
+        # hoisted once — it is the single most frequent event class and the
+        # _do_compute body is three additions.  step() still routes through
+        # the method; the two must stay semantically identical.
+        timing = self.spec.timing
+        issue_cycles = timing.issue_cycles
+        compute_cycles = timing.compute_cycles
+        sfu_cycles = timing.sfu_cycles
+        metrics = self.metrics
         while heap:
             ready, _tie, slot_idx = heappop(heap)
             warp = slots[slot_idx]
@@ -201,31 +209,52 @@ class SMEngine:
                     warp.ready = max(self.now, ready) + self.pause_quantum
                     heappush(heap, (warp.ready, self._tie(warp), slot_idx))
                     continue
-            if ready > self.now:
-                self.now = ready
-            if governor is not None:
-                self._events_since_governor += 1
-                if self._events_since_governor >= self.governor_period:
-                    self._events_since_governor = 0
-                    governor(self)
-            try:
-                event = next(warp.gen)
-            except StopIteration:
-                self._retire_warp(warp)
-                continue
-            cls = event.__class__
-            if cls is ComputeEvent:
-                do_compute(warp, event)
-            elif cls is MemEvent:
-                do_mem(warp, event)
-            elif cls is SyncEvent:
-                self._do_sync(warp, active[warp.tb_index])
-                continue  # parked; re-queued at barrier release
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"unknown event {event!r}")
-            heappush(
-                heap,
-                (warp.ready, warp.age if gto else self._tie(warp), slot_idx))
+            while True:
+                if ready > self.now:
+                    self.now = ready
+                if governor is not None:
+                    self._events_since_governor += 1
+                    if self._events_since_governor >= self.governor_period:
+                        self._events_since_governor = 0
+                        governor(self)
+                try:
+                    event = next(warp.gen)
+                except StopIteration:
+                    self._retire_warp(warp)
+                    break
+                cls = event.__class__
+                if cls is ComputeEvent:
+                    start = self.issue_free
+                    now = self.now
+                    if start < now:
+                        start = now
+                    ops = event.ops
+                    sfu = event.sfu_ops
+                    self.issue_free = free = start + (ops + sfu) * issue_cycles
+                    latency = compute_cycles if ops else 0
+                    if sfu and sfu_cycles > latency:
+                        latency = sfu_cycles
+                    warp.ready = free + latency
+                    metrics.instructions += ops + sfu
+                elif cls is MemEvent:
+                    do_mem(warp, event)
+                elif cls is SyncEvent:
+                    self._do_sync(warp, active[warp.tb_index])
+                    break  # parked; re-queued at barrier release
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown event {event!r}")
+                ready = warp.ready
+                entry = (ready, warp.age if gto else self._tie(warp), slot_idx)
+                # GTO issues the oldest ready warp until it stalls past
+                # another warp's ready time, so this warp is usually still
+                # the heap minimum.  push-then-pop would hand it straight
+                # back; keep issuing inline and skip both heap operations.
+                # (entry <= heap[0] is exactly the heappushpop condition,
+                # so the event order is unchanged; a governor pause always
+                # re-enters the slow path for the pause bookkeeping.)
+                if self.paused_tbs or (heap and heap[0] < entry):
+                    heappush(heap, entry)
+                    break
 
         return self.finish()
 

@@ -13,12 +13,15 @@ import pytest
 
 from repro.experiments.bench import (
     ENGINE_CONFIGS,
+    EXIT_BASELINE_UNTRUSTED,
     check_regression,
     format_bench,
+    verify_baseline_manifest,
 )
 
 
-def payload(sweep_s=40.0, interp=70_000, compiled=100_000, dedup=125_000):
+def payload(sweep_s=40.0, interp=70_000, compiled=100_000, dedup=125_000,
+            tape=300_000):
     return {
         "scale": "test",
         "jobs": 2,
@@ -30,7 +33,12 @@ def payload(sweep_s=40.0, interp=70_000, compiled=100_000, dedup=125_000):
                          "speedup_vs_interp": round(compiled / interp, 2)},
             "compiled+dedup": {"seconds": 1.0, "warp_instructions": dedup,
                                "warp_instructions_per_sec": dedup,
-                               "speedup_vs_interp": round(dedup / interp, 2)},
+                               "speedup_vs_interp": round(dedup / interp, 2),
+                               "speedup_vs_compiled": round(dedup / compiled, 2)},
+            "tape": {"seconds": 1.0, "warp_instructions": tape,
+                     "warp_instructions_per_sec": tape,
+                     "speedup_vs_interp": round(tape / interp, 2),
+                     "speedup_vs_compiled": round(tape / compiled, 2)},
         },
         "sweep": {"seconds": sweep_s, "cells": 99, "computed": 99,
                   "degraded": 0, "jobs": 2,
@@ -46,9 +54,9 @@ def baseline_file(tmp_path):
     return path
 
 
-def test_engine_configs_cover_all_three_paths():
+def test_engine_configs_cover_all_four_paths():
     labels = [label for label, _, _ in ENGINE_CONFIGS]
-    assert labels == ["interp", "compiled", "compiled+dedup"]
+    assert labels == ["interp", "compiled", "compiled+dedup", "tape"]
 
 
 def test_check_regression_passes_identical(baseline_file):
@@ -83,6 +91,42 @@ def test_check_regression_custom_factor(baseline_file):
 
 def test_format_bench_readable():
     text = format_bench(payload())
-    assert "interp" in text and "compiled+dedup" in text
+    assert "interp" in text and "compiled+dedup" in text and "tape" in text
+    assert "vs compiled" in text
     assert "3.24x" in text or "vs seed" in text
     assert "99 cells" in text
+
+
+def test_verify_baseline_manifest_accepts_signed(baseline_file):
+    from repro.obs.manifest import (
+        build_manifest,
+        manifest_path_for,
+        write_manifest,
+    )
+
+    manifest = build_manifest(command="bench", config={"scale": "test"})
+    write_manifest(manifest, manifest_path_for(baseline_file))
+    assert verify_baseline_manifest(baseline_file) is None
+
+
+def test_verify_baseline_manifest_rejects_missing(baseline_file):
+    problem = verify_baseline_manifest(baseline_file)
+    assert problem is not None and "missing" in problem
+    assert EXIT_BASELINE_UNTRUSTED == 2
+
+
+def test_verify_baseline_manifest_rejects_tampered(baseline_file):
+    from repro.obs.manifest import (
+        build_manifest,
+        manifest_path_for,
+        write_manifest,
+    )
+
+    mpath = manifest_path_for(baseline_file)
+    manifest = build_manifest(command="bench", config={"scale": "test"})
+    write_manifest(manifest, mpath)
+    doc = json.loads(mpath.read_text())
+    doc["command"] = "tampered"
+    mpath.write_text(json.dumps(doc))
+    problem = verify_baseline_manifest(baseline_file)
+    assert problem is not None and "mismatch" in problem

@@ -1,12 +1,13 @@
-"""Differential gate: closure-compiled engine vs AST-walk interpreter.
+"""Differential gate: compiled and tape engines vs AST-walk interpreter.
 
 For every workload in the registry at test scale, the closure-compiled
-engine — with and without homogeneous-block dedup — must produce
-bit-identical functional results (``verify`` recomputes the kernel on the
-host and compares the device buffers) and identical cache/IPC metrics to
-the reference AST-walk interpreter.  This is the acceptance gate for the
-compiled engine: any divergence in cycles, hit rates, transaction counts
-or verified output fails the corresponding app's test.
+engine — with and without homogeneous-block dedup — and the launch-wide
+vectorized tape engine must produce bit-identical functional results
+(``verify`` recomputes the kernel on the host and compares the device
+buffers) and identical cache/IPC metrics to the reference AST-walk
+interpreter.  This is the acceptance gate for both performance engines:
+any divergence in cycles, hit rates, transaction counts or verified
+output fails the corresponding app's test.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ CONFIGS = {
     "interp": ("interp", "0"),
     "compiled": ("compiled", "0"),
     "compiled+dedup": ("compiled", "1"),
+    "tape": ("tape", "0"),
 }
 
 
@@ -39,24 +41,35 @@ def _run(app: str, monkeypatch, label: str):
 
 
 @pytest.mark.parametrize("app", sorted(WORKLOADS))
-def test_compiled_engine_matches_interpreter(app, monkeypatch):
+def test_engines_match_interpreter(app, monkeypatch):
+    """Three-way differential: interp vs compiled (±dedup) vs tape."""
     ref_sig, ref_verified, ref_engines = _run(app, monkeypatch, "interp")
     assert ref_verified is True
     assert ref_engines == {"interp"}
 
-    for label in ("compiled", "compiled+dedup"):
+    for label in ("compiled", "compiled+dedup", "tape"):
         sig, verified, engines = _run(app, monkeypatch, label)
         assert sig == ref_sig, f"{app}: {label} metrics diverge from interp"
         assert verified is True, f"{app}: {label} functional results diverge"
-        # The compiled configurations must actually exercise the compiled
-        # path — a silent fallback to the interpreter would let the perf
-        # path rot while this gate stays green.
+        # Every configuration must actually exercise its engine — a silent
+        # fallback to the interpreter (or, for tape, to the compiled
+        # closures) would let the perf path rot while this gate stays green.
         assert "interp" not in engines, (
             f"{app}: {label} fell back to the interpreter"
         )
+        if label == "tape":
+            assert engines == {"tape"}, (
+                f"{app}: tape fell back to {sorted(engines)}"
+            )
 
 
 def test_dedup_engine_label(monkeypatch):
     """A dedup-eligible multi-TB app reports the widened-replay engine."""
     _, _, engines = _run("ATAX", monkeypatch, "compiled+dedup")
     assert "compiled+dedup" in engines
+
+
+def test_tape_engine_label(monkeypatch):
+    """The tape engine labels every launch it records."""
+    _, _, engines = _run("ATAX", monkeypatch, "tape")
+    assert engines == {"tape"}
