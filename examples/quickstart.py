@@ -48,23 +48,24 @@ def run(sess, unit, label):
 
 
 def main():
-    sess = Session("max", SimOptions(engine="compiled", dedup=True,
-                                     trace=True, metrics=True))
-    unit = sess.compile(SOURCE)
+    # The with-block closes the session on exit, flushing its result cache.
+    with Session("max", SimOptions(engine="compiled", dedup=True,
+                                   trace=True, metrics=True)) as sess:
+        unit = sess.compile(SOURCE)
 
-    print("=== CATT static analysis ===")
-    comp = sess.catt(unit, {"atax_kernel1": (GRID, BLOCK)})
-    print(format_analysis(comp.transforms["atax_kernel1"].analysis))
-    print()
+        print("=== CATT static analysis ===")
+        comp = sess.catt(unit, {"atax_kernel1": (GRID, BLOCK)})
+        print(format_analysis(comp.transforms["atax_kernel1"].analysis))
+        print()
 
-    print("=== Simulated execution (1 SM of a Titan V) ===")
-    base = run(sess, unit, "baseline")
-    catt = run(sess, comp.unit, "CATT")
-    print(f"\nCATT speedup: {base / catt:.2f}x  "
-          f"(paper reports up to ~3x for individual CS kernels)")
+        print("=== Simulated execution (1 SM of a Titan V) ===")
+        base = run(sess, unit, "baseline")
+        catt = run(sess, comp.unit, "CATT")
+        print(f"\nCATT speedup: {base / catt:.2f}x  "
+              f"(paper reports up to ~3x for individual CS kernels)")
 
-    print("\n=== Pipeline trace (Session(trace=True)) ===")
-    print(sess.render_trace())
+        print("\n=== Pipeline trace (Session(trace=True)) ===")
+        print(sess.render_trace())
 
 
 if __name__ == "__main__":

@@ -12,12 +12,20 @@ Quickstart::
 
     from repro import Session, SimOptions
 
-    sess = Session("max", SimOptions(engine="compiled", trace=True))
-    unit = sess.compile(CUDA_SOURCE)
-    comp = sess.catt(unit, {"my_kernel": (grid, block)})
-    result = sess.launch(comp.unit, "my_kernel", grid, block, args=[...])
-    print(sess.render_trace())
-    sess.write_manifest("run.manifest.json")
+    with Session("max", SimOptions(engine="compiled", trace=True)) as sess:
+        unit = sess.compile(CUDA_SOURCE)
+        comp = sess.catt(unit, {"my_kernel": (grid, block)})
+        result = sess.launch(comp.unit, "my_kernel", grid, block, args=[...])
+        print(sess.render_trace())
+        sess.write_manifest("run.manifest.json")
+
+Sessions are context managers: ``close()`` (or leaving the ``with`` block)
+flushes the result cache and releases the session; a closed session refuses
+further pipeline work.  The same operations are also available as typed
+requests (:mod:`repro.service.protocol`) via :meth:`Session.request` — the
+exact API :class:`repro.service.ServiceClient` speaks to a remote ``catt
+serve`` process, so swapping local for remote execution is a one-line
+change.
 
 Results are bit-identical to the legacy env-var path — the Session only
 changes *how the knobs are carried*, never what the simulator does.
@@ -68,10 +76,43 @@ class Session:
         self.options = options if options is not None else SimOptions.from_env()
         self.device = Device(self.spec)
         self._result_cache = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Flush the result cache and retire this session (idempotent).
+
+        After ``close()`` every pipeline method raises — a closed session
+        holds no promises about cache or observability state.  Closing
+        flushes the session's :class:`~repro.experiments.common.ResultCache`
+        (a durability barrier) and drops the in-process memo so a later
+        session re-reads the disk.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._result_cache is not None:
+            self._result_cache.flush()
+            self._result_cache = None
+
+    def __enter__(self) -> "Session":
+        if self._closed:
+            raise RuntimeError("session is closed")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- option scoping -----------------------------------------------------
     @contextmanager
     def _scope(self):
+        if self._closed:
+            raise RuntimeError(
+                "session is closed; construct a new Session to keep working")
         previous = set_active_options(self.options)
         tracer = _trace_mod.tracer()
         registry = metrics_registry.registry()
@@ -135,14 +176,36 @@ class Session:
         return self._result_cache
 
     def run_app(self, app: str, scheme: str, scale: str = "bench",
-                verify: bool = False, on_error: str = "degrade"):
-        """One (app, scheme) simulation cell via the experiment harness."""
+                verify: bool = False, on_error: str = "degrade",
+                spec: str | None = None):
+        """One (app, scheme) simulation cell via the experiment harness.
+
+        ``spec`` overrides the session's spec *name* for this cell (the
+        harness resolves it independently), which is what lets one service
+        session serve requests against any spec.
+        """
         from .experiments.common import run_app
 
         with self._scope():
-            return run_app(app, scheme, self.spec_name, scale,
+            return run_app(app, scheme, spec or self.spec_name, scale,
                            cache=self._cache(), verify=verify,
                            on_error=on_error)
+
+    def request(self, req):
+        """Execute one typed protocol request in-process.
+
+        Accepts the :mod:`repro.service.protocol` compute requests
+        (:class:`~repro.service.protocol.CompileRequest`,
+        :class:`~repro.service.protocol.AnalyzeRequest`,
+        :class:`~repro.service.protocol.CattRequest`,
+        :class:`~repro.service.protocol.RunAppRequest`) and returns the
+        matching typed Response — the same objects a
+        :class:`~repro.service.client.ServiceClient` returns for the same
+        request, so local and remote execution swap freely.
+        """
+        from .service.handlers import execute_request
+
+        return execute_request(self, req)
 
     def sweep(self, cells=None, scale: str = "bench", policy=None,
               resume: bool = False):

@@ -7,6 +7,7 @@ Fig. 7, Fig. 9 and Table 3 share one BFTT sweep instead of re-simulating.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import os
@@ -19,7 +20,7 @@ from ..baselines.bftt import bftt_search
 from ..baselines.dyncta import run_with_dyncta
 from ..obs.metrics_registry import registry as _registry
 from ..obs.trace import span as _span
-from ..options import current_options, resolve_cache_path
+from ..options import SimOptions, current_options, resolve_cache_path
 from ..sim.arch import TITAN_V_SIM, TITAN_V_SIM_32K, GPUSpec
 from ..transform import catt_compile
 from ..transform.diagnostics import E_SIM, Diagnostic
@@ -140,11 +141,19 @@ class ResultCache:
 
     @staticmethod
     def key(app: str, scheme: str, spec: str, scale: str,
-            sms: int = 1) -> str:
-        # The sms suffix only appears for multi-SM cells, so every key (and
-        # cached record) written by the single-SM substrate stays valid.
+            sms: int = 1, signature: str | None = None) -> str:
+        """The cache key of one cell under one configuration identity.
+
+        ``signature`` is :meth:`SimOptions.signature` — the canonical
+        config identity shared with request coalescing and manifests; when
+        omitted it is derived from the legacy ``sms`` knob.  The suffix
+        only appears for non-default configurations, so every key (and
+        cached record) written by the pre-signature substrate stays valid.
+        """
+        if signature is None:
+            signature = SimOptions(sms=sms).signature()
         base = f"{app}|{scheme}|{spec}|{scale}"
-        return base if sms == 1 else f"{base}|sms{sms}"
+        return base if not signature else f"{base}|{signature}"
 
     def wal_path(self) -> Path | None:
         """Where a sweep's write-ahead journal for this cache lives (None
@@ -193,6 +202,32 @@ class ResultCache:
         """Memoize in-process only — used for degraded cells, which should be
         retried by the next sweep instead of poisoning the disk cache."""
         self._mem[key] = result
+
+    def flush(self) -> None:
+        """Durability barrier: every :meth:`put` record is on disk on return.
+
+        Both backing stores write through (atomic fsync'd replace per put),
+        so today this only has to drop shard memos so the next read observes
+        other processes' writes; ``Session.close()`` calls it so a
+        write-behind cache could be introduced without changing callers.
+        Transient (degraded) records stay memory-only by design.
+        """
+        if self._store is not None:
+            self._store._memo.clear()
+
+    def digest(self) -> str:
+        """sha256 hex digest over the on-disk cache bytes.
+
+        Because both stores serialize canonically (sorted keys), the digest
+        depends only on the *set* of records — two caches populated with the
+        same cells, by any mix of processes, in any order, digest
+        identically.  ``""`` for memory-only caches (nothing on disk).
+        """
+        if self._store is not None:
+            return self._store.digest()
+        if self.path and self.path.exists():
+            return hashlib.sha256(self.path.read_bytes()).hexdigest()
+        return ""
 
 
 def _to_json(result: AppResult) -> dict:
@@ -278,8 +313,10 @@ def run_app(
                          f"got {on_error!r}")
     spec = SPECS[spec_name]
     cache = cache or default_cache()
-    sms = current_options().sms
-    key = ResultCache.key(app, scheme, spec_name, scale, sms=sms)
+    opts = current_options()
+    sms = opts.sms
+    key = ResultCache.key(app, scheme, spec_name, scale,
+                          signature=opts.signature())
     with _span("experiment.cell", app=app, scheme=scheme, spec=spec_name,
                scale=scale, sms=sms) as sp:
         cached = cache.get(key)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.trace import span as _span
 from ..options import SimOptions, active_options, use_options
 from ..workloads import get_workload
 from ..workloads.base import run_workload
@@ -91,7 +92,12 @@ def build_l2sweep(
     rows: list[L2SweepRow] = []
     for app in apps:
         for sms in sms_values:
-            with use_options(base.replace(sms=sms)):
+            opts = base.replace(sms=sms)
+            # Spans carry the canonical config identity, so a trace row is
+            # attributable to the same signature the cache/service use.
+            with use_options(opts), \
+                    _span("experiment.l2cell", app=app, scale=scale,
+                          signature=opts.signature()):
                 rows.append(_sweep_cell(app, scale, spec_name, sms))
     return rows
 

@@ -141,6 +141,26 @@ class ShardStore:
         """Every existing shard file, sorted by name (byte-compare order)."""
         return sorted(self.root.glob("shard-??.json"))
 
+    def digest(self) -> str:
+        """sha256 hex digest over every shard's name and bytes (sorted).
+
+        Shards serialize canonically, so the digest is a pure function of
+        the record set: two stores holding the same records — written by
+        different processes, engines, or job counts — digest identically.
+        This is the byte-identity receipt the service acceptance checks use.
+        """
+        h = hashlib.sha256()
+        for path in self.shard_paths():
+            try:
+                data = path.read_bytes()
+            except OSError:  # pragma: no cover - raced with quarantine
+                continue
+            h.update(path.name.encode("utf-8"))
+            h.update(b"\x00")
+            h.update(data)
+            h.update(b"\x00")
+        return h.hexdigest()
+
     # -- locking -------------------------------------------------------------
     @contextmanager
     def _shard_lock(self, idx: int):

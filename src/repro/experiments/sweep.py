@@ -546,15 +546,17 @@ def run_sweep(
     policy = policy or DEFAULT_POLICY
     cache = cache or default_cache()
     cells = list(dict.fromkeys(cells))
-    # Cache keys carry the sms knob (suffix only when != 1) so multi-SM
-    # sweeps never collide with — or poison — single-SM records.
-    sms = options.sms if options is not None else current_options().sms
+    # Cache keys carry the options signature (suffix only for non-default
+    # configurations) so e.g. multi-SM sweeps never collide with — or
+    # poison — single-SM records.
+    signature = (options if options is not None
+                 else current_options()).signature()
     t0 = time.perf_counter()
     stats = {"retried": 0, "timeouts": 0, "crashes": 0, "quarantined": 0}
     with _span("experiment.sweep", cells=len(cells), jobs=jobs,
                resume=resume) as sp:
         todo = [c for c in cells
-                if cache.get(ResultCache.key(*c, sms=sms)) is None]
+                if cache.get(ResultCache.key(*c, signature=signature)) is None]
         results: dict[Cell, AppResult] = {}
         obs_by_cell: dict[Cell, dict | None] = {}
 
@@ -570,7 +572,7 @@ def run_sweep(
                 journal = wal.load()
                 todo_run = []
                 for c in todo:
-                    raw = journal.get(ResultCache.key(*c, sms=sms))
+                    raw = journal.get(ResultCache.key(*c, signature=signature))
                     if raw is None:
                         todo_run.append(c)
                     else:
@@ -587,7 +589,8 @@ def run_sweep(
             # Degraded cells are never journaled: like put_transient, they
             # must be retried by the next sweep, not resurrected by resume.
             if wal is not None and not result.degraded:
-                wal.append(ResultCache.key(*cell, sms=sms), _to_json(result))
+                wal.append(ResultCache.key(*cell, signature=signature),
+                           _to_json(result))
 
         def _merge() -> int:
             """Fold results into cache/tracer/registry in caller order."""
@@ -603,7 +606,7 @@ def run_sweep(
                         t.adopt(obs["spans"])
                     if obs.get("metrics"):
                         reg.merge(obs["metrics"])
-                key = ResultCache.key(*cell, sms=sms)
+                key = ResultCache.key(*cell, signature=signature)
                 if result.degraded:
                     degraded += 1
                     cache.put_transient(key, result)
@@ -634,7 +637,8 @@ def run_sweep(
             else:
                 # Activate the resolved options for the in-process path too,
                 # so an explicitly-passed ``options`` governs the cells (and
-                # the sms-aware keys above) exactly like it does in workers.
+                # the signature-aware keys above) exactly like it does in
+                # workers.
                 from contextlib import nullcontext
 
                 from ..options import use_options

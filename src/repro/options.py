@@ -114,6 +114,27 @@ class SimOptions:
             return None
         return self.cache_dir
 
+    #: Fields that change *simulation results* (not how they are computed or
+    #: where they are stored).  Only these participate in :meth:`signature`;
+    #: engine/dedup/jobs are deliberately excluded because CI asserts cache
+    #: byte-identity across engines and job counts.
+    IDENTITY_FIELDS = ("sms",)
+
+    def signature(self) -> str:
+        """Canonical configuration identity for cache keys and coalescing.
+
+        The empty string for the default configuration (so every key the
+        pre-signature substrate wrote stays valid), and a stable
+        ``field{value}`` suffix otherwise — e.g. ``SimOptions(sms=4)`` →
+        ``"sms4"``.  Two options with equal signatures are interchangeable
+        for result-identity purposes: same signature ⇒ same simulation
+        outcome for any request.
+        """
+        default = type(self)()
+        parts = [f"{f}{getattr(self, f)}" for f in self.IDENTITY_FIELDS
+                 if getattr(self, f) != getattr(default, f)]
+        return ",".join(parts)
+
     def summary(self) -> dict:
         """Deterministic dict view (manifest / trace attributes)."""
         return {

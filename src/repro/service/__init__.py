@@ -1,0 +1,54 @@
+"""CATT-as-a-service: a request-level service layer over the pipeline.
+
+The paper's analyze → throttle-search → simulate pipeline is expensive but
+fully deterministic per (kernel-source, configuration), so hot kernels
+should be analyzed *once ever*.  This package turns the in-process
+:class:`repro.Session` into a long-lived server sharing one crash-safe
+sharded result store across every client, process, and run:
+
+* :mod:`repro.service.protocol` — the typed request/response dataclasses
+  and the newline-delimited JSON wire format.  Both :class:`repro.Session`
+  (in-process) and :class:`ServiceClient` (remote) speak exactly these
+  types, so local-vs-remote is a one-line swap.
+* :mod:`repro.service.handlers` — executes one typed request against a
+  Session; the single implementation behind both transports.
+* :mod:`repro.service.batcher` — request coalescing (concurrent identical
+  requests share one in-flight computation) and sweep batching (run_app
+  cells collected within a window execute as ONE supervisor-backed sweep).
+* :mod:`repro.service.server` — the asyncio server behind ``catt serve``
+  (unix socket and/or TCP) with backpressure, per-request deadlines, and
+  graceful drain on SIGTERM.
+* :mod:`repro.service.client` — the blocking :class:`ServiceClient`.
+
+See docs/SERVICE.md for the protocol, deployment notes, and failure modes.
+"""
+
+from .client import ServiceClient
+from .protocol import (
+    AnalyzeRequest,
+    AnalyzeResponse,
+    CattRequest,
+    CattResponse,
+    CompileRequest,
+    CompileResponse,
+    RunAppRequest,
+    RunAppResponse,
+    ServiceError,
+    request_key,
+    request_manifest,
+)
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "CompileRequest",
+    "CompileResponse",
+    "AnalyzeRequest",
+    "AnalyzeResponse",
+    "CattRequest",
+    "CattResponse",
+    "RunAppRequest",
+    "RunAppResponse",
+    "request_key",
+    "request_manifest",
+]

@@ -1,0 +1,142 @@
+"""Request coalescing and sweep batching for the service event loop.
+
+Two complementary dedup layers sit between the wire and the compute thread:
+
+:class:`Coalescer`
+    Content-addressed in-flight dedup for compile/analyze/catt requests.
+    The first request for a key becomes the *leader* and owns the
+    computation; every identical request arriving before it completes
+    attaches to the same future and receives the same result object.
+
+:class:`SweepBatcher`
+    run_app-specific: cells submitted within ``window`` seconds are
+    collected, deduplicated, and executed as ONE call into the existing
+    supervisor-backed sweep executor (:meth:`repro.Session.sweep`), so a
+    pipelined client sweep — or several clients sweeping at once — fans out
+    across the sweep's worker processes instead of serializing request by
+    request.  A cell stays claimed from submission until its batch
+    completes, so identical cells in later requests coalesce onto the
+    in-flight batch rather than re-simulating.
+
+Both classes are single-loop asyncio objects: all bookkeeping happens on
+the event-loop thread; only the handed-in executor callables block.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class Coalescer:
+    """key → in-flight future; identical requests share one computation."""
+
+    def __init__(self):
+        self._inflight: dict[str, asyncio.Future] = {}
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def claim(self, key: str, start) -> tuple[asyncio.Future, bool]:
+        """Join the in-flight computation for ``key``, or become its leader.
+
+        ``start`` is a zero-argument callable returning an awaitable that
+        performs the computation; it is invoked only for the leader.
+        Returns ``(future, coalesced)`` — ``coalesced`` is True when this
+        call attached to work another request already started.
+        """
+        fut = self._inflight.get(key)
+        if fut is not None:
+            return fut, True
+        loop = asyncio.get_running_loop()
+        fut = loop.create_future()
+        self._inflight[key] = fut
+        task = loop.create_task(self._lead(key, fut, start))
+        # Keep a strong reference until the task resolves the future.
+        fut._coalescer_task = task  # type: ignore[attr-defined]
+        return fut, False
+
+    async def _lead(self, key: str, fut: asyncio.Future, start) -> None:
+        try:
+            result = await start()
+        except BaseException as exc:  # noqa: BLE001 - delivered to waiters
+            if not fut.done():
+                fut.set_exception(exc)
+        else:
+            if not fut.done():
+                fut.set_result(result)
+        finally:
+            self._inflight.pop(key, None)
+
+
+class SweepBatcher:
+    """Collect run_app cells briefly, then execute them as one sweep.
+
+    ``execute_batch`` is an async callable taking a list of cells and
+    returning ``{cell: result}``; it is invoked once per flushed batch.
+    """
+
+    def __init__(self, execute_batch, window: float = 0.02):
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        self._execute = execute_batch
+        self.window = window
+        #: Every cell currently claimed — awaiting flush OR executing.
+        self._claimed: dict[tuple, asyncio.Future] = {}
+        self._batch: list[tuple] = []
+        self._flush_task: asyncio.Task | None = None
+        self.batches = 0          # batches flushed
+        self.batched_cells = 0    # unique cells executed through batches
+
+    def __len__(self) -> int:
+        return len(self._claimed)
+
+    def submit(self, cell: tuple) -> tuple[asyncio.Future, bool]:
+        """Claim ``cell``; returns ``(future, coalesced)``.
+
+        The future resolves with the cell's result record once its batch's
+        sweep completes.  ``coalesced`` is True when an identical cell was
+        already claimed (pending or executing).
+        """
+        fut = self._claimed.get(cell)
+        if fut is not None:
+            return fut, True
+        loop = asyncio.get_running_loop()
+        fut = loop.create_future()
+        self._claimed[cell] = fut
+        self._batch.append(cell)
+        if self._flush_task is None or self._flush_task.done():
+            self._flush_task = loop.create_task(self._flush_after())
+        return fut, False
+
+    async def _flush_after(self) -> None:
+        if self.window:
+            await asyncio.sleep(self.window)
+        self._flush_task = None
+        batch, self._batch = self._batch, []
+        if not batch:
+            return
+        self.batches += 1
+        self.batched_cells += len(batch)
+        try:
+            results = await self._execute(batch)
+        except BaseException as exc:  # noqa: BLE001 - delivered to waiters
+            for cell in batch:
+                fut = self._claimed.pop(cell, None)
+                if fut is not None and not fut.done():
+                    fut.set_exception(exc)
+        else:
+            for cell in batch:
+                fut = self._claimed.pop(cell, None)
+                if fut is not None and not fut.done():
+                    fut.set_result(results.get(cell))
+
+    async def join(self) -> None:
+        """Wait until every claimed cell has resolved (drain support)."""
+        while self._claimed or (self._flush_task is not None
+                                and not self._flush_task.done()):
+            pending = [f for f in self._claimed.values() if not f.done()]
+            if self._flush_task is not None and not self._flush_task.done():
+                pending.append(self._flush_task)
+            if not pending:
+                return
+            await asyncio.wait(pending)

@@ -1,0 +1,225 @@
+"""Blocking typed client for the CATT service.
+
+:class:`ServiceClient` speaks the newline-delimited JSON protocol of
+:mod:`repro.service.protocol` over a unix socket or TCP connection and
+returns the **same typed Response objects** an in-process
+:meth:`repro.Session.request` returns — swapping local for remote execution
+is a one-line change::
+
+    backend = Session("max", opts)                    # in-process
+    backend = ServiceClient(socket_path="catt.sock")  # remote, same API
+    resp = backend.request(RunAppRequest("ATAX", "catt", scale="test"))
+
+Beyond the shared ``request`` API the client adds service-only affordances:
+
+* :meth:`request_many` pipelines a batch of requests on one connection —
+  the transport that lets the server coalesce and batch them into one
+  supervised sweep;
+* :meth:`last_meta` exposes the server's per-response metadata
+  (``cache_hit``, ``coalesced``, ``manifest_signature``, ``key``);
+* ping/stats/manifest/shutdown control requests.
+
+The client is intentionally synchronous (one socket, one lock): the
+concurrency lives server-side, where it can be shared between clients.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from pathlib import Path
+
+from .protocol import (
+    AnalyzeRequest,
+    CattRequest,
+    CompileRequest,
+    ManifestRequest,
+    PingRequest,
+    RunAppRequest,
+    ServiceError,
+    ShutdownRequest,
+    StatsRequest,
+    decode_response,
+    dump_frame,
+    encode_request,
+    load_frame,
+)
+
+
+class ServiceClient:
+    """One connection to a ``catt serve`` process, with a typed API."""
+
+    def __init__(self, socket_path: str | Path | None = None,
+                 host: str | None = None, port: int | None = None,
+                 *, timeout: float = 600.0, deadline_s: float | None = None):
+        if socket_path is None and port is None:
+            raise ValueError(
+                "ServiceClient needs a unix socket_path or a TCP host/port")
+        self.socket_path = Path(socket_path) if socket_path else None
+        self.host = host or "127.0.0.1"
+        self.port = port
+        self.timeout = timeout          # socket-level I/O timeout
+        self.deadline_s = deadline_s    # default per-request server deadline
+        self.last_meta: dict = {}       # meta of the most recent response
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # -- connection management ------------------------------------------------
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(str(self.socket_path))
+        else:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def wait_until_ready(self, timeout: float = 10.0,
+                         interval: float = 0.05) -> None:
+        """Block until the server answers a ping (startup synchronization)."""
+        deadline = time.monotonic() + timeout
+        last_exc: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                self.ping()
+                return
+            except (OSError, ServiceError) as exc:
+                last_exc = exc
+                self.close()
+                time.sleep(interval)
+        raise TimeoutError(
+            f"catt service did not become ready within {timeout}s"
+            + (f" (last error: {last_exc})" if last_exc else ""))
+
+    # -- wire plumbing --------------------------------------------------------
+    def _send(self, req, deadline_s: float | None) -> int:
+        self._next_id += 1
+        rid = self._next_id
+        frame = encode_request(
+            req, rid,
+            deadline_s if deadline_s is not None else self.deadline_s)
+        self._sock.sendall(dump_frame(frame))
+        return rid
+
+    def _recv(self) -> tuple:
+        line = self._rfile.readline()
+        if not line:
+            raise ServiceError("internal",
+                               "connection closed by the service")
+        return decode_response(load_frame(line))
+
+    def request(self, req, deadline_s: float | None = None):
+        """Execute one typed request remotely; returns the typed Response.
+
+        Raises :class:`ServiceError` (carrying the wire error code) when the
+        server reports a failure.  ``deadline_s`` overrides the client's
+        default per-request deadline for this call.
+        """
+        with self._lock:
+            self._connect()
+            rid = self._send(req, deadline_s)
+            got, resp, meta = self._recv()
+            if got != rid:
+                raise ServiceError(
+                    "internal",
+                    f"response id {got!r} does not match request id {rid}")
+            self.last_meta = meta
+            if isinstance(resp, ServiceError):
+                raise resp
+            return resp
+
+    def request_many(self, reqs, deadline_s: float | None = None) -> list:
+        """Pipeline ``reqs`` on one connection; responses in request order.
+
+        All requests are written before any response is read, so the server
+        sees them concurrently — identical requests coalesce and run_app
+        cells batch into one supervised sweep.  Each result is either the
+        typed Response or the :class:`ServiceError` the server returned for
+        it (errors are *returned*, not raised, so one failing cell cannot
+        hide the rest of the batch).  ``last_meta`` maps request index →
+        meta after this call.
+        """
+        reqs = list(reqs)
+        with self._lock:
+            self._connect()
+            ids = [self._send(req, deadline_s) for req in reqs]
+            index_of = {rid: i for i, rid in enumerate(ids)}
+            out: list = [None] * len(reqs)
+            metas: dict[int, dict] = {}
+            for _ in reqs:
+                rid, resp, meta = self._recv()
+                i = index_of.get(rid)
+                if i is None:
+                    raise ServiceError("internal",
+                                       f"unexpected response id {rid!r}")
+                out[i] = resp
+                metas[i] = meta
+            self.last_meta = metas
+            return out
+
+    # -- typed compute helpers (the Session-equivalent surface) ---------------
+    def compile(self, source: str):
+        return self.request(CompileRequest(source))
+
+    def analyze(self, source: str, kernel: str, block: int, grid=None):
+        return self.request(AnalyzeRequest(source, kernel, block, grid))
+
+    def catt(self, source: str, launches=()):
+        return self.request(CattRequest(source, launches))
+
+    def run_app(self, app: str, scheme: str, spec: str = "max",
+                scale: str = "bench", verify: bool = False):
+        return self.request(RunAppRequest(app, scheme, spec, scale, verify))
+
+    def sweep(self, cells, deadline_s: float | None = None) -> list:
+        """Run ``cells`` (``(app, scheme, spec, scale)`` tuples) pipelined.
+
+        Returns one :class:`~repro.service.protocol.RunAppResponse` (or
+        ServiceError) per cell, in cell order; the server executes the
+        uncached cells as one batched sweep across its worker processes.
+        """
+        return self.request_many(
+            [RunAppRequest(app, scheme, spec, scale)
+             for app, scheme, spec, scale in cells],
+            deadline_s=deadline_s)
+
+    # -- control helpers ------------------------------------------------------
+    def ping(self):
+        return self.request(PingRequest())
+
+    def stats(self):
+        return self.request(StatsRequest())
+
+    def manifest(self):
+        return self.request(ManifestRequest())
+
+    def shutdown(self):
+        """Ask the server to drain gracefully (same path as SIGTERM)."""
+        return self.request(ShutdownRequest())

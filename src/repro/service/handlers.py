@@ -1,0 +1,62 @@
+"""Execute one typed request against a :class:`repro.Session`.
+
+This is the single implementation behind both transports:
+``Session.request(req)`` calls :func:`execute_request` directly, and the
+server's compute thread calls it for every request a client sends.  Keeping
+one code path is what makes a remote response byte-identical to a local
+one — there is nothing the server computes that a Session does not.
+"""
+
+from __future__ import annotations
+
+from .protocol import (
+    AnalyzeRequest,
+    AnalyzeResponse,
+    CattRequest,
+    CattResponse,
+    CompileRequest,
+    CompileResponse,
+    RunAppRequest,
+    RunAppResponse,
+    ServiceError,
+    source_sha256,
+)
+
+
+def execute_request(session, req):
+    """Run ``req`` on ``session``; returns the matching typed Response."""
+    if isinstance(req, CompileRequest):
+        unit = session.compile(req.source)
+        return CompileResponse(
+            kernels=tuple(k.name for k in unit.kernels()),
+            source_sha256=source_sha256(req.source),
+        )
+    if isinstance(req, AnalyzeRequest):
+        from ..analysis import format_analysis
+        from ..analysis.report import analysis_summary
+
+        unit = session.compile(req.source)
+        analysis = session.analyze(unit, req.kernel, req.block, grid=req.grid)
+        return AnalyzeResponse(summary=analysis_summary(analysis),
+                               report=format_analysis(analysis))
+    if isinstance(req, CattRequest):
+        from ..frontend import emit
+
+        unit = session.compile(req.source)
+        comp = session.catt(unit, req.launch_dict())
+        return CattResponse(
+            source=emit(comp.unit),
+            kernels=tuple(sorted(comp.transforms)),
+            diagnostics=tuple(d.to_dict() for d in comp.diagnostics),
+        )
+    if isinstance(req, RunAppRequest):
+        from ..experiments.common import ResultCache, _to_json
+
+        result = session.run_app(req.app, req.scheme, scale=req.scale,
+                                 verify=req.verify, spec=req.spec)
+        key = ResultCache.key(req.app, req.scheme, req.spec, req.scale,
+                              signature=session.options.signature())
+        return RunAppResponse(result=_to_json(result), key=key)
+    raise ServiceError(
+        "unsupported",
+        f"{type(req).__name__} is not an in-process compute request")

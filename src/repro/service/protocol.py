@@ -1,0 +1,402 @@
+"""Typed request/response protocol shared by Session and the CATT service.
+
+One set of dataclasses describes every operation the pipeline exposes —
+compile, analyze, catt (the transform pipeline), and run_app (one
+experiment cell).  :meth:`repro.Session.request` executes them in-process;
+:class:`repro.service.ServiceClient` ships them over a socket; the server
+routes them through the same :mod:`repro.service.handlers`.  Because both
+paths serialize through :func:`Response.to_payload`, a remote response is
+byte-identical to a local one.
+
+Wire format (newline-delimited JSON, one frame per line, canonical bytes —
+sorted keys, compact separators)::
+
+    → {"id": 7, "kind": "run_app", "payload": {...}, "deadline_s": 30, "v": 1}
+    ← {"id": 7, "ok": true, "kind": "run_app", "payload": {...},
+       "meta": {"cache_hit": false, "coalesced": true, ...}, "v": 1}
+    ← {"id": 8, "ok": false, "error": {"code": "deadline", "message": "..."},
+       "v": 1}
+
+Responses may arrive out of request order (clients match on ``id``), which
+is what lets a pipelined client sweep feed the server's batcher.
+
+Identity
+--------
+:func:`request_key` is the content address used for caching and request
+coalescing: sha256 over the canonical JSON of (kind, payload,
+:meth:`SimOptions.signature() <repro.options.SimOptions.signature>`, spec).
+Two requests with the same key are interchangeable — the service computes
+one and fans the result out.  :func:`request_manifest` builds the signed
+manifest over the same identity fields, so a Session run and a service run
+of the same request carry the same manifest signature.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import ClassVar
+
+PROTOCOL_VERSION = 1
+
+#: Error codes a server may return; clients surface them as ServiceError.
+ERROR_CODES = (
+    "bad-request",    # malformed frame / unknown kind / bad payload
+    "unsupported",    # valid frame, but this endpoint cannot execute it
+    "overloaded",     # backpressure: too many requests already in flight
+    "draining",       # server is shutting down gracefully; retry elsewhere
+    "deadline",       # the request's deadline_s elapsed before completion
+    "internal",       # the computation itself raised
+)
+
+
+class ServiceError(Exception):
+    """A protocol-level failure (either side), carrying a wire error code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def canonical_json(obj) -> str:
+    """Canonical JSON text: sorted keys, compact separators.
+
+    Every frame and every content hash uses this form, so identical
+    payloads are identical *bytes* — the property the byte-identity
+    acceptance checks (and response dedup) rest on.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def source_sha256(source: str) -> str:
+    """Content address of one kernel source file."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _plain(value):
+    """Coerce tuples to lists recursively (JSON-serializable payload form)."""
+    if isinstance(value, tuple):
+        return [_plain(v) for v in value]
+    if isinstance(value, list):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _plain(v) for k, v in value.items()}
+    return value
+
+
+class _Message:
+    """Shared payload plumbing for request/response dataclasses."""
+
+    KIND: ClassVar[str] = ""
+
+    def to_payload(self) -> dict:
+        return {f.name: _plain(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_payload(cls, payload: dict):
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ServiceError(
+                "bad-request", f"invalid {cls.KIND!r} payload: {exc}"
+            ) from None
+
+
+# ---------------------------------------------------------------------------
+# Compute requests — the pipeline operations Session and the service share
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompileRequest(_Message):
+    """Parse one CUDA-subset source into a translation unit."""
+
+    KIND: ClassVar[str] = "compile"
+    source: str
+
+
+@dataclass(frozen=True)
+class AnalyzeRequest(_Message):
+    """CATT static analysis (Eqs. 1-9) for one kernel of ``source``."""
+
+    KIND: ClassVar[str] = "analyze"
+    source: str
+    kernel: str
+    block: int
+    grid: int | None = None
+
+
+@dataclass(frozen=True)
+class CattRequest(_Message):
+    """Run the full CATT transform pipeline on ``source``.
+
+    ``launches`` accepts a ``{kernel: (grid, block)}`` dict or an iterable
+    of pairs; it is normalized to a sorted tuple so equal requests hash to
+    equal content addresses regardless of construction order.
+    """
+
+    KIND: ClassVar[str] = "catt"
+    source: str
+    launches: tuple = ()
+
+    def __post_init__(self):
+        items = (self.launches.items() if isinstance(self.launches, dict)
+                 else self.launches)
+        try:
+            norm = tuple(sorted(
+                (str(k), (int(g), int(b))) for k, (g, b) in items))
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(
+                "bad-request", f"invalid catt launches: {exc}") from None
+        object.__setattr__(self, "launches", norm)
+
+    def launch_dict(self) -> dict[str, tuple[int, int]]:
+        return {k: v for k, v in self.launches}
+
+
+@dataclass(frozen=True)
+class RunAppRequest(_Message):
+    """One (app, scheme, spec, scale) experiment cell."""
+
+    KIND: ClassVar[str] = "run_app"
+    app: str
+    scheme: str
+    spec: str = "max"
+    scale: str = "bench"
+    verify: bool = False
+
+    @property
+    def cell(self) -> tuple[str, str, str, str]:
+        """The sweep-executor cell this request maps onto."""
+        return (self.app, self.scheme, self.spec, self.scale)
+
+
+# ---------------------------------------------------------------------------
+# Control requests — service-side only (Session rejects them)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PingRequest(_Message):
+    KIND: ClassVar[str] = "ping"
+
+
+@dataclass(frozen=True)
+class StatsRequest(_Message):
+    KIND: ClassVar[str] = "stats"
+
+
+@dataclass(frozen=True)
+class ManifestRequest(_Message):
+    KIND: ClassVar[str] = "manifest"
+
+
+@dataclass(frozen=True)
+class ShutdownRequest(_Message):
+    """Ask the server to drain gracefully (same path as SIGTERM)."""
+
+    KIND: ClassVar[str] = "shutdown"
+
+
+# ---------------------------------------------------------------------------
+# Responses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompileResponse(_Message):
+    KIND: ClassVar[str] = "compile"
+    kernels: tuple = ()
+    source_sha256: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "kernels", tuple(self.kernels))
+
+
+@dataclass(frozen=True)
+class AnalyzeResponse(_Message):
+    KIND: ClassVar[str] = "analyze"
+    summary: dict = field(default_factory=dict)
+    report: str = ""
+
+
+@dataclass(frozen=True)
+class CattResponse(_Message):
+    KIND: ClassVar[str] = "catt"
+    source: str = ""           # the transformed unit, emitted
+    kernels: tuple = ()        # kernels the pipeline considered
+    diagnostics: tuple = ()    # Diagnostic.to_dict() payloads
+
+    def __post_init__(self):
+        object.__setattr__(self, "kernels", tuple(self.kernels))
+        object.__setattr__(self, "diagnostics", tuple(self.diagnostics))
+
+
+@dataclass(frozen=True)
+class RunAppResponse(_Message):
+    KIND: ClassVar[str] = "run_app"
+    result: dict = field(default_factory=dict)   # AppResult JSON form
+    key: str = ""                                # the ResultCache key used
+
+
+@dataclass(frozen=True)
+class PingResponse(_Message):
+    KIND: ClassVar[str] = "ping"
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class StatsResponse(_Message):
+    KIND: ClassVar[str] = "stats"
+    service: dict = field(default_factory=dict)   # server-side counters
+    metrics: dict = field(default_factory=dict)   # obs registry snapshot
+
+
+@dataclass(frozen=True)
+class ManifestResponse(_Message):
+    KIND: ClassVar[str] = "manifest"
+    manifest: dict = field(default_factory=dict)  # signed RunManifest dict
+
+
+@dataclass(frozen=True)
+class ShutdownResponse(_Message):
+    KIND: ClassVar[str] = "shutdown"
+    draining: bool = True
+
+
+#: Requests a Session can execute in-process.
+COMPUTE_REQUESTS = {cls.KIND: cls for cls in
+                    (CompileRequest, AnalyzeRequest, CattRequest,
+                     RunAppRequest)}
+#: Requests only the server answers (introspection / lifecycle).
+CONTROL_REQUESTS = {cls.KIND: cls for cls in
+                    (PingRequest, StatsRequest, ManifestRequest,
+                     ShutdownRequest)}
+REQUESTS = {**COMPUTE_REQUESTS, **CONTROL_REQUESTS}
+RESPONSES = {cls.KIND: cls for cls in
+             (CompileResponse, AnalyzeResponse, CattResponse,
+              RunAppResponse, PingResponse, StatsResponse,
+              ManifestResponse, ShutdownResponse)}
+
+
+# ---------------------------------------------------------------------------
+# Identity: content addresses and signed manifests
+# ---------------------------------------------------------------------------
+
+
+def request_key(req: _Message, signature: str = "", spec: str = "max") -> str:
+    """Content address of one request under one configuration.
+
+    ``signature`` is :meth:`SimOptions.signature` (the canonical config
+    identity — only knobs that change simulation results participate);
+    ``spec`` the GPU spec name.  Equal keys ⇒ interchangeable results, which
+    is exactly the coalescing and cache contract.
+    """
+    body = {"kind": req.KIND, "payload": req.to_payload(),
+            "options": signature, "spec": spec, "v": PROTOCOL_VERSION}
+    return hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()
+
+
+def request_manifest(req: _Message, options, spec_name: str = "max"):
+    """Signed :class:`~repro.obs.manifest.RunManifest` over the request's
+    identity fields.
+
+    Built from the same inputs on both sides of the wire, so a service
+    response's ``meta["manifest_signature"]`` equals the signature a local
+    Session run of the same request produces — the byte-identity receipt.
+    """
+    from ..obs.manifest import build_manifest
+
+    if isinstance(req, RunAppRequest):
+        spec_name = req.spec
+    return build_manifest(
+        command=f"service.{req.KIND}",
+        config={"kind": req.KIND, "request": req.to_payload(),
+                "signature": options.signature(), "spec": spec_name},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Wire framing
+# ---------------------------------------------------------------------------
+
+
+def encode_request(req: _Message, req_id: int,
+                   deadline_s: float | None = None) -> dict:
+    frame = {"id": req_id, "kind": req.KIND, "payload": req.to_payload(),
+             "v": PROTOCOL_VERSION}
+    if deadline_s is not None:
+        frame["deadline_s"] = float(deadline_s)
+    return frame
+
+
+def decode_request(frame) -> tuple:
+    """``(id, request, deadline_s)`` from a wire frame; raises ServiceError."""
+    if not isinstance(frame, dict):
+        raise ServiceError("bad-request", "frame is not a JSON object")
+    rid = frame.get("id")
+    kind = frame.get("kind")
+    cls = REQUESTS.get(kind)
+    if cls is None:
+        raise ServiceError("bad-request", f"unknown request kind {kind!r}")
+    payload = frame.get("payload") or {}
+    if not isinstance(payload, dict):
+        raise ServiceError("bad-request", "payload is not a JSON object")
+    deadline = frame.get("deadline_s")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) or deadline <= 0:
+            raise ServiceError("bad-request",
+                               f"deadline_s must be positive, got {deadline!r}")
+        deadline = float(deadline)
+    return rid, cls.from_payload(payload), deadline
+
+
+def encode_response(req_id, resp: _Message, meta: dict | None = None) -> dict:
+    return {"id": req_id, "ok": True, "kind": resp.KIND,
+            "payload": resp.to_payload(), "meta": meta or {},
+            "v": PROTOCOL_VERSION}
+
+
+def encode_error(req_id, code: str, message: str) -> dict:
+    return {"id": req_id, "ok": False,
+            "error": {"code": code, "message": message},
+            "v": PROTOCOL_VERSION}
+
+
+def decode_response(frame) -> tuple:
+    """``(id, response_or_ServiceError, meta)`` from a wire frame.
+
+    A malformed frame raises; a well-formed *error* frame returns the
+    ServiceError as the second element (the caller decides when to raise,
+    which keeps pipelined clients able to match errors to request ids).
+    """
+    if not isinstance(frame, dict):
+        raise ServiceError("bad-request", "response frame is not an object")
+    rid = frame.get("id")
+    if not frame.get("ok"):
+        err = frame.get("error") or {}
+        return rid, ServiceError(err.get("code", "internal"),
+                                 err.get("message", "unknown error")), {}
+    cls = RESPONSES.get(frame.get("kind"))
+    if cls is None:
+        raise ServiceError("bad-request",
+                           f"unknown response kind {frame.get('kind')!r}")
+    return (rid, cls.from_payload(frame.get("payload") or {}),
+            frame.get("meta") or {})
+
+
+def dump_frame(frame: dict) -> bytes:
+    """One canonical wire line (newline-terminated bytes)."""
+    return canonical_json(frame).encode("utf-8") + b"\n"
+
+
+def load_frame(line: bytes) -> dict:
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceError("bad-request", f"undecodable frame: {exc}") from None
+    if not isinstance(frame, dict):
+        raise ServiceError("bad-request", "frame is not a JSON object")
+    return frame

@@ -1,0 +1,506 @@
+"""The asyncio CATT service behind ``catt serve``.
+
+One long-lived :class:`repro.Session` (and therefore one shared
+crash-safe :class:`~repro.experiments.store.ShardStore`-backed result
+cache) serves compile/analyze/catt/run_app requests from any number of
+clients over a unix socket and/or TCP, speaking the newline-delimited JSON
+protocol of :mod:`repro.service.protocol`.
+
+Request lifecycle::
+
+    wire frame → decode → [control?] → backpressure gate → identity key
+        → cache probe → coalesce/batch → compute (single session thread,
+          sweeps fan out over the supervisor's worker processes)
+        → typed response + meta {cache_hit, coalesced, manifest_signature}
+
+Properties:
+
+* **Coalescing** — concurrent identical requests (same content address:
+  request payload + ``SimOptions.signature()`` + spec) share exactly one
+  in-flight computation; ``service.coalesced`` counts the joiners.
+* **Batching** — run_app cells arriving within ``batch_window`` seconds
+  execute as ONE supervisor-backed sweep (``Session.sweep``), so a
+  pipelined client sweep parallelizes across ``--jobs`` worker processes.
+* **Persistence** — results land in the sharded store; a restarted server
+  (or a plain in-process Session pointed at the same directory) serves
+  them as cache hits with zero kernel launches.
+* **Backpressure** — at most ``max_pending`` compute requests may be in
+  flight; excess requests fail fast with ``overloaded`` instead of
+  queueing unboundedly.
+* **Deadlines** — a request's ``deadline_s`` bounds *its* wait; on expiry
+  the client gets a ``deadline`` error while the shielded computation
+  finishes for the cache and any coalesced waiters.
+* **Graceful drain** — SIGTERM/SIGINT (or a shutdown request) stops
+  accepting work, lets in-flight requests finish, flushes the session
+  cache, and exits 0.
+
+All session/cache access runs on ONE compute thread (the sweep itself
+fans out over processes), so the process-global SimOptions/observability
+state the pipeline scopes per call is never touched concurrently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import signal
+import sys
+from pathlib import Path
+
+from ..obs.metrics_registry import registry as _registry
+from ..options import SimOptions
+from .batcher import Coalescer, SweepBatcher
+from .protocol import (
+    CattRequest,
+    CattResponse,
+    CompileRequest,
+    CompileResponse,
+    ManifestRequest,
+    ManifestResponse,
+    PingRequest,
+    PingResponse,
+    RunAppRequest,
+    RunAppResponse,
+    ServiceError,
+    ShutdownRequest,
+    ShutdownResponse,
+    StatsRequest,
+    StatsResponse,
+    decode_request,
+    dump_frame,
+    encode_error,
+    encode_response,
+    load_frame,
+    request_key,
+    request_manifest,
+)
+
+#: Stat fields every server tracks (mirrored to obs ``service.*`` counters).
+STAT_FIELDS = ("requests", "coalesced", "cache_hits", "errors", "rejected",
+               "executed_cells", "batches", "connections")
+
+
+class CattServer:
+    """The service: transport + coalescing/batching over one Session."""
+
+    def __init__(self, spec: str = "max", options: SimOptions | None = None,
+                 *, socket_path: str | Path | None = None,
+                 host: str | None = None, port: int | None = None,
+                 batch_window: float = 0.02, max_pending: int = 128,
+                 drain_timeout: float = 60.0):
+        from ..api import Session
+
+        if socket_path is None and port is None:
+            raise ValueError("serve needs a unix --socket and/or a TCP --port")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.session = Session(spec, options)
+        self.options = self.session.options
+        self.socket_path = Path(socket_path) if socket_path else None
+        self.host = host or "127.0.0.1"
+        self.port = port
+        self.batch_window = batch_window
+        self.max_pending = max_pending
+        self.drain_timeout = drain_timeout
+        self.stats: dict[str, int] = {f: 0 for f in STAT_FIELDS}
+        self.endpoints: list[str] = []
+        self._coalescer = Coalescer()
+        self._batcher = SweepBatcher(self._run_batch, window=batch_window)
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="catt-service")
+        self._servers: list[asyncio.AbstractServer] = []
+        self._inflight = 0
+        self._draining = False
+        self._done: asyncio.Event | None = None
+        self._request_store = None   # lazily-built persistent response cache
+
+    # -- counters -------------------------------------------------------------
+    def _count(self, name: str, n: int = 1) -> None:
+        self.stats[name] = self.stats.get(name, 0) + n
+        reg = _registry()
+        if reg.enabled:
+            reg.counter(f"service.{name}").inc(n)
+
+    def _gauge_inflight(self) -> None:
+        reg = _registry()
+        if reg.enabled:
+            reg.gauge("service.inflight").set(self._inflight)
+
+    # -- lifecycle ------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the configured endpoints (idempotent per server)."""
+        self._done = asyncio.Event()
+        if self.socket_path is not None:
+            self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+            if self.socket_path.exists():
+                self.socket_path.unlink()
+            srv = await asyncio.start_unix_server(
+                self._serve_conn, path=str(self.socket_path))
+            self._servers.append(srv)
+            self.endpoints.append(f"unix:{self.socket_path}")
+        if self.port is not None:
+            srv = await asyncio.start_server(
+                self._serve_conn, host=self.host, port=self.port)
+            self._servers.append(srv)
+            for sock in srv.sockets or []:
+                addr = sock.getsockname()
+                self.endpoints.append(f"tcp:{addr[0]}:{addr[1]}")
+                if self.port == 0:
+                    self.port = addr[1]
+        if not self._servers:  # pragma: no cover - guarded in __init__
+            raise ServiceError("internal", "no endpoint could be bound")
+
+    async def serve_until_drained(self) -> None:
+        """Run until :meth:`drain` completes (signal, shutdown request)."""
+        assert self._done is not None, "call start() first"
+        await self._done.wait()
+
+    async def drain(self) -> None:
+        """Stop accepting work, let in-flight requests finish, flush, exit.
+
+        New compute requests observe ``draining`` the moment this is
+        called; already-admitted requests run to completion (bounded by
+        ``drain_timeout``), the session cache is flushed, and
+        ``serve_until_drained`` returns.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        for srv in self._servers:
+            srv.close()
+        try:
+            await asyncio.wait_for(self._batcher.join(),
+                                   timeout=self.drain_timeout)
+        except asyncio.TimeoutError:  # pragma: no cover - hung computation
+            pass
+        # The coalescer drains itself as leaders finish; give them the same
+        # grace by polling until empty or the timeout elapses.
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout
+        while (len(self._coalescer) or self._inflight) \
+                and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        await loop.run_in_executor(self._pool, self.session.close)
+        if self._done is not None:
+            self._done.set()
+
+    async def aclose(self) -> None:
+        for srv in self._servers:
+            srv.close()
+            try:
+                await srv.wait_closed()
+            except Exception:  # pragma: no cover
+                pass
+        self._servers = []
+        self._pool.shutdown(wait=True)
+        if self.socket_path is not None:
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
+
+    def install_signal_handlers(self, loop) -> None:
+        """SIGTERM/SIGINT → graceful drain (the ``catt serve`` contract)."""
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.drain()))
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass   # platforms without loop signal support
+
+    # -- connection handling --------------------------------------------------
+    async def _serve_conn(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        self._count("connections")
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def respond(raw_line: bytes) -> None:
+            try:
+                frame = load_frame(raw_line)
+            except ServiceError as exc:
+                out = encode_error(None, exc.code, exc.message)
+            else:
+                out = await self.handle(frame)
+            async with write_lock:
+                writer.write(dump_frame(out))
+                try:
+                    await writer.drain()
+                except (ConnectionError, RuntimeError):  # peer went away
+                    pass
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(respond(line))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.wait(tasks)
+        finally:
+            for task in tasks:
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, Exception):  # pragma: no cover
+                pass
+
+    # -- request handling -----------------------------------------------------
+    async def handle(self, frame: dict) -> dict:
+        """Process one request frame into one response frame.
+
+        Transport-agnostic: tests drive this directly, connections feed it
+        from the socket reader loop.
+        """
+        rid = frame.get("id") if isinstance(frame, dict) else None
+        try:
+            rid, req, deadline = decode_request(frame)
+        except ServiceError as exc:
+            self._count("errors")
+            return encode_error(rid, exc.code, exc.message)
+        self._count("requests")
+
+        # Control requests answer inline — they stay available while
+        # draining so clients can observe the shutdown.
+        if isinstance(req, PingRequest):
+            return encode_response(rid, PingResponse())
+        if isinstance(req, StatsRequest):
+            return encode_response(rid, StatsResponse(
+                service=self.service_stats(),
+                metrics=_registry().snapshot()))
+        if isinstance(req, ManifestRequest):
+            return encode_response(rid, ManifestResponse(
+                manifest=self.build_manifest().to_dict()))
+        if isinstance(req, ShutdownRequest):
+            asyncio.ensure_future(self.drain())
+            return encode_response(rid, ShutdownResponse(draining=True))
+
+        if self._draining:
+            self._count("errors")
+            return encode_error(rid, "draining",
+                                "server is draining; not accepting work")
+        if self._inflight >= self.max_pending:
+            self._count("rejected")
+            return encode_error(
+                rid, "overloaded",
+                f"{self._inflight} requests already in flight "
+                f"(max_pending={self.max_pending})")
+
+        self._inflight += 1
+        self._gauge_inflight()
+        try:
+            resp, meta = await self._execute(req, deadline)
+        except ServiceError as exc:
+            self._count("errors")
+            return encode_error(rid, exc.code, exc.message)
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            self._count("errors")
+            return encode_error(rid, "internal", repr(exc))
+        finally:
+            self._inflight -= 1
+            self._gauge_inflight()
+        return encode_response(rid, resp, meta)
+
+    async def _execute(self, req, deadline: float | None):
+        """Compute one request: cache probe → coalesce/batch → response."""
+        spec_name = req.spec if isinstance(req, RunAppRequest) \
+            else self.session.spec_name
+        key = request_key(req, self.options.signature(), spec_name)
+        meta = {
+            "key": key,
+            "cache_hit": False,
+            "coalesced": False,
+            "manifest_signature": request_manifest(
+                req, self.options, spec_name).signature,
+        }
+        loop = asyncio.get_running_loop()
+
+        if isinstance(req, RunAppRequest):
+            cached = await loop.run_in_executor(
+                self._pool, self._cached_cell, req)
+            if cached is not None:
+                self._count("cache_hits")
+                meta["cache_hit"] = True
+                return RunAppResponse(result=cached, key=self._cell_key(req)), meta
+            fut, coalesced = self._batcher.submit(req.cell)
+            if coalesced:
+                self._count("coalesced")
+                meta["coalesced"] = True
+            record = await self._await_deadline(fut, deadline)
+            if record is None:
+                raise ServiceError(
+                    "internal", f"cell {req.cell} produced no result")
+            return RunAppResponse(result=record, key=self._cell_key(req)), meta
+
+        # compile / analyze / catt: persistent response cache, then coalesce.
+        cached = await loop.run_in_executor(self._pool,
+                                            self._request_cache_get, key)
+        if cached is not None:
+            self._count("cache_hits")
+            meta["cache_hit"] = True
+            return self._decode_cached(req, cached), meta
+
+        async def start():
+            return await loop.run_in_executor(self._pool,
+                                              self._compute_and_store,
+                                              req, key)
+
+        fut, coalesced = self._coalescer.claim(key, start)
+        if coalesced:
+            self._count("coalesced")
+            meta["coalesced"] = True
+        resp = await self._await_deadline(fut, deadline)
+        return resp, meta
+
+    @staticmethod
+    async def _await_deadline(fut, deadline: float | None):
+        """Await a shared computation, bounded by this request's deadline.
+
+        The shield keeps the underlying computation alive on timeout: the
+        cache and any coalesced waiters still get the result; only this
+        request's wait is cut short.
+        """
+        if deadline is None:
+            return await asyncio.shield(fut)
+        try:
+            return await asyncio.wait_for(asyncio.shield(fut), deadline)
+        except asyncio.TimeoutError:
+            raise ServiceError(
+                "deadline",
+                f"request exceeded its {deadline}s deadline (the "
+                "computation continues for the cache)") from None
+
+    # -- compute-thread helpers (everything below runs on self._pool) ---------
+    def _cell_key(self, req: RunAppRequest) -> str:
+        from ..experiments.common import ResultCache
+
+        return ResultCache.key(req.app, req.scheme, req.spec, req.scale,
+                               signature=self.options.signature())
+
+    def _cached_cell(self, req: RunAppRequest):
+        from ..experiments.common import _to_json
+
+        result = self.session._cache().get(self._cell_key(req))
+        return None if result is None else _to_json(result)
+
+    def _run_batch_blocking(self, cells: list[tuple]) -> dict:
+        """Execute one batch of unique cells as one supervised sweep."""
+        from ..experiments.common import _to_json
+
+        report = self.session.sweep(cells=list(cells))
+        self._count("executed_cells", report.computed)
+        self._count("batches")
+        cache = self.session._cache()
+        out = {}
+        for cell in cells:
+            app, scheme, spec, scale = cell
+            key = cache.key(app, scheme, spec, scale,
+                            signature=self.options.signature())
+            result = cache.get(key)
+            out[cell] = None if result is None else _to_json(result)
+        return out
+
+    async def _run_batch(self, cells: list[tuple]) -> dict:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool,
+                                          self._run_batch_blocking, cells)
+
+    def _request_cache(self):
+        """Persistent response store for compile/analyze/catt requests.
+
+        Lives beside the result shards (``<cache>/service/``), so analysis
+        survives server restarts exactly like simulation cells.  Memory-only
+        sessions get a plain dict (process-local).
+        """
+        if self._request_store is None:
+            from ..experiments.store import ShardStore
+
+            cache = self.session._cache()
+            if cache._store is not None:
+                self._request_store = ShardStore(cache.path / "service",
+                                                 version=1)
+            else:
+                self._request_store = {}
+        return self._request_store
+
+    def _request_cache_get(self, key: str):
+        store = self._request_cache()
+        return store.get(key)
+
+    def _compute_and_store(self, req, key: str):
+        from .handlers import execute_request
+
+        resp = execute_request(self.session, req)
+        store = self._request_cache()
+        record = {"kind": resp.KIND, "payload": resp.to_payload()}
+        if isinstance(store, dict):
+            store[key] = record
+        else:
+            store.put(key, record)
+        return resp
+
+    def _decode_cached(self, req, record: dict):
+        from .protocol import RESPONSES
+
+        cls = RESPONSES.get(record.get("kind")) if isinstance(record, dict) \
+            else None
+        if cls is None or record.get("kind") != req.KIND:
+            raise ServiceError("internal",
+                               f"request cache held a mismatched record for "
+                               f"{req.KIND!r}")
+        return cls.from_payload(record.get("payload") or {})
+
+    # -- introspection --------------------------------------------------------
+    def service_stats(self) -> dict:
+        stats = dict(self.stats)
+        stats["inflight"] = self._inflight
+        stats["draining"] = self._draining
+        stats["batched_cells"] = self._batcher.batched_cells
+        return stats
+
+    def build_manifest(self):
+        """Signed manifest describing this server's configuration."""
+        from ..obs.manifest import build_manifest
+
+        return build_manifest(
+            command="serve",
+            config={"spec": self.session.spec_name, **self.options.summary()},
+        )
+
+
+# ---------------------------------------------------------------------------
+# ``catt serve`` entry point
+# ---------------------------------------------------------------------------
+
+
+async def _amain(server: CattServer) -> int:
+    await server.start()
+    loop = asyncio.get_running_loop()
+    server.install_signal_handlers(loop)
+    print("catt service listening on " + ", ".join(server.endpoints),
+          file=sys.stderr, flush=True)
+    try:
+        await server.serve_until_drained()
+    finally:
+        await server.aclose()
+    print("catt service drained cleanly", file=sys.stderr, flush=True)
+    return 0
+
+
+def serve(options: SimOptions, *, spec: str = "max",
+          socket_path: str | None = None, host: str | None = None,
+          port: int | None = None, batch_window: float = 0.02,
+          max_pending: int = 128) -> int:
+    """Blocking server loop for the CLI; returns the process exit code."""
+    server = CattServer(spec, options, socket_path=socket_path, host=host,
+                        port=port, batch_window=batch_window,
+                        max_pending=max_pending)
+    try:
+        return asyncio.run(_amain(server))
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        return 130

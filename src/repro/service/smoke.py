@@ -1,0 +1,205 @@
+"""End-to-end service smoke test (the CI ``service-smoke`` job).
+
+Drives a real ``catt serve`` subprocess through its full lifecycle::
+
+    python -m repro.service.smoke --scale test
+
+1. start a server on a fresh unix socket + sharded cache directory;
+2. run a pipelined client sweep (cold): every cell simulates, the server's
+   ``sim.launches`` counter is nonzero, and its signed manifest verifies;
+3. SIGTERM the server and assert it drains cleanly (exit code 0);
+4. start a *second* server on the same cache directory;
+5. run the identical sweep again (warm): every response reports
+   ``cache_hit`` and is byte-identical to the cold run, and the warm
+   server's ``sim.launches`` counter is **zero** — the service did no
+   simulation work at all;
+6. assert the cache digest is unchanged by the warm run, and drain again.
+
+Exit code 0 = all assertions held.  Failures print the first violated
+assertion and exit 1 — this is a gate, not a benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from .client import ServiceClient
+from .protocol import canonical_json
+
+#: Small but representative: two cache-sensitive apps, two schemes.
+SMOKE_CELLS = (
+    ("ATAX", "baseline", "max", "test"),
+    ("ATAX", "catt", "max", "test"),
+    ("MVT", "baseline", "max", "test"),
+    ("MVT", "catt", "max", "test"),
+)
+
+
+def _start_server(socket_path: Path, cache_dir: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments.runner", "serve",
+         "--socket", str(socket_path), "--cache", str(cache_dir),
+         "--batch-window", "0.05"],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def _stop_server(proc: subprocess.Popen, timeout: float = 30.0) -> int:
+    """SIGTERM → graceful drain; returns the exit code."""
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+        raise AssertionError("server did not drain within the timeout")
+    return proc.returncode
+
+
+def _server_output(proc: subprocess.Popen) -> str:
+    try:
+        out = proc.stdout.read() if proc.stdout else b""
+    except Exception:
+        out = b""
+    return out.decode("utf-8", "replace")
+
+
+def _counters(client: ServiceClient) -> dict:
+    return client.stats().metrics.get("counters", {})
+
+
+def run_smoke(scale: str = "test", keep: bool = False) -> int:
+    from ..obs.manifest import RunManifest, verify_manifest
+
+    cells = tuple((app, scheme, spec, scale)
+                  for app, scheme, spec, _ in SMOKE_CELLS)
+    tmp = Path(tempfile.mkdtemp(prefix="catt-service-smoke-"))
+    socket_path = tmp / "catt.sock"
+    cache_dir = tmp / "cache"
+    proc = None
+    try:
+        # -- cold run ---------------------------------------------------------
+        proc = _start_server(socket_path, cache_dir)
+        client = ServiceClient(socket_path=socket_path)
+        client.wait_until_ready(timeout=60.0)
+
+        manifest = RunManifest(**client.manifest().manifest)
+        assert verify_manifest(manifest), \
+            "cold server manifest failed signature verification"
+
+        t0 = time.perf_counter()
+        cold = client.sweep(cells)
+        cold_s = time.perf_counter() - t0
+        for i, resp in enumerate(cold):
+            assert not isinstance(resp, Exception), \
+                f"cold cell {cells[i]} failed: {resp}"
+            assert resp.result.get("total_cycles", 0) > 0, \
+                f"cold cell {cells[i]} returned no cycles"
+        cold_payloads = [canonical_json(r.to_payload()) for r in cold]
+
+        counters = _counters(client)
+        launches = counters.get("sim.launches", 0)
+        assert launches > 0, "cold run should have simulated kernel launches"
+        service_stats = client.stats().service
+        print(f"cold sweep: {len(cells)} cells in {cold_s:.1f}s, "
+              f"{launches} kernel launches, "
+              f"{service_stats['batches']} batch(es)")
+
+        cold_digest_resp = client.run_app(*cells[0])  # warm within-process hit
+        assert client.last_meta.get("cache_hit"), \
+            "repeat request on a live server should be a cache hit"
+        assert canonical_json(cold_digest_resp.to_payload()) == \
+            cold_payloads[0], "live-server cache hit changed the payload"
+
+        client.close()
+        code = _stop_server(proc)
+        assert code == 0, f"cold server exited {code} on SIGTERM"
+        proc = None
+        cold_digest = _cache_digest(cache_dir)
+        assert cold_digest, "cold run left no cache on disk"
+
+        # -- warm run (fresh process, same cache) -----------------------------
+        proc = _start_server(socket_path, cache_dir)
+        client = ServiceClient(socket_path=socket_path)
+        client.wait_until_ready(timeout=60.0)
+
+        warm = client.sweep(cells)
+        for i, resp in enumerate(warm):
+            assert not isinstance(resp, Exception), \
+                f"warm cell {cells[i]} failed: {resp}"
+        warm_payloads = [canonical_json(r.to_payload()) for r in warm]
+        assert warm_payloads == cold_payloads, \
+            "warm responses are not byte-identical to the cold run"
+        metas = client.last_meta
+        assert all(m.get("cache_hit") for m in metas.values()), \
+            f"warm run was not fully cache-served: {metas}"
+
+        counters = _counters(client)
+        assert counters.get("sim.launches", 0) == 0, \
+            (f"warm run performed {counters.get('sim.launches')} kernel "
+             "launches; expected a zero-launch cache-warm no-op")
+        manifest = RunManifest(**client.manifest().manifest)
+        assert verify_manifest(manifest), \
+            "warm server manifest failed signature verification"
+        assert _cache_digest(cache_dir) == cold_digest, \
+            "warm run modified the cache bytes"
+        print(f"warm sweep: {len(cells)} cells, all cache hits, "
+              "0 kernel launches, cache digest unchanged")
+
+        client.close()
+        code = _stop_server(proc)
+        assert code == 0, f"warm server exited {code} on SIGTERM"
+        proc = None
+        print("service smoke PASSED")
+        return 0
+    except AssertionError as exc:
+        print(f"service smoke FAILED: {exc}", file=sys.stderr)
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        if proc is not None:
+            print("--- server output ---", file=sys.stderr)
+            print(_server_output(proc), file=sys.stderr)
+        return 1
+    finally:
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        if not keep:
+            import shutil
+
+            shutil.rmtree(tmp, ignore_errors=True)
+        else:
+            print(f"artifacts kept at {tmp}")
+
+
+def _cache_digest(cache_dir: Path) -> str:
+    from ..experiments.store import ShardStore
+
+    return ShardStore(cache_dir).digest()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="test", choices=["test", "bench"])
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the temporary cache/socket dir")
+    args = parser.parse_args(argv)
+    return run_smoke(scale=args.scale, keep=args.keep)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,30 @@ def test_store_bytes_independent_of_insertion_order(tmp_path):
                       sorted((tmp_path / "rev").glob("shard-??.json"))):
         assert p1.name == p2.name
         assert p1.read_bytes() == p2.read_bytes()
+    # The digest is the one-line version of the same property.
+    assert s1.digest() == s2.digest() != ""
+
+
+def test_store_digest_reflects_record_set(tmp_path):
+    store = ShardStore(tmp_path / "s")
+    empty = store.digest()
+    store.put("a|baseline|max|test", _record(1))
+    one = store.digest()
+    assert one != empty
+    store.put("b|baseline|max|test", _record(2))
+    assert store.digest() != one
+
+
+def test_result_cache_digest_and_flush(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    assert cache.digest() == ShardStore(tmp_path / "c").digest()
+    result = AppResult("A", "baseline", "max", "test", 10, {})
+    cache.put("A|baseline|max|test", result)
+    cache.flush()
+    # A second cache over the same directory sees identical bytes.
+    assert ResultCache(tmp_path / "c").digest() == cache.digest() != ""
+    # Memory-only caches have no disk bytes to digest.
+    assert ResultCache("").digest() == ""
 
 
 # -- round trip / sharding ----------------------------------------------------

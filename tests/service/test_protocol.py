@@ -1,0 +1,131 @@
+"""Protocol-layer tests: typed round-trips, canonical bytes, identity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.options import SimOptions
+from repro.service.protocol import (
+    ERROR_CODES,
+    AnalyzeRequest,
+    CattRequest,
+    CompileRequest,
+    PingRequest,
+    REQUESTS,
+    RESPONSES,
+    RunAppRequest,
+    RunAppResponse,
+    ServiceError,
+    canonical_json,
+    decode_request,
+    decode_response,
+    dump_frame,
+    encode_error,
+    encode_request,
+    encode_response,
+    load_frame,
+    request_key,
+    request_manifest,
+)
+
+
+def test_every_request_round_trips_through_the_wire():
+    samples = {
+        "compile": CompileRequest("__global__ void k() {}"),
+        "analyze": AnalyzeRequest("src", "k", 256, grid=4),
+        "catt": CattRequest("src", {"k": (4, 256)}),
+        "run_app": RunAppRequest("ATAX", "catt", scale="test"),
+        "ping": PingRequest(),
+    }
+    for kind, req in samples.items():
+        frame = load_frame(dump_frame(encode_request(req, 7, deadline_s=1.5)))
+        rid, decoded, deadline = decode_request(frame)
+        assert rid == 7 and deadline == 1.5
+        assert decoded == req and decoded.KIND == kind
+
+
+def test_response_round_trip_and_meta():
+    resp = RunAppResponse(result={"total_cycles": 42}, key="ATAX|catt|max|test")
+    frame = load_frame(dump_frame(
+        encode_response(3, resp, {"cache_hit": True})))
+    rid, decoded, meta = decode_response(frame)
+    assert rid == 3 and decoded == resp and meta == {"cache_hit": True}
+
+
+def test_error_frames_surface_as_service_errors_not_raises():
+    frame = encode_error(9, "overloaded", "too busy")
+    rid, err, meta = decode_response(frame)
+    assert rid == 9 and isinstance(err, ServiceError)
+    assert err.code == "overloaded" and err.code in ERROR_CODES
+
+
+def test_frames_serialize_to_canonical_bytes():
+    req = RunAppRequest("ATAX", "catt", scale="test")
+    a = dump_frame(encode_request(req, 1))
+    b = dump_frame(encode_request(RunAppRequest("ATAX", "catt", scale="test"), 1))
+    assert a == b and a.endswith(b"\n")
+    # Canonical = sorted keys, compact separators.
+    assert a == (json.dumps(json.loads(a), sort_keys=True,
+                            separators=(",", ":")) + "\n").encode()
+
+
+def test_malformed_frames_are_bad_requests():
+    with pytest.raises(ServiceError) as exc:
+        load_frame(b"not json\n")
+    assert exc.value.code == "bad-request"
+    with pytest.raises(ServiceError):
+        decode_request({"kind": "no-such-kind", "id": 1})
+    with pytest.raises(ServiceError):
+        decode_request({"kind": "run_app", "payload": {"nope": 1}, "id": 1})
+    with pytest.raises(ServiceError):
+        decode_request({"kind": "ping", "id": 1, "deadline_s": -2})
+
+
+def test_catt_launches_normalize_to_order_independent_form():
+    a = CattRequest("s", {"b": (2, 64), "a": (4, 256)})
+    b = CattRequest("s", [("a", (4, 256)), ("b", (2, 64))])
+    assert a == b
+    assert a.launch_dict() == {"a": (4, 256), "b": (2, 64)}
+    assert request_key(a) == request_key(b)
+
+
+def test_request_key_is_a_content_address():
+    req = RunAppRequest("ATAX", "catt", scale="test")
+    same = RunAppRequest("ATAX", "catt", scale="test")
+    assert request_key(req) == request_key(same)
+    # Sensitive to payload, options signature, and spec.
+    assert request_key(req) != request_key(
+        RunAppRequest("MVT", "catt", scale="test"))
+    assert request_key(req) != request_key(req, signature="sms4")
+    assert request_key(req) != request_key(req, spec="32k")
+
+
+def test_request_manifest_signature_is_deterministic_and_verifiable():
+    from repro.obs.manifest import verify_manifest
+
+    opts = SimOptions(cache_dir="")
+    req = RunAppRequest("ATAX", "baseline", scale="test")
+    m1 = request_manifest(req, opts)
+    m2 = request_manifest(RunAppRequest("ATAX", "baseline", scale="test"),
+                          SimOptions(cache_dir=""))
+    assert m1.signature == m2.signature
+    assert verify_manifest(m1)
+    # The signature covers the configuration identity, not incidentals:
+    # engine choice does not change what the simulation produces.
+    assert request_manifest(req, SimOptions(engine="interp", cache_dir="")
+                            ).signature == m1.signature
+    # ...but the result-identity knob does.
+    assert request_manifest(req, SimOptions(sms=2, cache_dir="")
+                            ).signature != m1.signature
+
+
+def test_registries_cover_each_other():
+    assert set(RESPONSES) == set(REQUESTS)
+    for kind, cls in REQUESTS.items():
+        assert cls.KIND == kind
+
+
+def test_canonical_json_sorts_and_compacts():
+    assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'

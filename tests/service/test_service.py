@@ -1,0 +1,330 @@
+"""Service tests: coalescing, batching, caching, deadlines, backpressure,
+drain, and the Session ↔ ServiceClient byte-identity contract."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import Session, SimOptions
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    CompileRequest,
+    RunAppRequest,
+    ServiceError,
+    canonical_json,
+    decode_response,
+    dump_frame,
+    encode_request,
+    load_frame,
+    request_manifest,
+)
+from repro.service.server import CattServer
+
+SRC = """
+__global__ void scale(float* x, float* y, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) y[i] = 2.0f * x[i];
+}
+"""
+
+
+def _handle(server, req, req_id=1, deadline_s=None):
+    """Drive the transport-agnostic handler with one typed request."""
+    frame = encode_request(req, req_id, deadline_s)
+    return server.handle(load_frame(dump_frame(frame)))
+
+
+def _payload_bytes(frame: dict) -> bytes:
+    return canonical_json(frame.get("payload")).encode()
+
+
+# -- in-process handler behaviour -------------------------------------------
+
+
+def test_identical_concurrent_requests_coalesce_to_one_simulation(tmp_path):
+    async def main():
+        server = CattServer("max", SimOptions(cache_dir=""),
+                            socket_path=tmp_path / "s.sock",
+                            batch_window=0.05)
+        req = RunAppRequest("ATAX", "baseline", scale="test")
+        frames = await asyncio.gather(*[
+            _handle(server, req, req_id=i) for i in range(4)])
+        await server.aclose()
+        return server, frames
+
+    server, frames = asyncio.run(main())
+    assert all(f["ok"] for f in frames)
+    # Exactly ONE simulation ran; the other three joined it.
+    assert server.stats["executed_cells"] == 1
+    assert server.stats["coalesced"] == 3
+    assert server.stats["batches"] == 1
+    metas = [f["meta"] for f in frames]
+    assert sum(1 for m in metas if m["coalesced"]) == 3
+    # Byte-identical responses for all four waiters.
+    payloads = {_payload_bytes(f) for f in frames}
+    assert len(payloads) == 1
+
+
+def test_distinct_cells_batch_into_one_sweep(tmp_path):
+    async def main():
+        server = CattServer("max", SimOptions(cache_dir=""),
+                            socket_path=tmp_path / "s.sock",
+                            batch_window=0.05)
+        reqs = [RunAppRequest("ATAX", "baseline", scale="test"),
+                RunAppRequest("ATAX", "catt", scale="test")]
+        frames = await asyncio.gather(*[
+            _handle(server, r, req_id=i) for i, r in enumerate(reqs)])
+        await server.aclose()
+        return server, frames
+
+    server, frames = asyncio.run(main())
+    assert all(f["ok"] for f in frames)
+    assert server.stats["executed_cells"] == 2
+    assert server.stats["batches"] == 1          # one sweep, two cells
+    assert server._batcher.batched_cells == 2
+
+
+def test_repeat_request_is_a_cache_hit_with_identical_bytes(tmp_path):
+    async def main():
+        server = CattServer("max", SimOptions(cache_dir=""),
+                            socket_path=tmp_path / "s.sock",
+                            batch_window=0.0)
+        req = RunAppRequest("ATAX", "baseline", scale="test")
+        first = await _handle(server, req)
+        second = await _handle(server, req)
+        await server.aclose()
+        return server, first, second
+
+    server, first, second = asyncio.run(main())
+    assert not first["meta"]["cache_hit"] and second["meta"]["cache_hit"]
+    assert _payload_bytes(first) == _payload_bytes(second)
+    assert server.stats["cache_hits"] == 1
+    assert server.stats["executed_cells"] == 1
+    # Both carry the same manifest signature (same request identity).
+    assert first["meta"]["manifest_signature"] == \
+        second["meta"]["manifest_signature"]
+
+
+def test_compile_responses_persist_across_server_restarts(tmp_path):
+    cache = str(tmp_path / "cache")
+
+    async def one_round():
+        server = CattServer("max", SimOptions(cache_dir=cache),
+                            socket_path=tmp_path / "s.sock")
+        frame = await _handle(server, CompileRequest(SRC))
+        await server.aclose()
+        return frame
+
+    first = asyncio.run(one_round())
+    second = asyncio.run(one_round())        # fresh server, same cache dir
+    assert first["ok"] and second["ok"]
+    assert not first["meta"]["cache_hit"]
+    assert second["meta"]["cache_hit"]
+    assert _payload_bytes(first) == _payload_bytes(second)
+
+
+def test_deadline_cuts_the_wait_but_not_the_computation(tmp_path):
+    async def main():
+        server = CattServer("max", SimOptions(cache_dir=""),
+                            socket_path=tmp_path / "s.sock",
+                            batch_window=0.5)   # longer than the deadline
+        req = RunAppRequest("ATAX", "baseline", scale="test")
+        frame = await _handle(server, req, deadline_s=0.05)
+        # The shielded computation still completes for the cache.
+        await server._batcher.join()
+        after = await _handle(server, req, req_id=2)
+        await server.aclose()
+        return frame, after
+
+    frame, after = asyncio.run(main())
+    assert not frame["ok"] and frame["error"]["code"] == "deadline"
+    assert after["ok"] and after["meta"]["cache_hit"]
+
+
+def test_backpressure_rejects_overflow_requests(tmp_path):
+    async def main():
+        server = CattServer("max", SimOptions(cache_dir=""),
+                            socket_path=tmp_path / "s.sock",
+                            batch_window=0.2, max_pending=1)
+        frames = await asyncio.gather(
+            _handle(server, RunAppRequest("ATAX", "baseline", scale="test")),
+            _handle(server, RunAppRequest("MVT", "baseline", scale="test"),
+                    req_id=2))
+        await server.aclose()
+        return server, frames
+
+    server, frames = asyncio.run(main())
+    codes = [f.get("error", {}).get("code") for f in frames]
+    assert codes.count("overloaded") == 1
+    assert sum(1 for f in frames if f["ok"]) == 1
+    assert server.stats["rejected"] == 1
+
+
+def test_draining_rejects_compute_but_answers_control(tmp_path):
+    async def main():
+        server = CattServer("max", SimOptions(cache_dir=""),
+                            socket_path=tmp_path / "s.sock")
+        await server.drain()
+        compute = await _handle(server, RunAppRequest("ATAX", "baseline",
+                                                      scale="test"))
+        from repro.service.protocol import PingRequest
+
+        ping = await _handle(server, PingRequest(), req_id=2)
+        await server.aclose()
+        return compute, ping
+
+    compute, ping = asyncio.run(main())
+    assert not compute["ok"] and compute["error"]["code"] == "draining"
+    assert ping["ok"]
+
+
+def test_unknown_kind_and_bad_payload_are_bad_requests(tmp_path):
+    async def main():
+        server = CattServer("max", SimOptions(cache_dir=""),
+                            socket_path=tmp_path / "s.sock")
+        bad_kind = await server.handle({"id": 1, "kind": "nope"})
+        bad_payload = await server.handle(
+            {"id": 2, "kind": "run_app", "payload": {"bogus": True}})
+        await server.aclose()
+        return bad_kind, bad_payload
+
+    bad_kind, bad_payload = asyncio.run(main())
+    for frame in (bad_kind, bad_payload):
+        assert not frame["ok"] and frame["error"]["code"] == "bad-request"
+
+
+# -- real transport: two clients, one server --------------------------------
+
+
+class _ServerThread:
+    """A CattServer on its own event loop thread, for socket-level tests."""
+
+    def __init__(self, socket_path, cache_dir, **kw):
+        self.server = None
+        self._ready = threading.Event()
+        self._kw = dict(socket_path=socket_path, **kw)
+        self._cache_dir = cache_dir
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(10), "server failed to start"
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self.server = CattServer(
+            "max", SimOptions(cache_dir=self._cache_dir), **self._kw)
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve_until_drained()
+        await self.server.aclose()
+
+    def join(self, timeout=15):
+        self._thread.join(timeout)
+        assert not self._thread.is_alive(), "server thread did not drain"
+
+
+def test_two_clients_one_server_single_simulation(tmp_path):
+    sock = tmp_path / "catt.sock"
+    st = _ServerThread(sock, str(tmp_path / "cache"), batch_window=0.3)
+
+    barrier = threading.Barrier(2)
+    results: dict[int, tuple] = {}
+
+    def worker(idx):
+        with ServiceClient(socket_path=sock) as client:
+            client.wait_until_ready(timeout=10)
+            barrier.wait()
+            resp = client.run_app("ATAX", "baseline", scale="test")
+            results[idx] = (canonical_json(resp.to_payload()),
+                            dict(client.last_meta))
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60)
+
+    assert set(results) == {0, 1}
+    # Byte-identical responses for both clients.
+    assert results[0][0] == results[1][0]
+
+    with ServiceClient(socket_path=sock) as client:
+        stats = client.stats().service
+        # The acceptance criterion: N concurrent identical requests, exactly
+        # one simulation.  The late arrival either coalesced onto the
+        # in-flight batch or hit the fresh cache — never re-simulated.
+        assert stats["executed_cells"] == 1
+        assert stats["coalesced"] + stats["cache_hits"] >= 1
+        client.shutdown()
+    st.join()
+
+
+def test_service_client_matches_in_process_session_byte_identical(tmp_path):
+    req = RunAppRequest("ATAX", "baseline", scale="test")
+    local_cache = str(tmp_path / "local")
+    with Session("max", SimOptions(cache_dir=local_cache)) as sess:
+        local = sess.request(req)
+    local_sig = request_manifest(
+        req, SimOptions(cache_dir=local_cache)).signature
+
+    sock = tmp_path / "catt.sock"
+    remote_cache = str(tmp_path / "remote")
+    st = _ServerThread(sock, remote_cache)
+    with ServiceClient(socket_path=sock) as client:
+        client.wait_until_ready(timeout=10)
+        remote = client.run_app("ATAX", "baseline", scale="test")
+        meta = dict(client.last_meta)
+        client.shutdown()
+    st.join()
+
+    # Identical typed payloads, manifest signatures, and cache bytes.
+    assert canonical_json(remote.to_payload()) == \
+        canonical_json(local.to_payload())
+    assert meta["manifest_signature"] == local_sig
+    from repro.experiments.common import ResultCache
+
+    assert ResultCache(local_cache).digest() == \
+        ResultCache(remote_cache).digest() != ""
+
+
+def test_client_surfaces_server_errors_as_service_errors(tmp_path):
+    sock = tmp_path / "catt.sock"
+    st = _ServerThread(sock, "")
+    with ServiceClient(socket_path=sock) as client:
+        client.wait_until_ready(timeout=10)
+        with pytest.raises(ServiceError) as exc:
+            client.run_app("NOPE", "nope", scale="test")
+        assert exc.value.code in ("internal", "bad-request")
+        # The connection survives an error response.
+        assert client.ping().version == 1
+        client.shutdown()
+    st.join()
+
+
+def test_pipelined_sweep_over_the_socket_batches(tmp_path):
+    sock = tmp_path / "catt.sock"
+    st = _ServerThread(sock, str(tmp_path / "cache"), batch_window=0.1)
+    cells = [("ATAX", "baseline", "max", "test"),
+             ("ATAX", "catt", "max", "test")]
+    with ServiceClient(socket_path=sock) as client:
+        client.wait_until_ready(timeout=10)
+        responses = client.sweep(cells)
+        assert all(not isinstance(r, Exception) for r in responses)
+        assert all(r.result["total_cycles"] > 0 for r in responses)
+        stats = client.stats().service
+        assert stats["executed_cells"] == 2
+        assert stats["batches"] == 1      # both cells rode one sweep
+        client.shutdown()
+    st.join()
+
+
+def test_encode_decode_error_frame_round_trip():
+    frame = load_frame(dump_frame(
+        {"id": 5, "ok": False,
+         "error": {"code": "draining", "message": "bye"}, "v": 1}))
+    rid, err, _ = decode_response(frame)
+    assert rid == 5 and isinstance(err, ServiceError) and err.code == "draining"

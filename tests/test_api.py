@@ -199,9 +199,93 @@ def test_session_run_app_uses_session_cache():
     assert r1.total_cycles == r2.total_cycles > 0
 
 
+# -- context manager / lifecycle --------------------------------------------
+
+
+def test_session_is_a_context_manager(tmp_path):
+    with Session("max", SimOptions(cache_dir=str(tmp_path))) as sess:
+        assert not sess.closed
+        result = sess.run_app("ATAX", "baseline", scale="test")
+        assert result.total_cycles > 0
+    assert sess.closed
+    # The flushed cache is readable by a brand-new session.
+    with Session("max", SimOptions(cache_dir=str(tmp_path))) as sess2:
+        again = sess2.run_app("ATAX", "baseline", scale="test")
+    assert again.total_cycles == result.total_cycles
+
+
+def test_closed_session_refuses_pipeline_work():
+    sess = Session("max", SimOptions(cache_dir=""))
+    sess.close()
+    sess.close()                      # idempotent
+    with pytest.raises(RuntimeError, match="closed"):
+        sess.compile(SRC)
+    with pytest.raises(RuntimeError, match="closed"):
+        sess.run_app("ATAX", "baseline", scale="test")
+    with pytest.raises(RuntimeError, match="closed"):
+        with sess:
+            pass
+
+
+# -- SimOptions.signature ----------------------------------------------------
+
+
+def test_signature_is_empty_for_default_identity():
+    assert SimOptions().signature() == ""
+    # Knobs that change HOW results are computed — not WHAT they are — must
+    # not participate: caches stay shareable across engines and job counts.
+    assert SimOptions(engine="interp", dedup=False, jobs=8,
+                      cache_dir="x", trace=True).signature() == ""
+
+
+def test_signature_reflects_result_identity_fields():
+    assert SimOptions(sms=4).signature() == "sms4"
+    assert SimOptions(sms=4).signature() == SimOptions(sms=4, jobs=2).signature()
+    assert SimOptions(sms=2).signature() != SimOptions(sms=4).signature()
+
+
+def test_cache_key_signature_matches_legacy_sms_suffix():
+    from repro.experiments.common import ResultCache
+
+    cell = ("ATAX", "baseline", "max", "test")
+    assert ResultCache.key(*cell, signature="") == ResultCache.key(*cell)
+    assert ResultCache.key(*cell, signature=SimOptions(sms=4).signature()) \
+        == ResultCache.key(*cell, sms=4)
+
+
+# -- typed requests through the Session --------------------------------------
+
+
+def test_session_request_matches_direct_calls():
+    from repro.service.protocol import CompileRequest, RunAppRequest
+
+    sess = Session("max", SimOptions(cache_dir=""))
+    comp = sess.request(CompileRequest(SRC))
+    assert comp.kernels == ("scale",)
+
+    resp = sess.request(RunAppRequest("ATAX", "baseline", scale="test"))
+    direct = sess.run_app("ATAX", "baseline", scale="test")
+    assert resp.result["total_cycles"] == direct.total_cycles
+    assert resp.key == "ATAX|baseline|max|test"
+
+
+def test_session_request_rejects_control_requests():
+    from repro.service.protocol import PingRequest, ServiceError
+
+    sess = Session("max", SimOptions(cache_dir=""))
+    with pytest.raises(ServiceError) as exc:
+        sess.request(PingRequest())
+    assert exc.value.code == "unsupported"
+
+
 def test_package_exports_session_api():
     import repro
 
     assert repro.Session is Session
     assert repro.SimOptions is SimOptions
     assert "Session" in repro.__all__
+    # The service surface is part of the public, explicit API.
+    for name in ("ServiceClient", "ServiceError", "CompileRequest",
+                 "RunAppRequest", "RunAppResponse"):
+        assert name in repro.__all__
+        assert hasattr(repro, name)
