@@ -1,7 +1,10 @@
-"""Comparison schemes: BFTT (the paper's §5 baseline), Best-SWL, DynCTA."""
+"""Comparison schemes: BFTT (the paper's §5 baseline), Best-SWL, DynCTA,
+blanket L1 bypass, CIAO (selective bypass), and ATA-Cache."""
 
+from .ata import run_with_ata
 from .bftt import BfttResult, apply_fixed_throttle, bftt_search, candidate_factors
 from .bypass import run_with_bypass
+from .ciao import CiaoGovernor, run_with_ciao
 from .dyncta import DynCtaGovernor, run_with_dyncta
 from .swl import best_swl_search
 
@@ -10,7 +13,10 @@ __all__ = [
     "apply_fixed_throttle",
     "bftt_search",
     "candidate_factors",
+    "run_with_ata",
     "run_with_bypass",
+    "CiaoGovernor",
+    "run_with_ciao",
     "DynCtaGovernor",
     "run_with_dyncta",
     "best_swl_search",

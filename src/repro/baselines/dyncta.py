@@ -10,13 +10,22 @@ and DRAM pressure every epoch and pauses/resumes whole TBs:
 Because adjustment happens *after* behaviour is observed, it exhibits the
 warm-up/lag the paper criticizes dynamic schemes for — which is precisely
 what the comparison experiment demonstrates.
+
+Epoch accounting: an epoch with fewer than ``min_epoch_accesses`` L1 loads
+carries too little signal to act on, but its traffic is *not* discarded —
+the baseline counters only advance when an epoch actually fires, so a
+light-traffic kernel accumulates across governor periods until the decision
+threshold is met.  (The original implementation advanced the baselines
+unconditionally, which silently blinded DynCTA to any kernel issuing fewer
+than 64 loads per period.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..sim.arch import GPUSpec
+from ..sim.sm import GovernorProtocolError, engine_slots  # noqa: F401  (re-export)
 from ..workloads.base import Workload, WorkloadRun, run_workload
 
 
@@ -26,35 +35,48 @@ class DynCtaGovernor:
 
     high_watermark: float = 0.5   # miss-rate above this → throttle
     low_watermark: float = 0.2    # miss-rate below this → relax
+    min_epoch_accesses: int = 64  # minimum signal before a decision fires
     _last_accesses: int = 0
     _last_misses: int = 0
 
+    def attach(self, engine) -> None:
+        """Launch start: re-baseline against the (fresh) engine's counters."""
+        self._last_accesses = engine.l1.stats.accesses
+        self._last_misses = engine.l1.stats.misses
+
+    def clone(self) -> "DynCtaGovernor":
+        """A fresh same-policy instance (per-SM copies for multi-SM runs)."""
+        return replace(self, _last_accesses=0, _last_misses=0)
+
     def __call__(self, engine) -> None:
         stats = engine.l1.stats
+        if stats.accesses < self._last_accesses:
+            # A new launch restarted the counters under a stale governor
+            # (attach never ran, e.g. a bare engine in tests): re-baseline
+            # rather than treating the wraparound as an empty epoch forever.
+            self._last_accesses = stats.accesses
+            self._last_misses = stats.misses
+            return
         accesses = stats.accesses - self._last_accesses
         misses = stats.misses - self._last_misses
+        if accesses < self.min_epoch_accesses:
+            return  # not enough signal yet; keep accumulating this epoch
         self._last_accesses = stats.accesses
         self._last_misses = stats.misses
-        if accesses < 64:
-            return  # not enough signal this epoch
         miss_rate = misses / accesses
         active_tbs = {s.tb_index for s in _live_slots(engine)}
         unpaused = active_tbs - engine.paused_tbs
         if miss_rate > self.high_watermark and len(unpaused) > 1:
             engine.paused_tbs.add(max(unpaused))
+            engine.metrics.governor_pauses += 1
         elif miss_rate < self.low_watermark and engine.paused_tbs:
             engine.paused_tbs.discard(max(engine.paused_tbs))
+            engine.metrics.governor_resumes += 1
 
 
 def _live_slots(engine):
-    # The engine keeps slots in closure state; recover them via TB table.
     # Paused-TB bookkeeping only needs indexes of TBs with live warps.
     return [s for s in engine_slots(engine) if not s.done]
-
-
-def engine_slots(engine):
-    """All warp slots the engine has activated (exposed for the governor)."""
-    return getattr(engine, "slots", [])
 
 
 def run_with_dyncta(

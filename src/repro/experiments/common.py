@@ -16,8 +16,12 @@ import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from ..baselines.ata import run_with_ata
 from ..baselines.bftt import bftt_search
+from ..baselines.bypass import run_with_bypass
+from ..baselines.ciao import run_with_ciao
 from ..baselines.dyncta import run_with_dyncta
+from ..baselines.swl import best_swl_search
 from ..obs.metrics_registry import registry as _registry
 from ..obs.trace import span as _span
 from ..options import SimOptions, current_options, resolve_cache_path
@@ -33,7 +37,8 @@ SPECS: dict[str, GPUSpec] = {
     "32k": TITAN_V_SIM_32K,   # the §5.1.3 32 KB L1D configuration
 }
 
-SCHEMES = ("baseline", "catt", "bftt", "dyncta")
+SCHEMES = ("baseline", "catt", "bftt", "dyncta", "swl", "bypass",
+           "ciao", "ata")
 
 
 @dataclass
@@ -69,6 +74,9 @@ class AppResult:
     degraded: bool = False   # True = this cell failed and carries no timing
     # Co-simulated SMs the cell ran with (the SimOptions.sms knob).
     sms: int = 1
+    # Scheme-specific activity counters (governor pauses, warps bypassed,
+    # ATA remote hits, ...) — whatever the scheme's mechanism reports.
+    extras: dict = field(default_factory=dict)
 
     def speedup_vs(self, other: "AppResult") -> float:
         return other.total_cycles / self.total_cycles if self.total_cycles else 0.0
@@ -103,7 +111,7 @@ class ResultCache:
     forensics are preserved.
     """
 
-    VERSION = 4  # bump to invalidate stale caches after model changes
+    VERSION = 5  # bump to invalidate stale caches after model changes
 
     def __init__(self, path: str | Path | None = None):
         if path is None:
@@ -257,6 +265,7 @@ def _from_json(raw: dict) -> AppResult:
         diagnostics=raw.get("diagnostics", []),
         degraded=raw.get("degraded", False),
         sms=raw.get("sms", 1),
+        extras=raw.get("extras", {}),
     )
 
 
@@ -354,6 +363,7 @@ def run_app(
         sp.set(cached=False, degraded=result.degraded,
                cycles=result.total_cycles)
         _feed_cell_metrics(time.perf_counter() - t0, degraded=result.degraded)
+        _feed_baseline_metrics(result)
         return result
 
 
@@ -365,6 +375,25 @@ def _feed_cell_metrics(seconds: float, degraded: bool) -> None:
     if degraded:
         reg.counter("experiment.cells.degraded").inc()
     reg.histogram("experiment.cell.seconds").record(seconds)
+
+
+def _feed_baseline_metrics(result: AppResult) -> None:
+    """Per-scheme observability: one counter family per comparison scheme.
+
+    ``baseline.<scheme>.cells`` / ``.cycles`` plus whatever the scheme's
+    mechanism reported through ``AppResult.extras`` (governor pauses, warps
+    bypassed, ATA remote hits, ...).  Fresh cells only — cached reads do
+    not re-count.
+    """
+    reg = _registry()
+    if not reg.enabled:
+        return
+    c = reg.counter
+    c(f"baseline.{result.scheme}.cells").inc()
+    c(f"baseline.{result.scheme}.cycles").inc(result.total_cycles)
+    for name, value in sorted(result.extras.items()):
+        if isinstance(value, int) and value:
+            c(f"baseline.{result.scheme}.{name}").inc(value)
 
 
 def _run_scheme(
@@ -449,10 +478,74 @@ def _run_scheme(
             app, scheme, spec_name, scale, run.total_cycles,
             _kernel_stats(run, tlps), factors=res.best_factors, sweep=sweep,
         )
-    else:  # dyncta
-        run = run_with_dyncta(get_workload(app, scale), spec, verify=verify)
+    elif scheme == "swl":
+        # Best-SWL: the BFTT search restricted to warp-level limiting.
+        res = best_swl_search(lambda: get_workload(app, scale), spec,
+                              verify=verify)
+        sweep = {
+            f"{n},{m}": {
+                "total": r.total_cycles,
+                "kernels": r.cycles_by_kernel(),
+            }
+            for (n, m), r in res.runs.items()
+        }
+        run = res.best_run
+        n, _m = res.best_factors
+        tlps = {}
+        for r in run.results:
+            occ = r.occupancy
+            tlps[r.kernel_name] = (max(occ.warps_per_tb // n, 1),
+                                   max(min(occ.tb_sm, r.tbs_simulated), 1))
+        result = AppResult(
+            app, scheme, spec_name, scale, run.total_cycles,
+            _kernel_stats(run, tlps), factors=res.best_factors, sweep=sweep,
+        )
+    elif scheme == "bypass":
+        run = run_with_bypass(get_workload(app, scale), spec, verify=verify)
         result = AppResult(
             app, scheme, spec_name, scale, run.total_cycles,
             _kernel_stats(run),
         )
+    elif scheme == "ciao":
+        run = run_with_ciao(get_workload(app, scale), spec, verify=verify)
+        result = AppResult(
+            app, scheme, spec_name, scale, run.total_cycles,
+            _kernel_stats(run), extras=_governor_extras(run),
+        )
+    elif scheme == "ata":
+        run = run_with_ata(get_workload(app, scale), spec, verify=verify)
+        result = AppResult(
+            app, scheme, spec_name, scale, run.total_cycles,
+            _kernel_stats(run), extras=_ata_extras(run),
+        )
+    else:  # dyncta
+        run = run_with_dyncta(get_workload(app, scale), spec, verify=verify)
+        result = AppResult(
+            app, scheme, spec_name, scale, run.total_cycles,
+            _kernel_stats(run), extras=_governor_extras(run),
+        )
     return result
+
+
+def _governor_extras(run: WorkloadRun) -> dict:
+    """Governor activity summed over the app's launches (DynCTA/CIAO)."""
+    return {
+        "governor_pauses": sum(r.metrics.governor_pauses
+                               for r in run.results),
+        "governor_resumes": sum(r.metrics.governor_resumes
+                                for r in run.results),
+        "warps_bypassed": sum(r.metrics.warps_bypassed
+                              for r in run.results),
+    }
+
+
+def _ata_extras(run: WorkloadRun) -> dict:
+    """ATA mechanism activity summed over the app's launches."""
+    return {
+        "l1_remote_hits": sum(r.metrics.l1_remote_hits
+                              for r in run.results),
+        "ata_second_touches": sum(r.metrics.ata_second_touches
+                                  for r in run.results),
+        "ata_first_touch_bypasses": sum(r.metrics.ata_first_touch_bypasses
+                                        for r in run.results),
+    }

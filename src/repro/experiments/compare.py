@@ -1,0 +1,142 @@
+"""``catt compare`` — CATT against every comparison scheme, registry-wide.
+
+The paper's claim is comparative: *static compiler-assisted* throttling
+(CATT) beats *dynamic hardware* schemes because the compiler knows each
+loop's locality up front, while hardware must observe thrashing before
+reacting.  This experiment lines the claim up against the full comparison
+set in one table: the static searches (BFTT, Best-SWL), the dynamic
+governors (DynCTA, CIAO), and the cache-side mechanisms (blanket bypass,
+ATA-Cache), each as a per-app speedup over the unthrottled baseline.
+
+Cells come from the shared :class:`~repro.experiments.common.ResultCache`
+(same keys as ``catt all``), so the incremental cost of a compare after a
+sweep is only the schemes the sweep does not cover.  Per-scheme activity
+counters (``baseline.*``) land in the metrics registry as each fresh cell
+completes — see :func:`~repro.experiments.common._feed_baseline_metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads import WORKLOADS
+from .common import ResultCache, default_cache, geomean, run_app
+
+#: Column order of the comparison table; "baseline" is implicit (=1.0x).
+COMPARE_SCHEMES = ("catt", "bftt", "swl", "dyncta", "ciao", "bypass", "ata")
+
+
+@dataclass
+class CompareRow:
+    """One app's speedups over its unthrottled baseline."""
+
+    app: str
+    baseline_cycles: int
+    # scheme -> baseline_cycles / scheme_cycles; 0.0 marks a degraded or
+    # zero-timing cell (never charted as a speedup).
+    speedups: dict[str, float]
+    degraded: tuple[str, ...]          # schemes whose cell degraded
+    extras: dict[str, dict]            # scheme -> mechanism activity
+
+
+def build_compare(
+    apps: list[str] | None = None,
+    scale: str = "bench",
+    spec_name: str = "max",
+    schemes: tuple[str, ...] = COMPARE_SCHEMES,
+    cache: ResultCache | None = None,
+) -> dict:
+    """Run (or fetch) every (app, scheme) cell and fold into table data."""
+    apps = list(apps) if apps is not None else sorted(WORKLOADS)
+    cache = cache or default_cache()
+    rows: list[CompareRow] = []
+    degraded_cells = 0
+    for app in apps:
+        base = run_app(app, "baseline", spec_name, scale, cache)
+        speedups: dict[str, float] = {}
+        degraded: list[str] = []
+        extras: dict[str, dict] = {}
+        if base.degraded:
+            degraded.append("baseline")
+        for scheme in schemes:
+            res = run_app(app, scheme, spec_name, scale, cache)
+            if res.degraded:
+                degraded.append(scheme)
+            ok = (not res.degraded and res.total_cycles
+                  and base.total_cycles)
+            speedups[scheme] = (
+                round(base.total_cycles / res.total_cycles, 4) if ok else 0.0)
+            if res.extras:
+                extras[scheme] = dict(res.extras)
+        degraded_cells += len(degraded)
+        rows.append(CompareRow(app, base.total_cycles, speedups,
+                               tuple(degraded), extras))
+    geomeans = {
+        s: round(geomean([r.speedups[s] for r in rows if r.speedups[s]]), 4)
+        for s in schemes
+    }
+    return {
+        "schemes": list(schemes),
+        "rows": rows,
+        "geomean_speedup": geomeans,
+        "degraded_cells": degraded_cells,
+        "scale": scale,
+        "spec": spec_name,
+    }
+
+
+def _activity_notes(rows: list[CompareRow]) -> list[str]:
+    """Mechanism-activity footers: which dynamic schemes actually acted."""
+    notes = []
+    for scheme, fields in (
+        ("dyncta", (("governor_pauses", "pauses"),)),
+        ("ciao", (("warps_bypassed", "warp-bypasses"),
+                  ("governor_pauses", "pauses"))),
+        ("ata", (("l1_remote_hits", "remote-hits"),
+                 ("ata_first_touch_bypasses", "first-touch-bypasses"))),
+    ):
+        parts = []
+        for field_name, label in fields:
+            total = sum(r.extras.get(scheme, {}).get(field_name, 0)
+                        for r in rows)
+            acted = sum(1 for r in rows
+                        if r.extras.get(scheme, {}).get(field_name, 0))
+            if total:
+                parts.append(f"{total} {label} across {acted} apps")
+        if parts:
+            notes.append(f"{scheme}: " + ", ".join(parts))
+    return notes
+
+
+def format_compare(data: dict) -> str:
+    schemes = data["schemes"]
+    rows: list[CompareRow] = data["rows"]
+    width = 8
+    lines = [
+        f"CATT vs. comparison schemes — speedup over baseline "
+        f"(scale={data['scale']}, spec={data['spec']}; higher is better)",
+        "",
+        f"{'App':6s} {'Base cyc':>12s} "
+        + " ".join(f"{s:>{width}s}" for s in schemes),
+        "-" * (20 + (width + 1) * len(schemes)),
+    ]
+    for r in rows:
+        cells = []
+        for s in schemes:
+            v = r.speedups[s]
+            cells.append(f"{'DEGRADED':>{width}s}" if s in r.degraded
+                         else f"{v:{width}.3f}")
+        lines.append(f"{r.app:6s} {r.baseline_cycles:12,d} " + " ".join(cells))
+    lines.append("-" * (20 + (width + 1) * len(schemes)))
+    lines.append(
+        f"{'geomean':19s} " + " ".join(
+            f"{data['geomean_speedup'][s]:{width}.3f}" for s in schemes))
+    notes = _activity_notes(rows)
+    if notes:
+        lines.append("")
+        lines.extend(notes)
+    if data["degraded_cells"]:
+        lines.append("")
+        lines.append(f"WARNING: {data['degraded_cells']} degraded cell(s) — "
+                     f"see the diagnostics on the affected AppResults")
+    return "\n".join(lines)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..baselines.ciao import CiaoGovernor
 from ..obs.trace import span as _span
 from ..options import SimOptions, active_options, use_options
 from ..workloads import get_workload
@@ -29,13 +30,19 @@ DEFAULT_APPS = ("ATAX", "MVT", "GSMV")
 
 DEFAULT_SMS = (1, 2, 4)
 
+#: Management schemes swept per (app, sms) cell: the unmanaged baseline
+#: against the two shared-cache contention managers — exactly the schemes
+#: whose value should *grow* with co-residency.
+DEFAULT_SCHEMES = ("baseline", "ciao", "ata")
+
 
 @dataclass
 class L2SweepRow:
-    """One (app, sms) cell of the contention sweep."""
+    """One (app, sms, scheme) cell of the contention sweep."""
 
     app: str
     sms: int
+    scheme: str
     cycles: int              # launch-critical-path cycles, summed over launches
     l1_hit_rate: float       # aggregate over all timed SMs
     l2_hit_rate: float       # aggregate shared-L2 hit rate
@@ -47,9 +54,19 @@ class L2SweepRow:
     per_sm_l2_hit_rates: tuple[float, ...]
 
 
-def _sweep_cell(app: str, scale: str, spec_name: str, sms: int) -> L2SweepRow:
+def _sweep_cell(app: str, scale: str, spec_name: str, sms: int,
+                scheme: str = "baseline") -> L2SweepRow:
     spec = SPECS[spec_name]
-    run = run_workload(get_workload(app, scale), spec, verify=False)
+    launch_kw: dict = {}
+    if scheme == "ciao":
+        launch_kw["governor"] = CiaoGovernor()
+    elif scheme == "ata":
+        launch_kw["l1_ata"] = True
+    elif scheme != "baseline":
+        raise ValueError(f"unknown l2sweep scheme {scheme!r}; "
+                         f"options: {DEFAULT_SCHEMES}")
+    run = run_workload(get_workload(app, scale), spec, verify=False,
+                       **launch_kw)
     l2_hits = l2_accesses = 0
     l1_hits = l1_accesses = 0
     dram = 0
@@ -69,6 +86,7 @@ def _sweep_cell(app: str, scale: str, spec_name: str, sms: int) -> L2SweepRow:
     return L2SweepRow(
         app=app,
         sms=sms,
+        scheme=scheme,
         cycles=run.total_cycles,
         l1_hit_rate=round(l1_hits / l1_accesses, 4) if l1_accesses else 0.0,
         l2_hit_rate=round(l2_hits / l2_accesses, 4) if l2_accesses else 0.0,
@@ -86,35 +104,40 @@ def build_l2sweep(
     scale: str = "bench",
     spec_name: str = "max",
     options: SimOptions | None = None,
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
 ) -> list[L2SweepRow]:
-    """Run the contention sweep; rows come back in (app, sms) order."""
+    """Run the contention sweep; rows come back in (app, sms, scheme) order."""
     base = options or active_options() or SimOptions()
     rows: list[L2SweepRow] = []
     for app in apps:
         for sms in sms_values:
-            opts = base.replace(sms=sms)
-            # Spans carry the canonical config identity, so a trace row is
-            # attributable to the same signature the cache/service use.
-            with use_options(opts), \
-                    _span("experiment.l2cell", app=app, scale=scale,
-                          signature=opts.signature()):
-                rows.append(_sweep_cell(app, scale, spec_name, sms))
+            for scheme in schemes:
+                opts = base.replace(sms=sms)
+                # Spans carry the canonical config identity, so a trace row
+                # is attributable to the same signature the cache/service
+                # use.
+                with use_options(opts), \
+                        _span("experiment.l2cell", app=app, scale=scale,
+                              scheme=scheme, signature=opts.signature()):
+                    rows.append(
+                        _sweep_cell(app, scale, spec_name, sms, scheme))
     return rows
 
 
 def format_l2sweep(rows: list[L2SweepRow]) -> str:
     lines = [
-        "Shared-L2 contention sweep (baseline scheme, per-SM attribution)",
+        "Shared-L2 contention sweep (per-SM attribution)",
         "",
-        f"{'App':6s} {'SMs':>3s} {'Cycles':>12s} {'L1 hit':>7s} "
-        f"{'L2 hit':>7s} {'DRAM txn':>9s} {'TBs':>5s}  per-SM L2 hit",
-        "-" * 78,
+        f"{'App':6s} {'SMs':>3s} {'Scheme':>8s} {'Cycles':>12s} "
+        f"{'L1 hit':>7s} {'L2 hit':>7s} {'DRAM txn':>9s} {'TBs':>5s}  "
+        f"per-SM L2 hit",
+        "-" * 86,
     ]
     for r in rows:
         per_sm = " ".join(f"{x:.3f}" for x in r.per_sm_l2_hit_rates)
         lines.append(
-            f"{r.app:6s} {r.sms:3d} {r.cycles:12,d} {r.l1_hit_rate:7.4f} "
-            f"{r.l2_hit_rate:7.4f} {r.dram_transactions:9,d} "
-            f"{r.tbs_timed:5d}  [{per_sm}]"
+            f"{r.app:6s} {r.sms:3d} {r.scheme:>8s} {r.cycles:12,d} "
+            f"{r.l1_hit_rate:7.4f} {r.l2_hit_rate:7.4f} "
+            f"{r.dram_transactions:9,d} {r.tbs_timed:5d}  [{per_sm}]"
         )
     return "\n".join(lines)

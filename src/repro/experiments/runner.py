@@ -238,7 +238,7 @@ def main(argv: list[str] | None = None) -> int:
         choices=["table2", "table3", "fig2", "fig3", "fig6", "fig7", "fig8",
                  "fig9", "fig10", "overhead", "analyze", "compile", "lint",
                  "race", "bench", "all", "profile", "trace", "l2sweep",
-                 "serve"],
+                 "compare", "serve"],
     )
     parser.add_argument("app", nargs="?",
                         help="workload for 'analyze'/'lint'/'race'/'profile' "
@@ -443,6 +443,17 @@ def _dispatch(args, parser, opts: SimOptions) -> int:
 
         rows = build_l2sweep(scale=args.scale, options=opts)
         text, data = format_l2sweep(rows), [r.__dict__ for r in rows]
+    elif args.experiment == "compare":
+        from .compare import build_compare, format_compare
+
+        result = build_compare(scale=args.scale)
+        print(format_compare(result))
+        if args.json:
+            payload = dict(result, rows=[r.__dict__ for r in result["rows"]])
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2, default=str)
+        # Degraded cells are a failure for CI's baselines-differential job.
+        return 1 if result["degraded_cells"] else 0
     elif args.experiment == "bench":
         from .bench import (
             DEFAULT_BENCH_OUT,

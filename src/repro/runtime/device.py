@@ -55,7 +55,9 @@ class Device:
         carveout_kb: int | None = None,
         spec: GPUSpec | None = None,
         governor=None,
+        governor_period: int = 256,
         l1_bypass: bool = False,
+        l1_ata: bool | None = None,
         shared_bytes: int = 0,
         sms: int | None = None,
     ) -> LaunchResult:
@@ -82,7 +84,9 @@ class Device:
             max_tbs=max_tbs,
             carveout_kb=carveout_kb,
             governor=governor,
+            governor_period=governor_period,
             l1_bypass=l1_bypass,
+            l1_ata=l1_ata,
             shared_bytes=shared_bytes,
             sms=sms,
         )

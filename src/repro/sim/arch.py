@@ -35,6 +35,10 @@ class TimingModel:
     l2_txn_cycles: int = 4
     dram_txn_cycles: int = 16
     barrier_cycles: int = 8
+    # ATA-Cache remote hit: data forwarded from a peer SM's L1 over the
+    # intra-cluster interconnect — slower than a local L1 hit, much faster
+    # than the L2 round trip, and it consumes no L2/DRAM port bandwidth.
+    l1_remote_latency: int = 60
     # Per-warp memory-level parallelism: how many warp-level loads may be in
     # flight before the warp stalls on the oldest one.  Models the unrolling
     # + scoreboarding every real kernel gets from nvcc; 1 = fully blocking.
@@ -66,6 +70,11 @@ class GPUSpec:
     # SM count used for the L2-slice share; lets a single-SM simulation keep
     # the per-SM L2 share of the full 80-SM part. None = use num_sms.
     l2_share_sms: int | None = None
+    # ATA-Cache reuse-filter reach, in multiples of the member L1s' combined
+    # line capacity: the aggregated tag array remembers this many times more
+    # line addresses than the data stores hold, so "second touch" can be
+    # recognized after the first touch's bypass.
+    ata_tag_factor: int = 2
     timing: TimingModel = field(default_factory=TimingModel)
 
     # ----- derived helpers -------------------------------------------------

@@ -80,6 +80,11 @@ class Cache:
         self._shift = max(self.num_sets.bit_length() - 1, 1)
         self.stats = CacheStats()        # loads
         self.write_stats = CacheStats()  # stores
+        # Optional interference monitor (the CIAO feed).  When set, loads
+        # routed through :meth:`access_owned` report per-owner misses and
+        # cross-owner evictions to it; the plain :meth:`access` path never
+        # consults it, so un-monitored runs pay nothing.
+        self.monitor = None
 
     def _set_of(self, line_addr: int) -> dict:
         if self.index_hash:
@@ -142,6 +147,80 @@ class Cache:
         s[line_addr] = True
         return False
 
+    def access_owned(self, line_addr: int, owner: int) -> bool:
+        """Monitored load probe: :meth:`access` plus victim attribution.
+
+        ``owner`` (a warp-slot index) is stored as the line's allocator, so
+        when a later miss evicts the line the monitor learns *which warp's*
+        working set displaced *whose* — the per-warp interference signal
+        CIAO's bypass policy ranks on.  Stats accumulate into ``self.stats``
+        exactly as :meth:`access` does; lines allocated by the unmonitored
+        paths carry non-int values and simply produce no eviction report.
+        """
+        if self.index_hash:
+            sh = self._shift
+            h = line_addr ^ (line_addr >> sh) ^ (line_addr >> (2 * sh))
+            s = self._sets[h % self.num_sets]
+        else:
+            s = self._sets[line_addr % self.num_sets]
+        st = self.stats
+        st.accesses += 1
+        if line_addr in s:
+            st.hits += 1
+            del s[line_addr]
+            s[line_addr] = owner
+            return True
+        st.misses += 1
+        mon = self.monitor
+        if mon is not None:
+            mon.on_miss(owner)
+        if len(s) >= self.assoc:
+            victim = next(iter(s))
+            prev = s.pop(victim)
+            st.evictions += 1
+            # ``type(prev) is int`` deliberately excludes the plain paths'
+            # ``True`` sentinel (bool), so mixed-mode sets stay safe.
+            if mon is not None and type(prev) is int and prev != owner:
+                mon.on_evict(prev, owner)
+        s[line_addr] = owner
+        return False
+
+    def touch(self, line_addr: int) -> bool:
+        """Load probe with LRU/stat updates but **no allocation** on miss.
+
+        The ATA-mode L1 front end: a first-touch line must not displace a
+        resident one, so the miss is recorded (and serviced downstream) while
+        the tag store stays untouched.  Allocation, when the aggregated tag
+        array approves it, goes through :meth:`fill`.
+        """
+        s = self._set_of(line_addr)
+        st = self.stats
+        st.accesses += 1
+        if line_addr in s:
+            st.hits += 1
+            del s[line_addr]
+            s[line_addr] = True
+            return True
+        st.misses += 1
+        return False
+
+    def fill(self, line_addr: int) -> None:
+        """Allocate a line whose miss was already counted by :meth:`touch`.
+
+        Only eviction accounting happens here — the access/miss landed on
+        the touch, so a touch-then-fill pair costs exactly one access like
+        the fused :meth:`access` path.
+        """
+        s = self._set_of(line_addr)
+        if line_addr in s:
+            del s[line_addr]
+            s[line_addr] = True
+            return
+        if len(s) >= self.assoc:
+            del s[next(iter(s))]
+            self.stats.evictions += 1
+        s[line_addr] = True
+
     def probe(self, line_addr: int) -> bool:
         """Check residency without updating LRU state or stats."""
         return line_addr in self._set_of(line_addr)
@@ -158,3 +237,55 @@ class Cache:
             f"Cache({self.name}, {self.size_bytes}B, {self.num_sets}x"
             f"{self.assoc}way, hit_rate={self.stats.hit_rate:.3f})"
         )
+
+
+# :meth:`AggregatedTagArray.lookup` verdicts for a local L1 load miss.
+ATA_REMOTE = 0   # line resident in a peer L1 — remote hit, no allocation
+ATA_SEEN = 1     # second touch within tag reach — allocate locally
+ATA_NEW = 2      # first touch — service downstream, bypass allocation
+
+
+class AggregatedTagArray:
+    """ATA-Cache's shared tag directory over the member L1Ds.
+
+    The aggregated tag array (PAPERS.md, ATA-Cache) keeps one logical tag
+    store spanning every SM's L1 so a local miss can be resolved three ways
+    before touching L2: a **remote hit** in a peer L1 (data forwarded at
+    ``l1_remote_latency``, no local allocation), a **second touch** of a
+    line the array has seen recently (allocate locally — the line has
+    demonstrated reuse), or a **first touch** (service from L2/DRAM without
+    allocating, so streaming footprints stop evicting reused lines).
+
+    Peer residency is answered by :meth:`Cache.probe` against the live
+    member tag stores — always exact, no shadow-directory coherence to
+    maintain.  The reuse filter is a bounded LRU over recently-touched line
+    addresses; its reach (``tag_entries``) scales with the members' combined
+    capacity via ``GPUSpec.ata_tag_factor``.
+    """
+
+    def __init__(self, tag_entries: int):
+        self.tag_entries = max(int(tag_entries), 1)
+        self._tags: dict[int, bool] = {}
+        self._members: list[Cache] = []
+
+    def register(self, l1: Cache) -> int:
+        """Enroll one member L1; returns its member index."""
+        self._members.append(l1)
+        return len(self._members) - 1
+
+    def lookup(self, line_addr: int, member: int) -> int:
+        """Classify a load miss from ``member``; returns an ``ATA_*`` verdict."""
+        members = self._members
+        if len(members) > 1:
+            for i, l1 in enumerate(members):
+                if i != member and l1.probe(line_addr):
+                    return ATA_REMOTE
+        tags = self._tags
+        if line_addr in tags:
+            del tags[line_addr]
+            tags[line_addr] = True
+            return ATA_SEEN
+        if len(tags) >= self.tag_entries:
+            del tags[next(iter(tags))]
+        tags[line_addr] = True
+        return ATA_NEW

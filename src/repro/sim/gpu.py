@@ -36,7 +36,7 @@ from typing import Callable, Iterator
 from .arch import GPUSpec, SMConfig
 from .cache import Cache
 from .metrics import SMMetrics
-from .sm import SMEngine
+from .sm import GovernorProtocolError, SMEngine
 
 _INF = float("inf")
 
@@ -60,7 +60,19 @@ class GPUEngine:
     """Runs a launch's TBs across ``sms`` SMs sharing one L2."""
 
     def __init__(self, spec: GPUSpec, config: SMConfig, sms: int,
-                 scheduler: str = "gto", l1_bypass: bool = False):
+                 scheduler: str = "gto", l1_bypass: bool = False,
+                 governor=None, governor_period: int = 256, ata=None):
+        """``governor`` throttles residency at run time, exactly as on
+        :class:`SMEngine` — but each SM observes only its own L1 and pauses
+        only its own TBs, so multi-SM launches get one governor instance per
+        SM: the given instance drives SM 0 and ``governor.clone()`` supplies
+        fresh peers.  A shared instance would conflate the SMs' epoch
+        deltas, so a governor without ``clone()`` is rejected.
+
+        ``ata`` (an :class:`~repro.sim.cache.AggregatedTagArray`) is shared:
+        every SM's L1 registers as a member, which is what makes peer-L1
+        remote hits visible across the co-simulated SMs.
+        """
         if sms < 1:
             raise ValueError(f"sms must be >= 1, got {sms}")
         self.spec = spec
@@ -68,9 +80,19 @@ class GPUEngine:
         self.l2 = Cache(spec.l2_shared_bytes(sms), spec.cache_line,
                         spec.l2_assoc, "L2")
         self.ports = L2Ports()
+        governors = [governor] + [None] * (sms - 1)
+        if governor is not None and sms > 1:
+            clone = getattr(governor, "clone", None)
+            if clone is None:
+                raise GovernorProtocolError(
+                    f"multi-SM launches need one governor instance per SM; "
+                    f"{type(governor).__name__} has no clone()")
+            governors[1:] = [clone() for _ in range(sms - 1)]
         self.engines = [
             SMEngine(spec, config, scheduler=scheduler, l2=self.l2,
-                     ports=self.ports, sm_id=i, l1_bypass=l1_bypass)
+                     ports=self.ports, sm_id=i, l1_bypass=l1_bypass,
+                     governor=governors[i], governor_period=governor_period,
+                     ata=ata)
             for i in range(sms)
         ]
 

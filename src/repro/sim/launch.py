@@ -199,6 +199,16 @@ def _feed_launch_metrics(m: SMMetrics, l1_write_stats, engine_used: str,
         m.global_load_transactions + m.global_store_transactions)
     c("sim.dram.transactions").inc(m.dram_transactions)
     c("sim.barriers").inc(m.barriers)
+    # Contention-aware-baseline activity; only emitted when the launch ran
+    # under an ATA/governed configuration, so plain runs add no counters.
+    if m.l1_remote_hits or m.ata_second_touches or m.ata_first_touch_bypasses:
+        c("sim.ata.remote_hits").inc(m.l1_remote_hits)
+        c("sim.ata.second_touches").inc(m.ata_second_touches)
+        c("sim.ata.first_touch_bypasses").inc(m.ata_first_touch_bypasses)
+    if m.governor_pauses or m.governor_resumes or m.warps_bypassed:
+        c("sim.governor.pauses").inc(m.governor_pauses)
+        c("sim.governor.resumes").inc(m.governor_resumes)
+        c("sim.governor.warps_bypassed").inc(m.warps_bypassed)
     if dedup_slots:
         # Slots whose execution was collapsed into the widened pass: the
         # replay savings the dedup engine buys.
@@ -230,7 +240,9 @@ def _launch_kernel(
     carveout_kb: int | None = None,
     metrics: SMMetrics | None = None,
     governor=None,
+    governor_period: int = 256,
     l1_bypass: bool = False,
+    l1_ata: bool | None = None,
     shared_bytes: int = 0,
     sms: int | None = None,
 ) -> LaunchResult:
@@ -238,14 +250,14 @@ def _launch_kernel(
 
     if sms is None:
         sms = current_options().sms
-    if sms > 1:
-        if governor is not None:
-            raise ValueError(
-                "run-time governors (DynCTA) require sms=1: one governor "
-                "cannot arbitrate residency across co-simulated SMs")
-        if metrics is not None:
-            raise ValueError("an external metrics sink requires sms=1; "
-                             "multi-SM launches aggregate per-SM records")
+    if l1_ata is None:
+        l1_ata = current_options().l1_ata
+    # Run-time governors compose with multi-SM launches: GPUEngine gives
+    # each SM its own instance (governor.clone()), so one policy never
+    # arbitrates across co-simulated SMs with conflated epoch deltas.
+    if sms > 1 and metrics is not None:
+        raise ValueError("an external metrics sink requires sms=1; "
+                         "multi-SM launches aggregate per-SM records")
 
     kernel = unit.kernel(kernel_name)
     grid3, block3 = _as_dim3(grid), _as_dim3(block)
@@ -380,10 +392,20 @@ def _launch_kernel(
                     gens.append(interp.run())
             return gens
 
+    # ATA-Cache mode: one aggregated tag array spanning the timed SMs' L1s.
+    # The reuse filter's reach scales with the members' combined capacity.
+    ata = None
+    if l1_ata:
+        from .cache import AggregatedTagArray
+
+        ata = AggregatedTagArray(
+            spec.ata_tag_factor * (config.l1d_bytes // spec.cache_line) * sms)
+
     per_sm: list[SMMetrics] | None = None
     if sms == 1:
         engine = SMEngine(spec, config, scheduler=scheduler, metrics=metrics,
-                          governor=governor, l1_bypass=l1_bypass)
+                          governor=governor, governor_period=governor_period,
+                          l1_bypass=l1_bypass, ata=ata)
         with _span("sim.engine", kernel=kernel_name, engine=engine_used,
                    tbs=len(tb_ids)) as _sp:
             result_metrics = engine.run(tb_ids, warp_factory,
@@ -395,7 +417,8 @@ def _launch_kernel(
         from .metrics import aggregate_metrics
 
         gpu = GPUEngine(spec, config, sms, scheduler=scheduler,
-                        l1_bypass=l1_bypass)
+                        l1_bypass=l1_bypass, governor=governor,
+                        governor_period=governor_period, ata=ata)
         with _span("sim.engine", kernel=kernel_name, engine=engine_used,
                    tbs=len(tb_ids), sms=sms) as _sp:
             per_sm = gpu.run(tb_ids, warp_factory, resident_limit=occ.tb_sm)

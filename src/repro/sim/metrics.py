@@ -57,6 +57,17 @@ class SMMetrics:
     dram_transactions: int = 0
     barriers: int = 0
     tbs_executed: int = 0
+    # ATA-Cache mode: load misses serviced from a peer SM's L1 (no L2/DRAM
+    # traffic), misses allocated on their second touch, and first-touch
+    # misses serviced downstream without allocating.
+    l1_remote_hits: int = 0
+    ata_second_touches: int = 0
+    ata_first_touch_bypasses: int = 0
+    # Run-time governor activity (DynCTA/CIAO): TB pause/resume decisions
+    # and warps placed on (not removed from) the per-warp bypass list.
+    governor_pauses: int = 0
+    governor_resumes: int = 0
+    warps_bypassed: int = 0
     mem_trace: MemTrace = field(default_factory=MemTrace)
 
     @property
@@ -80,6 +91,12 @@ class SMMetrics:
             "global_store_transactions": self.global_store_transactions,
             "dram_transactions": self.dram_transactions,
             "tbs_executed": self.tbs_executed,
+            "l1_remote_hits": self.l1_remote_hits,
+            "ata_second_touches": self.ata_second_touches,
+            "ata_first_touch_bypasses": self.ata_first_touch_bypasses,
+            "governor_pauses": self.governor_pauses,
+            "governor_resumes": self.governor_resumes,
+            "warps_bypassed": self.warps_bypassed,
         }
 
 
@@ -111,4 +128,10 @@ def aggregate_metrics(per_sm: list[SMMetrics]) -> SMMetrics:
         agg.dram_transactions += m.dram_transactions
         agg.barriers += m.barriers
         agg.tbs_executed += m.tbs_executed
+        agg.l1_remote_hits += m.l1_remote_hits
+        agg.ata_second_touches += m.ata_second_touches
+        agg.ata_first_touch_bypasses += m.ata_first_touch_bypasses
+        agg.governor_pauses += m.governor_pauses
+        agg.governor_resumes += m.governor_resumes
+        agg.warps_bypassed += m.warps_bypassed
     return agg

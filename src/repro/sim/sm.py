@@ -25,12 +25,34 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from .arch import GPUSpec, SMConfig
-from .cache import Cache
+from .cache import ATA_REMOTE, ATA_SEEN, Cache
 from .coalescer import coalesce_lines
 from .events import ComputeEvent, MemEvent, SyncEvent
 from .metrics import SMMetrics
 
 _INF = float("inf")
+
+
+class GovernorProtocolError(TypeError):
+    """An object handed to a run-time-governor path does not satisfy the
+    engine protocol (e.g. it has no warp-slot table, or a multi-SM launch
+    needs per-SM instances and the governor cannot provide them)."""
+
+
+def engine_slots(engine) -> list:
+    """The engine's warp-slot table, for run-time governors.
+
+    Raises :class:`GovernorProtocolError` when ``engine`` exposes no
+    ``slots`` — silently treating such an object as "no live warps" would
+    make a mis-attached governor no-op forever.
+    """
+    slots = getattr(engine, "slots", None)
+    if slots is None:
+        raise GovernorProtocolError(
+            f"{type(engine).__name__} exposes no warp-slot table ('slots'); "
+            f"run-time governors require an SMEngine-compatible engine "
+            f"whose begin() has run")
+    return slots
 
 
 @dataclass
@@ -64,14 +86,23 @@ class SMEngine:
                  l2: Cache | None = None,
                  governor=None, governor_period: int = 256,
                  l1_bypass: bool = False,
-                 sm_id: int = 0, ports=None):
+                 sm_id: int = 0, ports=None, ata=None):
         """``governor`` is an optional callback ``governor(engine) -> None``
         invoked every ``governor_period`` issued events; it may mutate
         ``engine.paused_tbs`` (active-TB indexes) to throttle residency at
-        run time — the hook the DynCTA-style baseline uses.
+        run time — the hook the DynCTA-style baseline uses.  A governor with
+        an ``attach(engine)`` method gets it called from :meth:`begin`, so
+        stateful policies (CIAO) can reset and wire their monitors per
+        launch.
 
         ``l1_bypass`` models the §2.2 cache-bypassing comparators (-dlcm=cg):
-        global loads skip the L1D entirely.
+        global loads skip the L1D entirely.  ``engine.bypass_warps`` is the
+        selective per-warp form (CIAO): only the listed slot indexes bypass.
+
+        ``ata`` is an optional shared
+        :class:`~repro.sim.cache.AggregatedTagArray`; when given, this SM's
+        L1 registers as a member and global loads run the ATA-Cache
+        miss-resolution path (peer-L1 remote hits, allocate on second touch).
 
         ``ports`` is where L2/DRAM availability times live.  By default the
         engine owns its ports (the single-SM model); the multi-SM
@@ -110,6 +141,14 @@ class SMEngine:
         self._events_since_governor = 0
         self.pause_quantum = 512.0
         self.l1_bypass = l1_bypass
+        # Per-warp selective bypass (CIAO): slot indexes whose global loads
+        # skip the L1D.  Governors mutate this at run time; empty = off.
+        self.bypass_warps: set[int] = set()
+        # CIAO interference monitor: when set, global loads route through
+        # Cache.access_owned so misses and evictions attribute per warp.
+        self.l1_monitor = None
+        self.ata = ata
+        self.ata_member = ata.register(self.l1) if ata is not None else -1
 
     # ------------------------------------------------------------------
     def begin(
@@ -139,6 +178,11 @@ class SMEngine:
         self._heap: list[tuple[float, int, int]] = []
         self._slots: list[WarpSlot] = []
         self.slots = self._slots  # exposed for run-time governors
+        governor = self.governor
+        if governor is not None:
+            attach = getattr(governor, "attach", None)
+            if attach is not None:
+                attach(self)
         if pending is None:
             self._pending = list(tb_ids)
             while self._pending and len(self._active) < resident_limit:
@@ -203,8 +247,11 @@ class SMEngine:
             if self.paused_tbs and warp.tb_index in self.paused_tbs:
                 live_tbs = {s.tb_index for s in slots if not s.done}
                 if live_tbs <= self.paused_tbs:
-                    self.paused_tbs.clear()  # never let pausing deadlock
-                else:
+                    # Pausing must never deadlock, but relief should shed as
+                    # little throttling as possible: release exactly one TB
+                    # (lowest index, deterministic) and keep the rest paused.
+                    self.paused_tbs.discard(min(live_tbs))
+                if warp.tb_index in self.paused_tbs:
                     # Governor-paused TB: defer this warp by one quantum.
                     warp.ready = max(self.now, ready) + self.pause_quantum
                     heappush(heap, (warp.ready, self._tie(warp), slot_idx))
@@ -296,8 +343,9 @@ class SMEngine:
             if self.paused_tbs and warp.tb_index in self.paused_tbs:
                 live_tbs = {s.tb_index for s in slots if not s.done}
                 if live_tbs <= self.paused_tbs:
-                    self.paused_tbs.clear()  # never let pausing deadlock
-                else:
+                    # One-TB relief, mirroring run() above.
+                    self.paused_tbs.discard(min(live_tbs))
+                if warp.tb_index in self.paused_tbs:
                     warp.ready = max(self.now, ready) + self.pause_quantum
                     heappush(heap, (warp.ready, self._tie(warp), slot_idx))
                     continue
@@ -456,25 +504,95 @@ class SMEngine:
         l2_lat = t.l2_latency
         dram_lat = t.dram_latency
         bypass = self.l1_bypass
-        l1_access = self.l1.access
+        if not bypass:
+            bw = self.bypass_warps
+            if bw and warp.slot_index in bw:
+                # CIAO selective bypass: this warp's loads skip the L1D.
+                bypass = True
         finish = start
-        for line in lines:
-            txn_start = lsu
-            lsu += lsu_txn
-            if not bypass and l1_access(line):
-                done = txn_start + l1_lat
-            else:
-                l2_start = l2_free if l2_free > txn_start else txn_start
-                l2_free = l2_start + l2_txn
-                if l2_access(line):
-                    done = l2_start + l2_lat
+        ata = self.ata
+        monitor = self.l1_monitor
+        if ata is not None and not bypass:
+            # ATA-Cache miss resolution: local tag probe without allocation,
+            # then the aggregated tag array decides remote hit / allocate-on
+            # -second-touch / first-touch bypass.  Remote hits consume no
+            # L2/DRAM port bandwidth — the data moves SM-to-SM.
+            touch = self.l1.touch
+            fill = self.l1.fill
+            lookup = ata.lookup
+            member = self.ata_member
+            remote_lat = t.l1_remote_latency
+            for line in lines:
+                txn_start = lsu
+                lsu += lsu_txn
+                if touch(line):
+                    done = txn_start + l1_lat
                 else:
-                    dram_start = dram_free if dram_free > l2_start else l2_start
-                    dram_free = dram_start + dram_txn
-                    dram_txns += 1
-                    done = dram_start + dram_lat
-            if done > finish:
-                finish = done
+                    verdict = lookup(line, member)
+                    if verdict == ATA_REMOTE:
+                        m.l1_remote_hits += 1
+                        done = txn_start + remote_lat
+                    else:
+                        if verdict == ATA_SEEN:
+                            m.ata_second_touches += 1
+                            fill(line)
+                        else:
+                            m.ata_first_touch_bypasses += 1
+                        l2_start = l2_free if l2_free > txn_start else txn_start
+                        l2_free = l2_start + l2_txn
+                        if l2_access(line):
+                            done = l2_start + l2_lat
+                        else:
+                            dram_start = (dram_free if dram_free > l2_start
+                                          else l2_start)
+                            dram_free = dram_start + dram_txn
+                            dram_txns += 1
+                            done = dram_start + dram_lat
+                if done > finish:
+                    finish = done
+        elif monitor is not None and not bypass:
+            # CIAO-monitored loads: identical timing to the plain path, plus
+            # per-warp miss/eviction attribution through access_owned.
+            acc_owned = self.l1.access_owned
+            owner = warp.slot_index
+            for line in lines:
+                txn_start = lsu
+                lsu += lsu_txn
+                if acc_owned(line, owner):
+                    done = txn_start + l1_lat
+                else:
+                    l2_start = l2_free if l2_free > txn_start else txn_start
+                    l2_free = l2_start + l2_txn
+                    if l2_access(line):
+                        done = l2_start + l2_lat
+                    else:
+                        dram_start = (dram_free if dram_free > l2_start
+                                      else l2_start)
+                        dram_free = dram_start + dram_txn
+                        dram_txns += 1
+                        done = dram_start + dram_lat
+                if done > finish:
+                    finish = done
+        else:
+            l1_access = self.l1.access
+            for line in lines:
+                txn_start = lsu
+                lsu += lsu_txn
+                if not bypass and l1_access(line):
+                    done = txn_start + l1_lat
+                else:
+                    l2_start = l2_free if l2_free > txn_start else txn_start
+                    l2_free = l2_start + l2_txn
+                    if l2_access(line):
+                        done = l2_start + l2_lat
+                    else:
+                        dram_start = (dram_free if dram_free > l2_start
+                                      else l2_start)
+                        dram_free = dram_start + dram_txn
+                        dram_txns += 1
+                        done = dram_start + dram_lat
+                if done > finish:
+                    finish = done
         m.dram_transactions += dram_txns
         self.lsu_free = lsu
         ports.l2_free = l2_free

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.experiments.bench import DEFAULT_BENCH_OUT
 from repro.experiments.l2sweep import (
     DEFAULT_APPS,
+    DEFAULT_SCHEMES,
     DEFAULT_SMS,
     build_l2sweep,
     format_l2sweep,
@@ -23,7 +24,10 @@ def test_default_probes_are_registered_and_cache_sensitive():
 
 def test_build_l2sweep_rows_and_attribution():
     rows = build_l2sweep(apps=("ATAX",), sms_values=(1, 2), scale="test")
-    assert [(r.app, r.sms) for r in rows] == [("ATAX", 1), ("ATAX", 2)]
+    assert [(r.app, r.sms, r.scheme) for r in rows] == [
+        ("ATAX", sms, scheme)
+        for sms in (1, 2) for scheme in DEFAULT_SCHEMES
+    ]
     for r in rows:
         # One attributed hit rate per co-simulated SM.
         assert len(r.per_sm_l2_hit_rates) == r.sms
@@ -32,7 +36,14 @@ def test_build_l2sweep_rows_and_attribution():
         assert 0.0 <= r.l2_hit_rate <= 1.0
     # On the 1-SM spec every TB is timed regardless of sms, so co-residency
     # changes *where* TBs run, never how many are timed.
-    assert rows[0].tbs_timed == rows[1].tbs_timed
+    baseline = [r for r in rows if r.scheme == "baseline"]
+    assert baseline[0].tbs_timed == baseline[1].tbs_timed
+
+
+def test_l2sweep_single_scheme_matches_legacy_shape():
+    rows = build_l2sweep(apps=("ATAX",), sms_values=(1, 2), scale="test",
+                         schemes=("baseline",))
+    assert [(r.app, r.sms) for r in rows] == [("ATAX", 1), ("ATAX", 2)]
 
 
 def test_build_l2sweep_deterministic():

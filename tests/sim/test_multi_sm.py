@@ -217,10 +217,32 @@ def test_dedup_replay_matches_direct_execution_at_multi_sm():
         [m.summary() for m in off.per_sm]
 
 
-def test_governor_rejected_at_multi_sm():
+def test_governor_cloned_per_sm_at_multi_sm():
+    """A cloneable governor is accepted at sms > 1: GPUEngine hands every SM
+    its own instance, so per-SM epoch state never cross-talks."""
+    from repro.baselines.dyncta import DynCtaGovernor
+
+    dev = Device(TITAN_V_SIM)
+    out = dev.zeros(4 * 256)
+    res = dev.launch(
+        """__global__ void k(float *o) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            o[i] = 1.0f;
+        }""",
+        "k", 4, 256, [out], sms=2, governor=DynCtaGovernor())
+    assert res.sms == 2
+    np.testing.assert_array_equal(out.to_host(),
+                                  np.ones(4 * 256, dtype=np.float32))
+
+
+def test_cloneless_governor_rejected_at_multi_sm():
+    """Sharing one stateful governor across SMs would corrupt its epoch
+    baselines; a governor without clone() must be refused up front."""
+    from repro.sim.sm import GovernorProtocolError
+
     dev = Device(TITAN_V_SIM)
     out = dev.zeros(256)
-    with pytest.raises(ValueError, match="governor"):
+    with pytest.raises(GovernorProtocolError, match="clone"):
         dev.launch("__global__ void k(float *o) { o[threadIdx.x] = 1.0f; }",
                    "k", 1, 256, [out], sms=2, governor=lambda eng: None)
 
@@ -251,3 +273,61 @@ def test_l2_shared_bytes_scales_and_validates():
 def test_sim_options_rejects_bad_sms():
     with pytest.raises(ValueError):
         SimOptions(sms=0)
+
+
+# -- governor cadence across the fused fast path and step() -------------------
+
+class _CountingGovernor:
+    """Counts invocations; never throttles (pure cadence probe)."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, engine):
+        self.calls += 1
+
+    def clone(self):
+        return _CountingGovernor()
+
+
+def test_governor_cadence_survives_runahead_fast_path():
+    """The GTO run-ahead fast path keeps issuing inline without heap round
+    trips — but it must still tick the governor counter per issued event, so
+    the fused run() and the step()-driven GPUEngine(sms=1) invoke a governor
+    exactly the same number of times on identical streams."""
+    tb_ids = list(range(6))
+    config = SMConfig(TITAN_V_SIM, 0)
+
+    fused_gov = _CountingGovernor()
+    fused = SMEngine(TITAN_V_SIM, config, governor=fused_gov,
+                     governor_period=64)
+    ref = fused.run(tb_ids, _stream_factory(), resident_limit=2)
+
+    step_gov = _CountingGovernor()
+    gpu = GPUEngine(TITAN_V_SIM, config, 1, governor=step_gov,
+                    governor_period=64)
+    [stepped] = gpu.run(tb_ids, _stream_factory(), resident_limit=2)
+
+    assert fused_gov.calls == step_gov.calls > 0
+    assert stepped.summary() == ref.summary()
+
+
+def test_run_vs_step_differential_with_pausing_governor():
+    """A governor that actually pauses TBs forces the fused loop off its
+    fast path (pause bookkeeping is slow-path only); run() and step() must
+    still agree bit-for-bit on every metric."""
+    from repro.baselines.dyncta import DynCtaGovernor
+
+    tb_ids = list(range(6))
+    config = SMConfig(TITAN_V_SIM, 0)
+
+    fused = SMEngine(TITAN_V_SIM, config, governor=DynCtaGovernor(),
+                     governor_period=64)
+    ref = fused.run(tb_ids, _stream_factory(), resident_limit=2)
+
+    gpu = GPUEngine(TITAN_V_SIM, config, 1, governor=DynCtaGovernor(),
+                    governor_period=64)
+    [stepped] = gpu.run(tb_ids, _stream_factory(), resident_limit=2)
+
+    assert stepped.summary() == ref.summary()
+    assert stepped.cycles == ref.cycles
